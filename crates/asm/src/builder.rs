@@ -1,0 +1,350 @@
+//! Second pass of CFG construction: block creation and connection
+//! (Algorithm 2, `CfgBuilder::connectBlocks`).
+
+use crate::instr::{Instruction, Program};
+use crate::tagging::{TagMap, TaggingVisitor};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// A basic block: "a straight sequence of code or assembly instructions
+/// without any control flow transition except at its exit" (Section II-A).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start_addr: u64,
+    /// The instructions, in address order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block starting at `start_addr`.
+    pub fn new(start_addr: u64) -> Self {
+        BasicBlock { start_addr, instructions: Vec::new() }
+    }
+
+    /// Number of instructions in the block (a Table I attribute).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+}
+
+/// A control flow graph: basic blocks plus directed edges between them.
+///
+/// Vertex `u → v` exists iff the last instruction of `u` falls through to
+/// the first instruction of `v`, or an instruction in `u` jumps/calls into
+/// `v` (Section II-A).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Cfg {
+    /// Builds a CFG directly from blocks and edges (used by corpora that
+    /// ship pre-extracted CFGs, like the paper's YANCFG dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint is out of range.
+    pub fn from_parts(blocks: Vec<BasicBlock>, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let n = blocks.len();
+        let edges: BTreeSet<(usize, usize)> = edges.into_iter().collect();
+        for &(u, v) in &edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} blocks");
+        }
+        Cfg { blocks, edges }
+    }
+
+    /// Number of basic blocks (vertices).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The blocks, indexed by vertex id.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with vertex id `v`.
+    pub fn block(&self, v: usize) -> &BasicBlock {
+        &self.blocks[v]
+    }
+
+    /// Iterates directed edges as `(from, to)` vertex-id pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Whether edge `u → v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Out-degree of vertex `v` ("# offspring", a Table I attribute).
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.edges.range((v, 0)..(v + 1, 0)).count()
+    }
+
+    /// Successor vertex ids of `v`.
+    pub fn successors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges.range((v, 0)..(v + 1, 0)).map(|&(_, t)| t)
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn instruction_count(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len).sum()
+    }
+
+    /// Renders the CFG in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph cfg {\n  node [shape=box fontname=monospace];\n");
+        for (i, b) in self.blocks.iter().enumerate() {
+            let label: Vec<String> = b.instructions.iter().map(|x| x.to_string()).collect();
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", i, label.join("\\l"));
+        }
+        for (u, v) in &self.edges {
+            let _ = writeln!(out, "  n{u} -> n{v};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The two-pass CFG builder of Section IV-A.
+///
+/// # Example
+///
+/// ```
+/// use magic_asm::{parse_listing, CfgBuilder};
+///
+/// let p = parse_listing(".text:00401000    retn")?;
+/// let cfg = CfgBuilder::new(&p).build();
+/// assert_eq!(cfg.block_count(), 1);
+/// # Ok::<(), magic_asm::ParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct CfgBuilder<'a> {
+    program: &'a Program,
+    tags: TagMap,
+}
+
+impl<'a> CfgBuilder<'a> {
+    /// Runs the first pass (Algorithm 1 tagging) over `program`.
+    pub fn new(program: &'a Program) -> Self {
+        let tags = TaggingVisitor::new().tag_program(program);
+        CfgBuilder { program, tags }
+    }
+
+    /// Runs the second pass (Algorithm 2) and returns the CFG.
+    pub fn build(&self) -> Cfg {
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut by_addr: HashMap<u64, usize> = HashMap::new();
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+        // The paper's getBlockAtAddr: return the block starting at addr,
+        // creating it first if needed.
+        let mut get_block_at = |addr: u64, blocks: &mut Vec<BasicBlock>| -> usize {
+            *by_addr.entry(addr).or_insert_with(|| {
+                blocks.push(BasicBlock::new(addr));
+                blocks.len() - 1
+            })
+        };
+
+        let mut curr_block: Option<usize> = None;
+        for inst in self.program.iter() {
+            let tags = self.tags.get(&inst.addr).copied().unwrap_or_default();
+            if tags.start || curr_block.is_none() {
+                curr_block = Some(get_block_at(inst.addr, &mut blocks));
+            }
+            let curr = curr_block.expect("current block must exist");
+            let mut next_block = curr;
+
+            if let Some(next_inst) = self.program.next_inst(inst) {
+                let next_tags = self.tags.get(&next_inst.addr).copied().unwrap_or_default();
+                if tags.fall_through && next_tags.start {
+                    next_block = get_block_at(next_inst.addr, &mut blocks);
+                    edges.insert((curr, next_block));
+                }
+            }
+
+            if let Some(dst) = tags.branch_to {
+                let target = get_block_at(dst, &mut blocks);
+                edges.insert((curr, target));
+            }
+
+            blocks[curr_block.unwrap()].instructions.push(inst.clone());
+            curr_block = Some(next_block);
+        }
+
+        Cfg { blocks, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instruction;
+
+    fn program(lines: &[(u64, &str, &[&str])]) -> Program {
+        lines
+            .iter()
+            .map(|(addr, m, ops)| {
+                Instruction::new(*addr, 2, *m, ops.iter().map(|s| s.to_string()).collect())
+            })
+            .collect()
+    }
+
+    /// if/else diamond:
+    ///   0x10 cmp ; 0x12 jz 0x18 ; 0x14 mov ; 0x16 jmp 0x1a ; 0x18 inc ;
+    ///   0x1a retn
+    fn diamond() -> Program {
+        program(&[
+            (0x10, "cmp", &["eax", "0"]),
+            (0x12, "jz", &["loc_18"]),
+            (0x14, "mov", &["eax", "1"]),
+            (0x16, "jmp", &["loc_1A"]),
+            (0x18, "inc", &["eax"]),
+            (0x1A, "retn", &[]),
+        ])
+    }
+
+    #[test]
+    fn diamond_has_four_blocks_and_four_edges() {
+        let p = diamond();
+        let cfg = CfgBuilder::new(&p).build();
+        assert_eq!(cfg.block_count(), 4);
+        assert_eq!(cfg.edge_count(), 4);
+        // Entry block: cmp + jz.
+        assert_eq!(cfg.block(0).start_addr, 0x10);
+        assert_eq!(cfg.block(0).len(), 2);
+        assert_eq!(cfg.out_degree(0), 2);
+    }
+
+    #[test]
+    fn straight_line_code_is_one_block() {
+        let p = program(&[
+            (0x10, "mov", &["eax", "1"]),
+            (0x12, "add", &["eax", "2"]),
+            (0x14, "retn", &[]),
+        ]);
+        let cfg = CfgBuilder::new(&p).build();
+        assert_eq!(cfg.block_count(), 1);
+        assert_eq!(cfg.edge_count(), 0);
+        assert_eq!(cfg.block(0).len(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_preserved() {
+        // 0x10: dec eax ; 0x12: jnz 0x10 ; 0x14: retn
+        let p = program(&[
+            (0x10, "dec", &["eax"]),
+            (0x12, "jnz", &["loc_10"]),
+            (0x14, "retn", &[]),
+        ]);
+        let cfg = CfgBuilder::new(&p).build();
+        assert_eq!(cfg.block_count(), 2);
+        assert!(cfg.has_edge(0, 0), "loop back edge");
+        assert!(cfg.has_edge(0, 1), "fall-through exit edge");
+    }
+
+    #[test]
+    fn call_creates_edge_to_callee_and_resumption() {
+        let p = program(&[
+            (0x10, "call", &["sub_20"]),
+            (0x12, "retn", &[]),
+            (0x20, "xor", &["eax", "eax"]),
+            (0x22, "retn", &[]),
+        ]);
+        let cfg = CfgBuilder::new(&p).build();
+        // Blocks: [call], [retn@12], [xor,retn@20].
+        assert_eq!(cfg.block_count(), 3);
+        let call_block = 0;
+        assert_eq!(cfg.out_degree(call_block), 2);
+    }
+
+    #[test]
+    fn jump_into_middle_of_block_splits_it() {
+        // 0x14 is entered both by fall-through from 0x12 and a back jump.
+        let p = program(&[
+            (0x10, "mov", &["eax", "0"]),
+            (0x12, "mov", &["ebx", "0"]),
+            (0x14, "inc", &["eax"]),
+            (0x16, "jnz", &["loc_14"]),
+            (0x18, "retn", &[]),
+        ]);
+        let cfg = CfgBuilder::new(&p).build();
+        // Blocks: [mov,mov], [inc,jnz], [retn].
+        assert_eq!(cfg.block_count(), 3);
+        let loop_block = cfg
+            .blocks()
+            .iter()
+            .position(|b| b.start_addr == 0x14)
+            .unwrap();
+        assert!(cfg.has_edge(loop_block, loop_block));
+    }
+
+    #[test]
+    fn out_degree_and_successors_agree() {
+        let p = diamond();
+        let cfg = CfgBuilder::new(&p).build();
+        for v in 0..cfg.block_count() {
+            assert_eq!(cfg.out_degree(v), cfg.successors(v).count());
+        }
+    }
+
+    #[test]
+    fn dot_output_mentions_every_block() {
+        let p = diamond();
+        let cfg = CfgBuilder::new(&p).build();
+        let dot = cfg.to_dot();
+        for i in 0..cfg.block_count() {
+            assert!(dot.contains(&format!("n{i} ")), "missing node n{i}");
+        }
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn from_parts_validates_edges() {
+        let blocks = vec![BasicBlock::new(0), BasicBlock::new(2)];
+        let cfg = Cfg::from_parts(blocks, [(0, 1), (1, 0)]);
+        assert_eq!(cfg.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_dangling_edge() {
+        Cfg::from_parts(vec![BasicBlock::new(0)], [(0, 3)]);
+    }
+
+    #[test]
+    fn empty_program_gives_empty_cfg() {
+        let p = Program::new();
+        let cfg = CfgBuilder::new(&p).build();
+        assert_eq!(cfg.block_count(), 0);
+        assert_eq!(cfg.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        // Two paths to the same target produce one edge entry per pair.
+        let p = program(&[
+            (0x10, "jz", &["loc_14"]),
+            (0x12, "jmp", &["loc_14"]),
+            (0x14, "retn", &[]),
+        ]);
+        let cfg = CfgBuilder::new(&p).build();
+        let pairs: Vec<_> = cfg.edges().collect();
+        let unique: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(pairs.len(), unique.len());
+    }
+}

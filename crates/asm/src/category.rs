@@ -1,0 +1,196 @@
+//! Instruction categorization for the Table I block attributes.
+
+use std::fmt;
+
+/// The instruction classes counted per basic block (Table I of the
+/// paper): transfer, call, arithmetic, compare, mov, termination and
+/// data-declaration instructions, with everything else in `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrCategory {
+    /// Control transfers: unconditional and conditional jumps, loops.
+    Transfer,
+    /// Procedure calls.
+    Call,
+    /// Integer/bitwise arithmetic.
+    Arithmetic,
+    /// Comparisons and tests.
+    Compare,
+    /// Data movement (mov family, push/pop, exchanges, lea).
+    Mov,
+    /// Returns, halts and interrupts-returns.
+    Termination,
+    /// Assembler data declarations (`db`, `dd`, ...).
+    DataDeclaration,
+    /// Anything not covered above.
+    Other,
+}
+
+impl InstrCategory {
+    /// All categories that Table I counts explicitly (excludes `Other`).
+    pub const COUNTED: [InstrCategory; 7] = [
+        InstrCategory::Transfer,
+        InstrCategory::Call,
+        InstrCategory::Arithmetic,
+        InstrCategory::Compare,
+        InstrCategory::Mov,
+        InstrCategory::Termination,
+        InstrCategory::DataDeclaration,
+    ];
+}
+
+impl fmt::Display for InstrCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            InstrCategory::Transfer => "transfer",
+            InstrCategory::Call => "call",
+            InstrCategory::Arithmetic => "arithmetic",
+            InstrCategory::Compare => "compare",
+            InstrCategory::Mov => "mov",
+            InstrCategory::Termination => "termination",
+            InstrCategory::DataDeclaration => "data declaration",
+            InstrCategory::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Conditional jump mnemonics (branch *and* fall through — Algorithm 1).
+pub(crate) const CONDITIONAL_JUMPS: &[&str] = &[
+    "ja", "jae", "jb", "jbe", "jc", "jcxz", "jecxz", "je", "jg", "jge", "jl", "jle", "jna",
+    "jnae", "jnb", "jnbe", "jnc", "jne", "jng", "jnge", "jnl", "jnle", "jno", "jnp", "jns",
+    "jnz", "jo", "jp", "jpe", "jpo", "js", "jz", "loop", "loope", "loopne", "loopnz", "loopz",
+];
+
+/// Unconditional jump mnemonics (branch, never fall through).
+pub(crate) const UNCONDITIONAL_JUMPS: &[&str] = &["jmp", "ljmp"];
+
+const CALLS: &[&str] = &["call", "lcall"];
+
+const ARITHMETIC: &[&str] = &[
+    "add", "adc", "sub", "sbb", "mul", "imul", "div", "idiv", "inc", "dec", "neg", "not",
+    "and", "or", "xor", "shl", "shr", "sal", "sar", "rol", "ror", "rcl", "rcr", "cdq", "cbw",
+    "cwde", "aaa", "aad", "aam", "aas", "daa", "das",
+];
+
+const COMPARES: &[&str] = &["cmp", "test", "cmpsb", "cmpsw", "cmpsd", "scasb", "scasw", "scasd"];
+
+const MOVS: &[&str] = &[
+    "mov", "movzx", "movsx", "movsb", "movsw", "movsd", "movaps", "movups", "movdqa", "movdqu",
+    "xchg", "push", "pusha", "pushad", "pushf", "pushfd", "pop", "popa", "popad", "popf",
+    "popfd", "lea", "lodsb", "lodsw", "lodsd", "stosb", "stosw", "stosd",
+];
+
+const TERMINATIONS: &[&str] = &["ret", "retn", "retf", "iret", "iretd", "hlt"];
+
+const DATA_DECLS: &[&str] = &["db", "dw", "dd", "dq", "dt", "align", "unicode"];
+
+/// Classifies a (lower-case) mnemonic into its Table I category.
+///
+/// # Example
+///
+/// ```
+/// use magic_asm::{categorize, InstrCategory};
+///
+/// assert_eq!(categorize("jz"), InstrCategory::Transfer);
+/// assert_eq!(categorize("retn"), InstrCategory::Termination);
+/// assert_eq!(categorize("fnop"), InstrCategory::Other);
+/// ```
+pub fn categorize(mnemonic: &str) -> InstrCategory {
+    if CONDITIONAL_JUMPS.contains(&mnemonic) || UNCONDITIONAL_JUMPS.contains(&mnemonic) {
+        InstrCategory::Transfer
+    } else if CALLS.contains(&mnemonic) {
+        InstrCategory::Call
+    } else if ARITHMETIC.contains(&mnemonic) {
+        InstrCategory::Arithmetic
+    } else if COMPARES.contains(&mnemonic) {
+        InstrCategory::Compare
+    } else if MOVS.contains(&mnemonic) {
+        InstrCategory::Mov
+    } else if TERMINATIONS.contains(&mnemonic) {
+        InstrCategory::Termination
+    } else if DATA_DECLS.contains(&mnemonic) {
+        InstrCategory::DataDeclaration
+    } else {
+        InstrCategory::Other
+    }
+}
+
+/// Whether the mnemonic is a conditional jump.
+pub(crate) fn is_conditional_jump(mnemonic: &str) -> bool {
+    CONDITIONAL_JUMPS.contains(&mnemonic)
+}
+
+/// Whether the mnemonic is an unconditional jump.
+pub(crate) fn is_unconditional_jump(mnemonic: &str) -> bool {
+    UNCONDITIONAL_JUMPS.contains(&mnemonic)
+}
+
+/// Whether the mnemonic is a call.
+pub(crate) fn is_call(mnemonic: &str) -> bool {
+    CALLS.contains(&mnemonic)
+}
+
+/// Whether the mnemonic terminates control flow (no fall-through).
+pub(crate) fn is_termination(mnemonic: &str) -> bool {
+    TERMINATIONS.contains(&mnemonic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jumps_are_transfer() {
+        for m in ["jmp", "jz", "jnz", "ja", "loop"] {
+            assert_eq!(categorize(m), InstrCategory::Transfer, "{m}");
+        }
+    }
+
+    #[test]
+    fn representative_mnemonics_map_to_expected_categories() {
+        assert_eq!(categorize("call"), InstrCategory::Call);
+        assert_eq!(categorize("xor"), InstrCategory::Arithmetic);
+        assert_eq!(categorize("cmp"), InstrCategory::Compare);
+        assert_eq!(categorize("test"), InstrCategory::Compare);
+        assert_eq!(categorize("push"), InstrCategory::Mov);
+        assert_eq!(categorize("lea"), InstrCategory::Mov);
+        assert_eq!(categorize("hlt"), InstrCategory::Termination);
+        assert_eq!(categorize("db"), InstrCategory::DataDeclaration);
+        assert_eq!(categorize("nop"), InstrCategory::Other);
+    }
+
+    #[test]
+    fn categories_are_disjoint() {
+        let lists: [&[&str]; 7] = [
+            CONDITIONAL_JUMPS,
+            UNCONDITIONAL_JUMPS,
+            CALLS,
+            ARITHMETIC,
+            COMPARES,
+            MOVS,
+            TERMINATIONS,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for list in lists {
+            for m in list {
+                assert!(seen.insert(*m), "mnemonic {m} appears in two categories");
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_agree_with_categorize() {
+        assert!(is_conditional_jump("jz"));
+        assert!(!is_conditional_jump("jmp"));
+        assert!(is_unconditional_jump("jmp"));
+        assert!(is_call("call"));
+        assert!(is_termination("retn"));
+        assert!(!is_termination("jmp"));
+    }
+
+    #[test]
+    fn counted_excludes_other() {
+        assert_eq!(InstrCategory::COUNTED.len(), 7);
+        assert!(!InstrCategory::COUNTED.contains(&InstrCategory::Other));
+    }
+}

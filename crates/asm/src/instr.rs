@@ -1,0 +1,266 @@
+//! Instructions and programs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One assembly instruction at a fixed address.
+///
+/// The `size` field is the encoded byte length; the fall-through successor
+/// of an instruction lives at `addr + size` (Algorithm 1, line 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instruction {
+    /// Virtual address of the instruction.
+    pub addr: u64,
+    /// Encoded size in bytes.
+    pub size: u64,
+    /// Lower-case mnemonic, e.g. `mov`.
+    pub mnemonic: String,
+    /// Operand strings, comma-split, trimmed.
+    pub operands: Vec<String>,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    pub fn new(addr: u64, size: u64, mnemonic: impl Into<String>, operands: Vec<String>) -> Self {
+        Instruction {
+            addr,
+            size,
+            mnemonic: mnemonic.into().to_lowercase(),
+            operands,
+        }
+    }
+
+    /// Address of the instruction textually following this one.
+    pub fn next_addr(&self) -> u64 {
+        self.addr + self.size
+    }
+
+    /// Number of numeric constants among the operands (a Table I
+    /// attribute). Handles `123`, `0x1F`, `1Fh`, and negative forms,
+    /// including constants inside memory expressions like `[ebp-8]`.
+    pub fn numeric_constant_count(&self) -> usize {
+        self.operands
+            .iter()
+            .map(|op| count_numeric_tokens(op))
+            .sum()
+    }
+
+    /// Destination address for jump/call operands, when statically known.
+    ///
+    /// Recognizes IDA-style symbolic targets (`loc_401000`, `sub_401000`,
+    /// `locret_401000`), raw hex (`0x401000`), and assembler hex
+    /// (`401000h`). Register or memory targets return `None`.
+    pub fn dst_addr(&self) -> Option<u64> {
+        let op = self.operands.first()?;
+        parse_target(op)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08X}  {}", self.addr, self.mnemonic)?;
+        if !self.operands.is_empty() {
+            write!(f, " {}", self.operands.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+fn count_numeric_tokens(operand: &str) -> usize {
+    // Split on non-alphanumeric boundaries keeping sign context simple;
+    // a token counts as numeric if it is decimal, 0x-hex or h-suffix hex.
+    operand
+        .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .filter(|tok| !tok.is_empty())
+        .filter(|tok| is_numeric_token(tok))
+        .count()
+}
+
+fn is_numeric_token(tok: &str) -> bool {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        return !hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit());
+    }
+    if let Some(hex) = tok.strip_suffix('h').or_else(|| tok.strip_suffix('H')) {
+        return !hex.is_empty()
+            && hex.chars().all(|c| c.is_ascii_hexdigit())
+            && hex.starts_with(|c: char| c.is_ascii_digit());
+    }
+    tok.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Parses a symbolic or literal branch target into an address.
+pub(crate) fn parse_target(op: &str) -> Option<u64> {
+    let op = op.trim();
+    // Strip IDA "short"/"near ptr"/"far ptr" qualifiers.
+    let op = op
+        .trim_start_matches("short ")
+        .trim_start_matches("near ptr ")
+        .trim_start_matches("far ptr ")
+        .trim();
+    for prefix in ["loc_", "locret_", "sub_", "off_", "unk_"] {
+        if let Some(hex) = op.strip_prefix(prefix) {
+            return u64::from_str_radix(hex, 16).ok();
+        }
+    }
+    if let Some(hex) = op.strip_prefix("0x").or_else(|| op.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(hex) = op.strip_suffix('h').or_else(|| op.strip_suffix('H')) {
+        if hex.starts_with(|c: char| c.is_ascii_digit()) {
+            return u64::from_str_radix(hex, 16).ok();
+        }
+    }
+    if op.chars().all(|c| c.is_ascii_digit()) && !op.is_empty() {
+        return op.parse().ok();
+    }
+    None
+}
+
+/// A program: the paper's `P : Z+ -> I`, a one-to-one mapping from sorted
+/// addresses to instructions (Section IV-A).
+///
+/// # Example
+///
+/// ```
+/// use magic_asm::{Instruction, Program};
+///
+/// let mut p = Program::new();
+/// p.insert(Instruction::new(0x1000, 2, "mov", vec!["eax".into(), "1".into()]));
+/// assert_eq!(p.len(), 1);
+/// assert!(p.at(0x1000).is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    instructions: BTreeMap<u64, Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Inserts an instruction, keyed and ordered by address. Returns the
+    /// previous instruction at that address, if any.
+    pub fn insert(&mut self, inst: Instruction) -> Option<Instruction> {
+        self.instructions.insert(inst.addr, inst)
+    }
+
+    /// The instruction at `addr`, if present.
+    pub fn at(&self, addr: u64) -> Option<&Instruction> {
+        self.instructions.get(&addr)
+    }
+
+    /// Whether an instruction exists at `addr`.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.instructions.contains_key(&addr)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Iterates instructions in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = &Instruction> {
+        self.instructions.values()
+    }
+
+    /// The instruction textually following `inst`, if any — the paper's
+    /// `getNextInst(P, inst)` helper (Section IV-A).
+    pub fn next_inst(&self, inst: &Instruction) -> Option<&Instruction> {
+        self.instructions
+            .range((inst.addr + 1)..)
+            .next()
+            .map(|(_, i)| i)
+    }
+
+    /// All addresses, ascending.
+    pub fn addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.instructions.keys().copied()
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        let mut p = Program::new();
+        for inst in iter {
+            p.insert(inst);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(addr: u64, mnemonic: &str, ops: &[&str]) -> Instruction {
+        Instruction::new(addr, 2, mnemonic, ops.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn program_iterates_in_address_order() {
+        let p: Program = [inst(0x30, "nop", &[]), inst(0x10, "nop", &[]), inst(0x20, "nop", &[])]
+            .into_iter()
+            .collect();
+        let addrs: Vec<u64> = p.addresses().collect();
+        assert_eq!(addrs, vec![0x10, 0x20, 0x30]);
+    }
+
+    #[test]
+    fn next_inst_skips_gaps() {
+        let p: Program = [inst(0x10, "nop", &[]), inst(0x40, "nop", &[])].into_iter().collect();
+        let first = p.at(0x10).unwrap();
+        assert_eq!(p.next_inst(first).unwrap().addr, 0x40);
+        let last = p.at(0x40).unwrap();
+        assert!(p.next_inst(last).is_none());
+    }
+
+    #[test]
+    fn numeric_constants_in_various_forms() {
+        assert_eq!(inst(0, "mov", &["eax", "5"]).numeric_constant_count(), 1);
+        assert_eq!(inst(0, "mov", &["eax", "0x1F"]).numeric_constant_count(), 1);
+        assert_eq!(inst(0, "mov", &["eax", "1Fh"]).numeric_constant_count(), 1);
+        assert_eq!(inst(0, "mov", &["eax", "[ebp-8]"]).numeric_constant_count(), 1);
+        assert_eq!(inst(0, "mov", &["eax", "ebx"]).numeric_constant_count(), 0);
+        assert_eq!(inst(0, "add", &["dword ptr [esi+4]", "10h"]).numeric_constant_count(), 2);
+    }
+
+    #[test]
+    fn registers_are_not_numeric() {
+        // `ah` looks hex-suffixed but starts with a letter.
+        assert_eq!(inst(0, "mov", &["ah", "bh"]).numeric_constant_count(), 0);
+    }
+
+    #[test]
+    fn dst_addr_parses_symbolic_targets() {
+        assert_eq!(inst(0, "jmp", &["loc_401000"]).dst_addr(), Some(0x401000));
+        assert_eq!(inst(0, "jz", &["short loc_4F"]).dst_addr(), Some(0x4F));
+        assert_eq!(inst(0, "call", &["sub_1234"]).dst_addr(), Some(0x1234));
+        assert_eq!(inst(0, "jmp", &["0x500"]).dst_addr(), Some(0x500));
+        assert_eq!(inst(0, "jmp", &["500h"]).dst_addr(), Some(0x500));
+        assert_eq!(inst(0, "jmp", &["eax"]).dst_addr(), None);
+        assert_eq!(inst(0, "call", &["dword ptr [eax+4]"]).dst_addr(), None);
+    }
+
+    #[test]
+    fn insert_replaces_same_address() {
+        let mut p = Program::new();
+        p.insert(inst(0x10, "nop", &[]));
+        let old = p.insert(inst(0x10, "mov", &["eax", "1"]));
+        assert_eq!(old.unwrap().mnemonic, "nop");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn display_formats_instruction() {
+        let i = inst(0x401000, "mov", &["eax", "1"]);
+        assert_eq!(i.to_string(), "00401000  mov eax, 1");
+    }
+}

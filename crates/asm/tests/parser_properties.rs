@@ -1,0 +1,86 @@
+//! Property-based tests of the listing parser and CFG builder.
+
+use magic_asm::{categorize, parse_listing, CfgBuilder, InstrCategory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parsing is total: any byte soup either parses or errors, never
+    /// panics.
+    #[test]
+    fn parse_never_panics(text in "\\PC{0,300}") {
+        let _ = parse_listing(&text);
+    }
+
+    /// A well-formed single instruction always parses to exactly one
+    /// program entry with the expected mnemonic.
+    #[test]
+    fn well_formed_instruction_roundtrips(
+        addr in 1u64..0xFFFF_FF00,
+        mnemonic in "(mov|add|xor|cmp|push|pop|test|inc)",
+        reg in "(eax|ebx|ecx|edx|esi|edi)",
+        imm in 0u32..0xFFFF,
+    ) {
+        let listing = format!(".text:{addr:08X}    {mnemonic}    {reg}, {imm}\n");
+        let program = parse_listing(&listing).unwrap();
+        prop_assert_eq!(program.len(), 1);
+        let inst = program.at(addr).unwrap();
+        prop_assert_eq!(inst.mnemonic.as_str(), mnemonic.as_str());
+        prop_assert_eq!(inst.operands.len(), 2);
+        prop_assert_eq!(inst.numeric_constant_count(), 1);
+    }
+
+    /// Random straight-line programs (no control flow) always produce a
+    /// single basic block whose instruction count matches.
+    #[test]
+    fn straight_line_code_is_one_block(len in 1usize..30) {
+        let mut listing = String::new();
+        for i in 0..len {
+            listing.push_str(&format!(".text:{:08X}    mov eax, {i}\n", 0x1000 + 4 * i));
+        }
+        listing.push_str(&format!(".text:{:08X}    retn\n", 0x1000 + 4 * len));
+        let program = parse_listing(&listing).unwrap();
+        let cfg = CfgBuilder::new(&program).build();
+        prop_assert_eq!(cfg.block_count(), 1);
+        prop_assert_eq!(cfg.instruction_count(), len + 1);
+        prop_assert_eq!(cfg.edge_count(), 0);
+    }
+
+    /// Total instructions across CFG blocks always equals the program
+    /// size, whatever the (valid-target) jump structure.
+    #[test]
+    fn blocks_partition_instructions(jumps in prop::collection::vec((0usize..20, 0usize..20), 0..10)) {
+        let len = 20usize;
+        let mut lines: Vec<String> = (0..len)
+            .map(|i| format!(".text:{:08X}    nop\n", 0x1000 + 2 * i))
+            .collect();
+        for (src, dst) in jumps {
+            lines[src] = format!(
+                ".text:{:08X}    jnz loc_{:X}\n",
+                0x1000 + 2 * src,
+                0x1000 + 2 * dst
+            );
+        }
+        let program = parse_listing(&lines.concat()).unwrap();
+        let cfg = CfgBuilder::new(&program).build();
+        let total: usize = cfg.blocks().iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, program.len());
+        // Out-degree is at most 2 (branch + fall-through) for any vertex.
+        for v in 0..cfg.block_count() {
+            prop_assert!(cfg.out_degree(v) <= 2);
+        }
+    }
+
+    /// Every known mnemonic category is stable under categorize (no
+    /// overlaps drift in).
+    #[test]
+    fn categorize_is_deterministic(m in "(jmp|jz|call|add|cmp|mov|retn|db|nop|fld)") {
+        let a = categorize(&m);
+        let b = categorize(&m);
+        prop_assert_eq!(a, b);
+        if m == "fld" || m == "nop" {
+            prop_assert_eq!(a, InstrCategory::Other);
+        }
+    }
+}

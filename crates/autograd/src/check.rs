@@ -1,0 +1,219 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer in `magic-nn` validates its analytic gradients against the
+//! central-difference approximations produced here; the same utilities are
+//! exposed so downstream models can check their full pipelines.
+
+use magic_tensor::Tensor;
+
+/// Central-difference gradient of `f` with respect to `input`.
+///
+/// `f` must be a deterministic scalar function of the input tensor.
+/// Complexity is two evaluations of `f` per element — use small tensors.
+pub fn finite_difference_gradient(
+    input: &Tensor,
+    eps: f32,
+    mut f: impl FnMut(&Tensor) -> f32,
+) -> Tensor {
+    let mut grad = Tensor::zeros(input.shape().clone());
+    for i in 0..input.len() {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[i] -= eps;
+        grad.as_mut_slice()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Largest absolute elementwise difference between an analytic gradient and
+/// its finite-difference estimate, normalized by `1 + |numeric|` so the
+/// tolerance is meaningful across magnitudes.
+pub fn max_grad_error(analytic: &Tensor, numeric: &Tensor) -> f32 {
+    assert_eq!(
+        analytic.shape(),
+        numeric.shape(),
+        "gradient shapes differ: {} vs {}",
+        analytic.shape(),
+        numeric.shape()
+    );
+    analytic
+        .as_slice()
+        .iter()
+        .zip(numeric.as_slice())
+        .map(|(a, n)| (a - n).abs() / (1.0 + n.abs()))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+    use magic_tensor::Rng64;
+
+    /// Helper: checks the tape gradient of `build` (which must create a
+    /// scalar loss from a single leaf) against finite differences.
+    fn check_op(input: Tensor, build: impl Fn(&mut Tape, crate::Var) -> crate::Var) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone(), true);
+        let loss = build(&mut tape, x);
+        tape.backward(loss);
+        let analytic = tape.grad(x).expect("input should have a gradient").clone();
+
+        let numeric = finite_difference_gradient(&input, 1e-2, |t| {
+            let mut tape = Tape::new();
+            let x = tape.leaf(t.clone(), false);
+            let loss = build(&mut tape, x);
+            tape.value(loss).item()
+        });
+        let err = max_grad_error(&analytic, &numeric);
+        assert!(err < 2e-2, "gradient mismatch: {err}");
+    }
+
+    #[test]
+    fn grad_check_matmul_chain() {
+        let mut rng = Rng64::new(10);
+        let input = Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([4, 2], -1.0, 1.0, &mut rng);
+        check_op(input, move |tape, x| {
+            let wv = tape.leaf(w.clone(), false);
+            let y = tape.matmul(x, wv);
+            let r = tape.relu(y);
+            tape.sum(r)
+        });
+    }
+
+    #[test]
+    fn grad_check_sigmoid_tanh() {
+        let mut rng = Rng64::new(11);
+        let input = Tensor::rand_uniform([2, 3], -2.0, 2.0, &mut rng);
+        check_op(input, |tape, x| {
+            let s = tape.sigmoid(x);
+            let t = tape.tanh(s);
+            tape.sum(t)
+        });
+    }
+
+    #[test]
+    fn grad_check_log_softmax_nll() {
+        let mut rng = Rng64::new(12);
+        let input = Tensor::rand_uniform([4, 3], -1.0, 1.0, &mut rng);
+        check_op(input, |tape, x| {
+            let lp = tape.log_softmax_rows(x);
+            tape.nll_loss(lp, vec![0, 2, 1, 1])
+        });
+    }
+
+    #[test]
+    fn grad_check_scale_rows_and_concat() {
+        let mut rng = Rng64::new(13);
+        let input = Tensor::rand_uniform([3, 2], -1.0, 1.0, &mut rng);
+        check_op(input, |tape, x| {
+            let a = tape.scale_rows(x, vec![0.5, 1.5, -1.0]);
+            let b = tape.relu(x);
+            let c = tape.concat_cols(&[a, b]);
+            tape.sum(c)
+        });
+    }
+
+    #[test]
+    fn grad_check_gather_pad_pipeline() {
+        let mut rng = Rng64::new(14);
+        let input = Tensor::rand_uniform([4, 3], -1.0, 1.0, &mut rng);
+        check_op(input, |tape, x| {
+            let g = tape.gather_rows(x, vec![3, 1, 1]);
+            let p = tape.pad_or_truncate_rows(g, 5);
+            let sq = tape.mul(p, p);
+            tape.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_check_conv1d() {
+        let mut rng = Rng64::new(15);
+        let input = Tensor::rand_uniform([2, 8], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([3, 2, 2], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([3], -0.5, 0.5, &mut rng);
+        check_op(input, move |tape, x| {
+            let wv = tape.leaf(w.clone(), false);
+            let bv = tape.leaf(b.clone(), false);
+            let y = tape.conv1d(x, wv, bv, 2);
+            let r = tape.relu(y);
+            tape.sum(r)
+        });
+    }
+
+    #[test]
+    fn grad_check_conv2d_weights() {
+        // Differentiate w.r.t. the *weights* here to cover that path.
+        let mut rng = Rng64::new(16);
+        let x = Tensor::rand_uniform([1, 5, 5], -1.0, 1.0, &mut rng);
+        let w0 = Tensor::rand_uniform([2, 1, 3, 3], -1.0, 1.0, &mut rng);
+
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone(), false);
+        let wv = tape.leaf(w0.clone(), true);
+        let b = tape.leaf(Tensor::zeros([2]), false);
+        let y = tape.conv2d(xv, wv, b, 1, 1);
+        let s = tape.sum(y);
+        tape.backward(s);
+        let analytic = tape.grad(wv).unwrap().clone();
+
+        let numeric = finite_difference_gradient(&w0, 1e-2, |w| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone(), false);
+            let wv = tape.leaf(w.clone(), false);
+            let b = tape.leaf(Tensor::zeros([2]), false);
+            let y = tape.conv2d(xv, wv, b, 1, 1);
+            tape.value(y).sum()
+        });
+        assert!(max_grad_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn grad_check_adaptive_max_pool() {
+        let mut rng = Rng64::new(17);
+        // Distinct values so the argmax is stable under the epsilon nudge.
+        let mut input = Tensor::zeros([1, 4, 6]);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 * 0.731).sin() * 3.0;
+        }
+        let _ = &mut rng;
+        check_op(input, |tape, x| {
+            let p = tape.adaptive_max_pool2d(x, 2, 3);
+            tape.sum(p)
+        });
+    }
+
+    #[test]
+    fn grad_check_maxpool1d() {
+        let mut input = Tensor::zeros([2, 8]);
+        for (i, v) in input.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 7 + 3) % 11) as f32;
+        }
+        check_op(input, |tape, x| {
+            let p = tape.max_pool1d(x, 2);
+            tape.sum(p)
+        });
+    }
+
+    #[test]
+    fn grad_check_transpose_and_bias() {
+        let mut rng = Rng64::new(18);
+        let input = Tensor::rand_uniform([2, 4], -1.0, 1.0, &mut rng);
+        let bias = Tensor::rand_uniform([2], -1.0, 1.0, &mut rng);
+        check_op(input, move |tape, x| {
+            let t = tape.transpose(x);
+            let b = tape.leaf(bias.clone(), false);
+            let y = tape.add_bias(t, b);
+            let sq = tape.mul(y, y);
+            tape.mean(sq)
+        });
+    }
+
+    #[test]
+    fn max_grad_error_is_zero_for_equal_tensors() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(max_grad_error(&t, &t), 0.0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Convolution and pooling kernels (forward and backward) shared by the
+//! tape operations.
+//!
+//! Layout conventions: 1-D signals are `(channels, length)` matrices; 2-D
+//! feature maps are rank-3 `(channels, height, width)` tensors; conv
+//! weights are `(out_channels, in_channels, k)` or
+//! `(out_channels, in_channels, kh, kw)`.
+
+use magic_tensor::Tensor;
+
+/// Output length of a 1-D convolution: `(len - k) / stride + 1`.
+///
+/// # Panics
+///
+/// Panics if the kernel is larger than the input or `stride == 0`.
+pub fn conv1d_shape(len: usize, k: usize, stride: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(k <= len, "kernel {k} larger than input length {len}");
+    (len - k) / stride + 1
+}
+
+/// Output height/width of a 2-D convolution with symmetric padding.
+///
+/// # Panics
+///
+/// Panics if the (padded) input is smaller than the kernel or `stride == 0`.
+pub fn conv2d_shape(h: usize, w: usize, kh: usize, kw: usize, stride: usize, pad: usize) -> (usize, usize) {
+    assert!(stride > 0, "stride must be positive");
+    let ph = h + 2 * pad;
+    let pw = w + 2 * pad;
+    assert!(kh <= ph && kw <= pw, "kernel {kh}x{kw} larger than padded input {ph}x{pw}");
+    ((ph - kh) / stride + 1, (pw - kw) / stride + 1)
+}
+
+/// The half-open input window `[start, end)` that output cell `i` of an
+/// adaptive pooling with `out` cells over an input of size `n` covers.
+/// This matches PyTorch's `AdaptiveMaxPool2d` window rule
+/// (`start = floor(i*n/out)`, `end = ceil((i+1)*n/out)`), which is what the
+/// paper's AMP layer (Section III-C, Fig. 6) relies on.
+pub(crate) fn adaptive_window(i: usize, out: usize, n: usize) -> (usize, usize) {
+    let start = i * n / out;
+    let end = ((i + 1) * n).div_ceil(out);
+    (start, end.max(start + 1).min(n.max(1)))
+}
+
+/// Forward 1-D convolution. `x` is `(c_in, len)`, `w` is flattened
+/// `(c_out, c_in, k)`, `b` has `c_out` entries. Returns `(c_out, out_len)`.
+pub(crate) fn conv1d_forward(x: &Tensor, w: &Tensor, b: &[f32], k: usize, stride: usize) -> Tensor {
+    let c_in = x.rows();
+    let len = x.cols();
+    let c_out = w.shape().dim(0);
+    debug_assert_eq!(w.shape().dims(), &[c_out, c_in, k]);
+    let out_len = conv1d_shape(len, k, stride);
+    let mut out = Tensor::zeros([c_out, out_len]);
+    let ws = w.as_slice();
+    let os = out.as_mut_slice();
+    for o in 0..c_out {
+        for t in 0..out_len {
+            let mut acc = b[o];
+            for ci in 0..c_in {
+                let xr = x.row(ci);
+                let w_row = (o * c_in + ci) * k;
+                for j in 0..k {
+                    acc += ws[w_row + j] * xr[t * stride + j];
+                }
+            }
+            os[o * out_len + t] = acc;
+        }
+    }
+    out
+}
+
+/// Backward 1-D convolution. Returns `(grad_x, grad_w, grad_b)`.
+pub(crate) fn conv1d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    k: usize,
+    stride: usize,
+    gout: &Tensor,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let c_in = x.rows();
+    let len = x.cols();
+    let c_out = w.shape().dim(0);
+    let out_len = gout.cols();
+    let mut gx = Tensor::zeros([c_in, len]);
+    let mut gw = Tensor::zeros(w.shape().clone());
+    let mut gb = vec![0.0; c_out];
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let gs = gout.as_slice();
+    for o in 0..c_out {
+        for t in 0..out_len {
+            let g = gs[o * out_len + t];
+            if g == 0.0 {
+                continue;
+            }
+            gb[o] += g;
+            for ci in 0..c_in {
+                for j in 0..k {
+                    let xi = t * stride + j;
+                    let gw_off = (o * c_in + ci) * k + j;
+                    gw.as_mut_slice()[gw_off] += g * xs[ci * len + xi];
+                    gx.as_mut_slice()[ci * len + xi] += g * ws[gw_off];
+                }
+            }
+        }
+    }
+    (gx, gw, gb)
+}
+
+/// Forward 2-D convolution with zero padding. `x` is `(c_in, h, w)`,
+/// `wt` is `(c_out, c_in, kh, kw)`. Returns `(c_out, oh, ow)`.
+pub(crate) fn conv2d_forward(
+    x: &Tensor,
+    wt: &Tensor,
+    b: &[f32],
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (c_in, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let (c_out, kh, kw) = (wt.shape().dim(0), wt.shape().dim(2), wt.shape().dim(3));
+    debug_assert_eq!(wt.shape().dim(1), c_in);
+    let (oh, ow) = conv2d_shape(h, w, kh, kw, stride, pad);
+    let mut out = Tensor::zeros([c_out, oh, ow]);
+    let xs = x.as_slice();
+    let ws = wt.as_slice();
+    let os = out.as_mut_slice();
+    for o in 0..c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b[o];
+                for ci in 0..c_in {
+                    for dy in 0..kh {
+                        let iy = (oy * stride + dy) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let x_row = (ci * h + iy as usize) * w;
+                        let w_row = ((o * c_in + ci) * kh + dy) * kw;
+                        for dx in 0..kw {
+                            let ix = (ox * stride + dx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += ws[w_row + dx] * xs[x_row + ix as usize];
+                        }
+                    }
+                }
+                os[(o * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Backward 2-D convolution. Returns `(grad_x, grad_w, grad_b)`.
+pub(crate) fn conv2d_backward(
+    x: &Tensor,
+    wt: &Tensor,
+    stride: usize,
+    pad: usize,
+    gout: &Tensor,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let (c_in, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let (c_out, kh, kw) = (wt.shape().dim(0), wt.shape().dim(2), wt.shape().dim(3));
+    let (oh, ow) = (gout.shape().dim(1), gout.shape().dim(2));
+    let mut gx = Tensor::zeros(x.shape().clone());
+    let mut gw = Tensor::zeros(wt.shape().clone());
+    let mut gb = vec![0.0; c_out];
+    let gs = gout.as_slice();
+    for o in 0..c_out {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = gs[(o * oh + oy) * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                gb[o] += g;
+                for ci in 0..c_in {
+                    for dy in 0..kh {
+                        let iy = (oy * stride + dy) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for dx in 0..kw {
+                            let ix = (ox * stride + dx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let x_off = (ci * h + iy as usize) * w + ix as usize;
+                            let w_off = ((o * c_in + ci) * kh + dy) * kw + dx;
+                            gw.as_mut_slice()[w_off] += g * x.as_slice()[x_off];
+                            gx.as_mut_slice()[x_off] += g * wt.as_slice()[w_off];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, gw, gb)
+}
+
+/// Forward adaptive max pooling of a `(c, h, w)` tensor to `(c, oh, ow)`.
+/// Returns the output and, per output cell, the flat index of the winning
+/// input element (for the backward scatter).
+pub(crate) fn adaptive_max_pool2d_forward(
+    x: &Tensor,
+    oh: usize,
+    ow: usize,
+) -> (Tensor, Vec<usize>) {
+    let (c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let mut out = Tensor::zeros([c, oh, ow]);
+    let mut argmax = vec![0usize; c * oh * ow];
+    for ci in 0..c {
+        for oy in 0..oh {
+            let (y0, y1) = adaptive_window(oy, oh, h);
+            for ox in 0..ow {
+                let (x0, x1) = adaptive_window(ox, ow, w);
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = (ci * h + y0) * w + x0;
+                for iy in y0..y1 {
+                    for ix in x0..x1 {
+                        let off = (ci * h + iy) * w + ix;
+                        let v = x.as_slice()[off];
+                        if v > best {
+                            best = v;
+                            best_idx = off;
+                        }
+                    }
+                }
+                out.set(&[ci, oy, ox], best);
+                argmax[(ci * oh + oy) * ow + ox] = best_idx;
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Forward 1-D max pooling of a `(c, len)` matrix with window `k` and
+/// stride `k` (non-overlapping, as in the original DGCNN head). Returns the
+/// output and per-cell argmax flat indices.
+pub(crate) fn max_pool1d_forward(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
+    let (c, len) = (x.rows(), x.cols());
+    let out_len = len / k;
+    assert!(out_len > 0, "pooling window {k} larger than input {len}");
+    let mut out = Tensor::zeros([c, out_len]);
+    let mut argmax = vec![0usize; c * out_len];
+    for ci in 0..c {
+        for t in 0..out_len {
+            let mut best = f32::NEG_INFINITY;
+            let mut best_idx = ci * len + t * k;
+            for j in 0..k {
+                let off = ci * len + t * k + j;
+                let v = x.as_slice()[off];
+                if v > best {
+                    best = v;
+                    best_idx = off;
+                }
+            }
+            out.set2(ci, t, best);
+            argmax[ci * out_len + t] = best_idx;
+        }
+    }
+    (out, argmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv1d_shape_basic() {
+        assert_eq!(conv1d_shape(10, 3, 1), 8);
+        assert_eq!(conv1d_shape(10, 5, 5), 2);
+        assert_eq!(conv1d_shape(10, 10, 10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn conv1d_shape_rejects_big_kernel() {
+        conv1d_shape(3, 5, 1);
+    }
+
+    #[test]
+    fn conv2d_shape_with_padding() {
+        assert_eq!(conv2d_shape(5, 7, 3, 3, 1, 1), (5, 7));
+        assert_eq!(conv2d_shape(4, 4, 2, 2, 2, 0), (2, 2));
+    }
+
+    #[test]
+    fn adaptive_window_partitions_input() {
+        // 7 inputs into 3 windows: PyTorch gives [0,3), [2,5), [4,7).
+        assert_eq!(adaptive_window(0, 3, 7), (0, 3));
+        assert_eq!(adaptive_window(1, 3, 7), (2, 5));
+        assert_eq!(adaptive_window(2, 3, 7), (4, 7));
+    }
+
+    #[test]
+    fn adaptive_window_when_output_larger_than_input() {
+        // 2 inputs into 3 windows: every window non-empty.
+        for i in 0..3 {
+            let (s, e) = adaptive_window(i, 3, 2);
+            assert!(s < e, "window {i} empty: ({s},{e})");
+            assert!(e <= 2);
+        }
+    }
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let w = Tensor::from_vec(vec![1.0], [1, 1, 1]);
+        let y = conv1d_forward(&x, &w, &[0.0], 1, 1);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv1d_sums_window() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], [1, 1, 2]);
+        let y = conv1d_forward(&x, &w, &[0.0], 2, 2);
+        assert_eq!(y.as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn conv2d_averaging_kernel() {
+        let x = Tensor::from_vec((1..=4).map(|v| v as f32).collect(), [1, 2, 2]);
+        let w = Tensor::from_vec(vec![0.25; 4], [1, 1, 2, 2]);
+        let y = conv2d_forward(&x, &w, &[0.0], 1, 0);
+        assert_eq!(y.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn conv2d_padding_preserves_size() {
+        let x = Tensor::ones([1, 3, 3]);
+        let w = Tensor::from_vec(vec![1.0; 9], [1, 1, 3, 3]);
+        let y = conv2d_forward(&x, &w, &[0.0], 1, 1);
+        assert_eq!(y.shape().dims(), &[1, 3, 3]);
+        // Center cell sees all nine ones; corner sees four.
+        assert_eq!(y.at(&[0, 1, 1]), 9.0);
+        assert_eq!(y.at(&[0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn amp_forward_picks_window_maxima() {
+        // Fig. 6 style: pool a 4x7 map (1 channel) into 3x3.
+        let x = Tensor::from_vec((0..28).map(|v| v as f32).collect(), [1, 4, 7]);
+        let (y, argmax) = adaptive_max_pool2d_forward(&x, 3, 3);
+        assert_eq!(y.shape().dims(), &[1, 3, 3]);
+        // Bottom-right window must contain the global max (27).
+        assert_eq!(y.at(&[0, 2, 2]), 27.0);
+        assert_eq!(argmax[8], 27);
+    }
+
+    #[test]
+    fn maxpool1d_nonoverlapping() {
+        let x = Tensor::from_rows(&[&[1.0, 5.0, 2.0, 4.0]]);
+        let (y, argmax) = max_pool1d_forward(&x, 2);
+        assert_eq!(y.as_slice(), &[5.0, 4.0]);
+        assert_eq!(argmax, vec![1, 3]);
+    }
+
+    #[test]
+    fn conv1d_backward_grads_match_finite_difference() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(3);
+        let x = Tensor::rand_uniform([2, 6], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([3, 2, 2], -1.0, 1.0, &mut rng);
+        let b = vec![0.1, -0.2, 0.3];
+        let y = conv1d_forward(&x, &w, &b, 2, 2);
+        let gout = Tensor::ones(y.shape().clone());
+        let (gx, gw, _gb) = conv1d_backward(&x, &w, 2, 2, &gout);
+
+        let eps = 1e-3;
+        // Check one x element and one w element by central differences.
+        let mut xp = x.clone();
+        xp.as_mut_slice()[3] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[3] -= eps;
+        let num = (conv1d_forward(&xp, &w, &b, 2, 2).sum() - conv1d_forward(&xm, &w, &b, 2, 2).sum()) / (2.0 * eps);
+        assert!((num - gx.as_slice()[3]).abs() < 1e-2, "{num} vs {}", gx.as_slice()[3]);
+
+        let mut wp = w.clone();
+        wp.as_mut_slice()[5] += eps;
+        let mut wm = w.clone();
+        wm.as_mut_slice()[5] -= eps;
+        let numw = (conv1d_forward(&x, &wp, &b, 2, 2).sum() - conv1d_forward(&x, &wm, &b, 2, 2).sum()) / (2.0 * eps);
+        assert!((numw - gw.as_slice()[5]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn conv2d_backward_grads_match_finite_difference() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(4);
+        let x = Tensor::rand_uniform([2, 4, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let b = vec![0.0, 0.0];
+        let y = conv2d_forward(&x, &w, &b, 1, 1);
+        let gout = Tensor::ones(y.shape().clone());
+        let (gx, gw, gb) = conv2d_backward(&x, &w, 1, 1, &gout);
+        assert_eq!(gb, vec![16.0, 16.0]);
+
+        let eps = 1e-2;
+        for &idx in &[0usize, 7, 20] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (conv2d_forward(&xp, &w, &b, 1, 1).sum() - conv2d_forward(&xm, &w, &b, 1, 1).sum()) / (2.0 * eps);
+            assert!((num - gx.as_slice()[idx]).abs() < 1e-2);
+        }
+        for &idx in &[0usize, 9, 17] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (conv2d_forward(&x, &wp, &b, 1, 1).sum() - conv2d_forward(&x, &wm, &b, 1, 1).sum()) / (2.0 * eps);
+            assert!((num - gw.as_slice()[idx]).abs() < 1e-1);
+        }
+    }
+}

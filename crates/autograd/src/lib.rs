@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Tape-based reverse-mode automatic differentiation for the MAGIC
+//! reproduction.
+//!
+//! The paper trains its DGCNN with PyTorch's autograd; this crate is the
+//! from-scratch equivalent. A [`Tape`] records every tensor operation of a
+//! forward pass as a node; [`Tape::backward`] then walks the recording in
+//! reverse, accumulating gradients into every node that requires them.
+//!
+//! The operation set is exactly what the MAGIC architecture needs:
+//! matrix products and row scaling for the graph convolution of Eq. (1),
+//! row gathering and padding for SortPooling, 1-D/2-D convolutions and
+//! adaptive max pooling for the two classification heads, plus the usual
+//! activations, dropout and the negative log-likelihood loss of Eq. (5).
+//!
+//! # Example
+//!
+//! ```
+//! use magic_autograd::Tape;
+//! use magic_tensor::Tensor;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0]]), true);
+//! let w = tape.leaf(Tensor::from_rows(&[&[3.0], &[4.0]]), true);
+//! let y = tape.matmul(x, w);
+//! let loss = tape.sum(y);
+//! tape.backward(loss);
+//! // d(x@w)/dw = x^T
+//! assert_eq!(tape.grad(w).unwrap().as_slice(), &[1.0, 2.0]);
+//! ```
+
+mod check;
+mod conv;
+mod tape;
+
+pub use check::{finite_difference_gradient, max_grad_error};
+pub use conv::{conv1d_shape, conv2d_shape};
+pub use tape::{Tape, Var};

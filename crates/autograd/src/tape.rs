@@ -1,0 +1,784 @@
+//! The recording tape: forward operations and the reverse gradient sweep.
+
+use crate::conv;
+use magic_tensor::{Rng64, Shape, Tensor};
+
+/// Handle to a value recorded on a [`Tape`].
+///
+/// `Var`s are cheap indices; they are only meaningful for the tape that
+/// created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Matmul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    AddBias(Var, Var),
+    Scale(Var, f32),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    ScaleRows(Var, Vec<f32>),
+    Transpose(Var),
+    ConcatCols(Vec<Var>),
+    GatherRows(Var, Vec<usize>),
+    PadRows(Var),
+    Reshape(Var),
+    LogSoftmaxRows(Var),
+    NllLoss(Var, Vec<usize>),
+    Sum(Var),
+    Mean(Var),
+    Dropout(Var, Vec<f32>),
+    Conv1d { x: Var, w: Var, b: Var, k: usize, stride: usize },
+    Conv2d { x: Var, w: Var, b: Var, stride: usize, pad: usize },
+    AdaptiveMaxPool2d { x: Var, argmax: Vec<usize> },
+    MaxPool1d { x: Var, argmax: Vec<usize> },
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A gradient tape: records a forward computation, then differentiates it.
+///
+/// One tape is used per training example (graphs have varying sizes, so
+/// MAGIC batches by accumulating gradients across per-graph tapes). Call
+/// [`Tape::clear`] to reuse the allocation for the next example.
+///
+/// # Example
+///
+/// ```
+/// use magic_autograd::Tape;
+/// use magic_tensor::Tensor;
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Tensor::from_slice(&[1.0, -2.0]).reshape([1, 2]), true);
+/// let y = tape.relu(x);
+/// let s = tape.sum(y);
+/// tape.backward(s);
+/// assert_eq!(tape.grad(x).unwrap().as_slice(), &[1.0, 0.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Drops all recorded nodes and gradients, keeping allocations.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.grads.clear();
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, requires_grad });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    fn any_requires(&self, vars: &[Var]) -> bool {
+        vars.iter().any(|v| self.nodes[v.0].requires_grad)
+    }
+
+    /// Records an input value. `requires_grad` marks trainable parameters.
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Var {
+        self.push(value, Op::Leaf, requires_grad)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient accumulated at `v` by [`Tape::backward`], if any.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.any_requires(&[a, b]);
+        self.push(value, Op::Matmul(a, b), rg)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.any_requires(&[a, b]);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.any_requires(&[a, b]);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        let rg = self.any_requires(&[a, b]);
+        self.push(value, Op::Mul(a, b), rg)
+    }
+
+    /// Adds a length-`c` bias vector to every row of an `(n, c)` matrix.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let m = self.value(a);
+        let b = self.value(bias);
+        assert_eq!(m.cols(), b.len(), "bias length must match columns");
+        let cols = m.cols();
+        let mut value = m.clone();
+        for i in 0..value.rows() {
+            for j in 0..cols {
+                let cur = value.get2(i, j);
+                value.set2(i, j, cur + b.as_slice()[j]);
+            }
+        }
+        let rg = self.any_requires(&[a, bias]);
+        self.push(value, Op::AddBias(a, bias), rg)
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: Var, factor: f32) -> Var {
+        let value = self.value(a).scale(factor);
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Scale(a, factor), rg)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).relu();
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Relu(a), rg)
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).sigmoid();
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Sigmoid(a), rg)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).tanh();
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Tanh(a), rg)
+    }
+
+    /// Scales row `i` by `factors[i]` (constant). This is the `D̂⁻¹ (·)`
+    /// normalization of Eq. (1).
+    pub fn scale_rows(&mut self, a: Var, factors: Vec<f32>) -> Var {
+        let value = self.value(a).scale_rows(&factors);
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::ScaleRows(a, factors), rg)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Transpose(a), rg)
+    }
+
+    /// Horizontal concatenation, forming `Z^{1:h} = [Z_1, ..., Z_h]`.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|v| self.value(*v)).collect();
+        let value = Tensor::concat_cols(&tensors);
+        let rg = self.any_requires(parts);
+        self.push(value, Op::ConcatCols(parts.to_vec()), rg)
+    }
+
+    /// Gathers matrix rows by (constant) indices. Gradients scatter-add
+    /// back, so repeated indices accumulate.
+    pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> Var {
+        let value = self.value(a).gather_rows(&indices);
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::GatherRows(a, indices), rg)
+    }
+
+    /// Pads with zero rows or truncates to exactly `rows` rows
+    /// (SortPooling's size unification).
+    pub fn pad_or_truncate_rows(&mut self, a: Var, rows: usize) -> Var {
+        let value = self.value(a).pad_or_truncate_rows(rows);
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::PadRows(a), rg)
+    }
+
+    /// Reshapes without changing data.
+    pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let value = self.value(a).reshape(shape);
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Reshape(a), rg)
+    }
+
+    /// Row-wise log-softmax of an `(n, c)` matrix.
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let m = self.value(a);
+        let mut value = Tensor::zeros(m.shape().clone());
+        for i in 0..m.rows() {
+            let row = Tensor::from_slice(m.row(i)).log_softmax();
+            value.set_row(i, row.as_slice());
+        }
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::LogSoftmaxRows(a), rg)
+    }
+
+    /// Mean negative log-likelihood (Eq. 5) of row-wise log-probabilities
+    /// against integer class targets. Returns a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the row count or a target is
+    /// out of range.
+    pub fn nll_loss(&mut self, log_probs: Var, targets: Vec<usize>) -> Var {
+        let lp = self.value(log_probs);
+        assert_eq!(lp.rows(), targets.len(), "one target per row required");
+        let mut total = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < lp.cols(), "target {t} out of range");
+            total -= lp.get2(i, t);
+        }
+        let value = Tensor::scalar(total / targets.len() as f32);
+        let rg = self.any_requires(&[log_probs]);
+        self.push(value, Op::NllLoss(log_probs, targets), rg)
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Sum(a), rg)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).mean());
+        let rg = self.any_requires(&[a]);
+        self.push(value, Op::Mean(a), rg)
+    }
+
+    /// Inverted dropout: zeroes each element with probability `p` and
+    /// scales survivors by `1/(1-p)`. Identity when `p == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut Rng64) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = (0..self.value(a).len())
+            .map(|_| if rng.next_f32() < p { 0.0 } else { 1.0 / keep })
+            .collect();
+        let masked = Tensor::from_vec(
+            self.value(a)
+                .as_slice()
+                .iter()
+                .zip(&mask)
+                .map(|(&x, &m)| x * m)
+                .collect(),
+            self.value(a).shape().clone(),
+        );
+        let rg = self.any_requires(&[a]);
+        self.push(masked, Op::Dropout(a, mask), rg)
+    }
+
+    /// 1-D convolution of `(c_in, len)` by `(c_out, c_in, k)` weights with
+    /// the given stride, plus a `c_out` bias.
+    pub fn conv1d(&mut self, x: Var, w: Var, b: Var, stride: usize) -> Var {
+        let k = self.value(w).shape().dim(2);
+        let value = conv::conv1d_forward(
+            self.value(x),
+            self.value(w),
+            self.value(b).as_slice(),
+            k,
+            stride,
+        );
+        let rg = self.any_requires(&[x, w, b]);
+        self.push(value, Op::Conv1d { x, w, b, k, stride }, rg)
+    }
+
+    /// 2-D convolution of `(c_in, h, w)` by `(c_out, c_in, kh, kw)` weights
+    /// with the given stride and zero padding, plus a `c_out` bias.
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Var, stride: usize, pad: usize) -> Var {
+        let value = conv::conv2d_forward(
+            self.value(x),
+            self.value(w),
+            self.value(b).as_slice(),
+            stride,
+            pad,
+        );
+        let rg = self.any_requires(&[x, w, b]);
+        self.push(value, Op::Conv2d { x, w, b, stride, pad }, rg)
+    }
+
+    /// Adaptive max pooling of `(c, h, w)` to `(c, oh, ow)` — the paper's
+    /// AMP layer (Section III-C).
+    pub fn adaptive_max_pool2d(&mut self, x: Var, oh: usize, ow: usize) -> Var {
+        let (value, argmax) = conv::adaptive_max_pool2d_forward(self.value(x), oh, ow);
+        let rg = self.any_requires(&[x]);
+        self.push(value, Op::AdaptiveMaxPool2d { x, argmax }, rg)
+    }
+
+    /// Non-overlapping 1-D max pooling with window `k` over `(c, len)`.
+    pub fn max_pool1d(&mut self, x: Var, k: usize) -> Var {
+        let (value, argmax) = conv::max_pool1d_forward(self.value(x), k);
+        let rg = self.any_requires(&[x]);
+        self.push(value, Op::MaxPool1d { x, argmax }, rg)
+    }
+
+    fn accumulate(&mut self, v: Var, g: Tensor) {
+        match &mut self.grads[v.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Runs the reverse sweep from a scalar `loss` node, filling gradients
+    /// for every node with `requires_grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).len(), 1, "backward requires a scalar loss");
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(Tensor::full(self.value(loss).shape().clone(), 1.0));
+
+        for idx in (0..self.nodes.len()).rev() {
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            let Some(gout) = self.grads[idx].clone() else {
+                continue;
+            };
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Matmul(a, b) => {
+                    let av = self.value(a).clone();
+                    let bv = self.value(b).clone();
+                    if self.needs(a) {
+                        self.accumulate(a, gout.matmul(&bv.transpose()));
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, av.transpose().matmul(&gout));
+                    }
+                }
+                Op::Add(a, b) => {
+                    if self.needs(a) {
+                        self.accumulate(a, gout.clone());
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, gout);
+                    }
+                }
+                Op::Sub(a, b) => {
+                    if self.needs(a) {
+                        self.accumulate(a, gout.clone());
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, gout.scale(-1.0));
+                    }
+                }
+                Op::Mul(a, b) => {
+                    let av = self.value(a).clone();
+                    let bv = self.value(b).clone();
+                    if self.needs(a) {
+                        self.accumulate(a, gout.mul(&bv));
+                    }
+                    if self.needs(b) {
+                        self.accumulate(b, gout.mul(&av));
+                    }
+                }
+                Op::AddBias(a, bias) => {
+                    if self.needs(a) {
+                        self.accumulate(a, gout.clone());
+                    }
+                    if self.needs(bias) {
+                        let sums = gout.sum_rows();
+                        let len = sums.len();
+                        self.accumulate(bias, Tensor::from_vec(sums, [len]));
+                    }
+                }
+                Op::Scale(a, f) => {
+                    if self.needs(a) {
+                        self.accumulate(a, gout.scale(f));
+                    }
+                }
+                Op::Relu(a) => {
+                    if self.needs(a) {
+                        let mask = self.value(a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                        self.accumulate(a, gout.mul(&mask));
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    if self.needs(a) {
+                        let y = self.nodes[idx].value.clone();
+                        let dy = y.zip_map(&y, |s, _| s * (1.0 - s));
+                        self.accumulate(a, gout.mul(&dy));
+                    }
+                }
+                Op::Tanh(a) => {
+                    if self.needs(a) {
+                        let y = self.nodes[idx].value.clone();
+                        let dy = y.map(|t| 1.0 - t * t);
+                        self.accumulate(a, gout.mul(&dy));
+                    }
+                }
+                Op::ScaleRows(a, factors) => {
+                    if self.needs(a) {
+                        self.accumulate(a, gout.scale_rows(&factors));
+                    }
+                }
+                Op::Transpose(a) => {
+                    if self.needs(a) {
+                        self.accumulate(a, gout.transpose());
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let c = self.value(p).cols();
+                        if self.needs(p) {
+                            let rows = self.value(p).rows();
+                            let mut gp = Tensor::zeros([rows, c]);
+                            for i in 0..rows {
+                                let src = &gout.row(i)[offset..offset + c];
+                                gp.set_row(i, src);
+                            }
+                            self.accumulate(p, gp);
+                        }
+                        offset += c;
+                    }
+                }
+                Op::GatherRows(a, indices) => {
+                    if self.needs(a) {
+                        let mut ga = Tensor::zeros(self.value(a).shape().clone());
+                        let cols = ga.cols();
+                        for (dst, &src) in indices.iter().enumerate() {
+                            for j in 0..cols {
+                                let cur = ga.get2(src, j);
+                                ga.set2(src, j, cur + gout.get2(dst, j));
+                            }
+                        }
+                        self.accumulate(a, ga);
+                    }
+                }
+                Op::PadRows(a) => {
+                    if self.needs(a) {
+                        let rows = self.value(a).rows();
+                        let mut ga = Tensor::zeros(self.value(a).shape().clone());
+                        for i in 0..rows.min(gout.rows()) {
+                            ga.set_row(i, gout.row(i));
+                        }
+                        self.accumulate(a, ga);
+                    }
+                }
+                Op::Reshape(a) => {
+                    if self.needs(a) {
+                        let shape = self.value(a).shape().clone();
+                        self.accumulate(a, gout.reshape(shape));
+                    }
+                }
+                Op::LogSoftmaxRows(a) => {
+                    if self.needs(a) {
+                        let y = self.nodes[idx].value.clone();
+                        let mut ga = Tensor::zeros(y.shape().clone());
+                        for i in 0..y.rows() {
+                            let grow = gout.row(i);
+                            let gsum: f32 = grow.iter().sum();
+                            let row: Vec<f32> = y
+                                .row(i)
+                                .iter()
+                                .zip(grow)
+                                .map(|(&ly, &g)| g - ly.exp() * gsum)
+                                .collect();
+                            ga.set_row(i, &row);
+                        }
+                        self.accumulate(a, ga);
+                    }
+                }
+                Op::NllLoss(lp, targets) => {
+                    if self.needs(lp) {
+                        let n = targets.len() as f32;
+                        let g = gout.item();
+                        let mut glp = Tensor::zeros(self.value(lp).shape().clone());
+                        for (i, &t) in targets.iter().enumerate() {
+                            glp.set2(i, t, -g / n);
+                        }
+                        self.accumulate(lp, glp);
+                    }
+                }
+                Op::Sum(a) => {
+                    if self.needs(a) {
+                        let g = gout.item();
+                        self.accumulate(a, Tensor::full(self.value(a).shape().clone(), g));
+                    }
+                }
+                Op::Mean(a) => {
+                    if self.needs(a) {
+                        let n = self.value(a).len() as f32;
+                        let g = gout.item() / n;
+                        self.accumulate(a, Tensor::full(self.value(a).shape().clone(), g));
+                    }
+                }
+                Op::Dropout(a, mask) => {
+                    if self.needs(a) {
+                        let gm = Tensor::from_vec(
+                            gout.as_slice()
+                                .iter()
+                                .zip(&mask)
+                                .map(|(&g, &m)| g * m)
+                                .collect(),
+                            gout.shape().clone(),
+                        );
+                        self.accumulate(a, gm);
+                    }
+                }
+                Op::Conv1d { x, w, b, k, stride } => {
+                    let (gx, gw, gb) =
+                        conv::conv1d_backward(self.value(x), self.value(w), k, stride, &gout);
+                    if self.needs(x) {
+                        self.accumulate(x, gx);
+                    }
+                    if self.needs(w) {
+                        self.accumulate(w, gw);
+                    }
+                    if self.needs(b) {
+                        let n = gb.len();
+                        self.accumulate(b, Tensor::from_vec(gb, [n]));
+                    }
+                }
+                Op::Conv2d { x, w, b, stride, pad } => {
+                    let (gx, gw, gb) =
+                        conv::conv2d_backward(self.value(x), self.value(w), stride, pad, &gout);
+                    if self.needs(x) {
+                        self.accumulate(x, gx);
+                    }
+                    if self.needs(w) {
+                        self.accumulate(w, gw);
+                    }
+                    if self.needs(b) {
+                        let n = gb.len();
+                        self.accumulate(b, Tensor::from_vec(gb, [n]));
+                    }
+                }
+                Op::AdaptiveMaxPool2d { x, argmax } => {
+                    if self.needs(x) {
+                        let mut gx = Tensor::zeros(self.value(x).shape().clone());
+                        for (cell, &src) in argmax.iter().enumerate() {
+                            gx.as_mut_slice()[src] += gout.as_slice()[cell];
+                        }
+                        self.accumulate(x, gx);
+                    }
+                }
+                Op::MaxPool1d { x, argmax } => {
+                    if self.needs(x) {
+                        let mut gx = Tensor::zeros(self.value(x).shape().clone());
+                        for (cell, &src) in argmax.iter().enumerate() {
+                            gx.as_mut_slice()[src] += gout.as_slice()[cell];
+                        }
+                        self.accumulate(x, gx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_tape() -> (Tape, Var) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), true);
+        (tape, x)
+    }
+
+    #[test]
+    fn matmul_gradients_are_transposed_products() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0]]), true);
+        let b = tape.leaf(Tensor::from_rows(&[&[3.0], &[5.0]]), true);
+        let y = tape.matmul(a, b);
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[3.0, 5.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradients() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_slice(&[-1.0, 2.0]).reshape([1, 2]), true);
+        let y = tape.relu(x);
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_rows_accumulates_repeats() {
+        let (mut tape, x) = scalar_tape();
+        let g = tape.gather_rows(x, vec![0, 0, 1]);
+        let s = tape.sum(g);
+        tape.backward(s);
+        assert_eq!(tape.grad(x).unwrap().row(0), &[2.0, 2.0]);
+        assert_eq!(tape.grad(x).unwrap().row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn pad_rows_drops_gradient_of_truncated_rows() {
+        let (mut tape, x) = scalar_tape();
+        let p = tape.pad_or_truncate_rows(x, 1);
+        let s = tape.sum(p);
+        tape.backward(s);
+        assert_eq!(tape.grad(x).unwrap().row(0), &[1.0, 1.0]);
+        assert_eq!(tape.grad(x).unwrap().row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(&[&[1.0]]), true);
+        let b = tape.leaf(Tensor::from_rows(&[&[2.0, 3.0]]), true);
+        let c = tape.concat_cols(&[a, b]);
+        let w = tape.leaf(Tensor::from_rows(&[&[1.0], &[10.0], &[100.0]]), false);
+        let y = tape.matmul(c, w);
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[1.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[10.0, 100.0]);
+    }
+
+    #[test]
+    fn nll_after_log_softmax_gives_softmax_minus_onehot() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]), true);
+        let lp = tape.log_softmax_rows(logits);
+        let loss = tape.nll_loss(lp, vec![2]);
+        tape.backward(loss);
+        let g = tape.grad(logits).unwrap();
+        let sm = Tensor::from_slice(&[1.0, 2.0, 3.0]).softmax();
+        let expected = [sm.as_slice()[0], sm.as_slice()[1], sm.as_slice()[2] - 1.0];
+        for (a, b) in g.as_slice().iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scale_rows_backward_uses_same_factors() {
+        let (mut tape, x) = scalar_tape();
+        let y = tape.scale_rows(x, vec![0.5, 2.0]);
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert_eq!(tape.grad(x).unwrap().row(0), &[0.5, 0.5]);
+        assert_eq!(tape.grad(x).unwrap().row(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut rng = Rng64::new(1);
+        let (mut tape, x) = scalar_tape();
+        let y = tape.dropout(x, 0.0, &mut rng);
+        assert_eq!(tape.value(y), tape.value(x));
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert!(tape.grad(x).unwrap().as_slice().iter().all(|&g| g == 1.0));
+    }
+
+    #[test]
+    fn dropout_masks_gradient_consistently() {
+        let mut rng = Rng64::new(9);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([1, 100]), true);
+        let y = tape.dropout(x, 0.5, &mut rng);
+        let s = tape.sum(y);
+        tape.backward(s);
+        let value = tape.value(y).clone();
+        let grad = tape.grad(x).unwrap();
+        // Wherever the output was zeroed, the gradient must be zero too.
+        for (v, g) in value.as_slice().iter().zip(grad.as_slice()) {
+            assert_eq!(*v == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn backward_twice_resets_gradients() {
+        let (mut tape, x) = scalar_tape();
+        let s = tape.sum(x);
+        tape.backward(s);
+        tape.backward(s);
+        assert!(tape.grad(x).unwrap().as_slice().iter().all(|&g| g == 1.0));
+    }
+
+    #[test]
+    fn no_grad_leaf_stays_empty() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([2, 2]), false);
+        let w = tape.leaf(Tensor::ones([2, 2]), true);
+        let y = tape.matmul(x, w);
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert!(tape.grad(x).is_none());
+        assert!(tape.grad(w).is_some());
+    }
+
+    #[test]
+    fn add_bias_sums_gradient_over_rows() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros([3, 2]), true);
+        let b = tape.leaf(Tensor::from_slice(&[1.0, 2.0]), true);
+        let y = tape.add_bias(x, b);
+        let s = tape.sum(y);
+        tape.backward(s);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn clear_allows_tape_reuse() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([1, 1]), true);
+        let s = tape.sum(x);
+        tape.backward(s);
+        tape.clear();
+        assert!(tape.is_empty());
+        let y = tape.leaf(Tensor::ones([1, 1]), true);
+        let s2 = tape.sum(y);
+        tape.backward(s2);
+        assert_eq!(tape.grad(y).unwrap().item(), 1.0);
+    }
+}

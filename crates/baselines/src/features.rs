@@ -1,0 +1,160 @@
+//! Handcrafted feature engineering over ACFGs.
+
+use magic_graph::{Acfg, GraphStats, NUM_ATTRIBUTES};
+
+/// Feature extraction for the baseline classifiers.
+///
+/// `basic` aggregates each Table I attribute over the graph (sum, mean,
+/// max) plus structural statistics — the kind of features [11] and [14]
+/// hand-craft. `rich` further appends per-attribute 6-bucket histograms
+/// and pairwise ratios, a stand-in for the 1800+-feature pipeline of
+/// [13].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureVector {
+    /// Aggregates + structure (about 45 dimensions).
+    Basic,
+    /// `Basic` plus histograms and ratios (about 120 dimensions).
+    Rich,
+}
+
+impl FeatureVector {
+    /// Extracts the feature vector for one ACFG.
+    pub fn extract(self, acfg: &Acfg) -> Vec<f64> {
+        let mut out = basic_features(acfg);
+        if self == FeatureVector::Rich {
+            out.extend(histogram_features(acfg));
+            out.extend(ratio_features(acfg));
+        }
+        out
+    }
+
+    /// Dimensionality of the extracted vectors.
+    pub fn len(self) -> usize {
+        match self {
+            FeatureVector::Basic => 3 * NUM_ATTRIBUTES + 6 + 6,
+            FeatureVector::Rich => {
+                3 * NUM_ATTRIBUTES + 6 + 6 + 6 * NUM_ATTRIBUTES + NUM_ATTRIBUTES
+            }
+        }
+    }
+
+    /// Whether the vector has zero length (never; present for API
+    /// completeness).
+    pub fn is_empty(self) -> bool {
+        false
+    }
+}
+
+fn basic_features(acfg: &Acfg) -> Vec<f64> {
+    let n = acfg.vertex_count().max(1) as f64;
+    let attrs = acfg.attributes();
+    let mut out = Vec::with_capacity(3 * NUM_ATTRIBUTES + 12);
+    // Per-attribute sum, mean, max.
+    for c in 0..NUM_ATTRIBUTES {
+        let mut sum = 0.0f64;
+        let mut max = 0.0f64;
+        for v in 0..acfg.vertex_count() {
+            let x = attrs.get2(v, c) as f64;
+            sum += x;
+            max = max.max(x);
+        }
+        out.push((1.0 + sum).ln());
+        out.push(sum / n);
+        out.push((1.0 + max).ln());
+    }
+    // Structure.
+    let stats = GraphStats::of(acfg);
+    out.push((1.0 + stats.vertices as f64).ln());
+    out.push((1.0 + stats.edges as f64).ln());
+    out.push(stats.avg_out_degree);
+    out.push((1.0 + stats.max_out_degree as f64).ln());
+    out.push(stats.density);
+    out.push(stats.entry_coverage);
+    // Out-degree histogram (0, 1, 2, 3, 4, 5+), normalized.
+    let mut hist = [0.0f64; 6];
+    for v in 0..acfg.vertex_count() {
+        let d = acfg.graph().out_degree(v).min(5);
+        hist[d] += 1.0;
+    }
+    for h in hist {
+        out.push(h / n);
+    }
+    out
+}
+
+fn histogram_features(acfg: &Acfg) -> Vec<f64> {
+    // Six log-scaled buckets per attribute: 0, 1-2, 3-5, 6-10, 11-20, 21+.
+    let edges = [0.5, 2.5, 5.5, 10.5, 20.5];
+    let n = acfg.vertex_count().max(1) as f64;
+    let mut out = Vec::with_capacity(6 * NUM_ATTRIBUTES);
+    for c in 0..NUM_ATTRIBUTES {
+        let mut hist = [0.0f64; 6];
+        for v in 0..acfg.vertex_count() {
+            let x = acfg.attributes().get2(v, c) as f64;
+            let bucket = edges.iter().position(|&e| x <= e).unwrap_or(5);
+            hist[bucket] += 1.0;
+        }
+        out.extend(hist.iter().map(|h| h / n));
+    }
+    out
+}
+
+fn ratio_features(acfg: &Acfg) -> Vec<f64> {
+    // Each attribute total relative to the total instruction count.
+    let sums = acfg.attributes().sum_rows();
+    let total_instr = sums[8].max(1.0) as f64;
+    sums.iter().map(|&s| s as f64 / total_instr).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_graph::DiGraph;
+    use magic_tensor::Tensor;
+
+    fn sample() -> Acfg {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let mut attrs = Tensor::zeros([3, NUM_ATTRIBUTES]);
+        for v in 0..3 {
+            attrs.set2(v, 8, 4.0); // total instructions
+            attrs.set2(v, 3, 2.0); // arithmetic
+        }
+        Acfg::new(g, attrs)
+    }
+
+    #[test]
+    fn extracted_length_matches_declared() {
+        let acfg = sample();
+        assert_eq!(FeatureVector::Basic.extract(&acfg).len(), FeatureVector::Basic.len());
+        assert_eq!(FeatureVector::Rich.extract(&acfg).len(), FeatureVector::Rich.len());
+    }
+
+    #[test]
+    fn rich_extends_basic() {
+        let acfg = sample();
+        let basic = FeatureVector::Basic.extract(&acfg);
+        let rich = FeatureVector::Rich.extract(&acfg);
+        assert_eq!(&rich[..basic.len()], &basic[..]);
+        assert!(rich.len() > basic.len());
+    }
+
+    #[test]
+    fn features_are_finite_on_degenerate_graphs() {
+        let acfg = Acfg::new(DiGraph::new(1), Tensor::zeros([1, NUM_ATTRIBUTES]));
+        for f in FeatureVector::Rich.extract(&acfg) {
+            assert!(f.is_finite());
+        }
+    }
+
+    #[test]
+    fn arithmetic_ratio_is_captured() {
+        let acfg = sample();
+        let rich = FeatureVector::Rich.extract(&acfg);
+        // Ratio block is the last NUM_ATTRIBUTES entries; arithmetic (ch 3)
+        // should be 6/12 = 0.5 of total instructions.
+        let ratios = &rich[rich.len() - NUM_ATTRIBUTES..];
+        assert!((ratios[3] - 0.5).abs() < 1e-9);
+    }
+}

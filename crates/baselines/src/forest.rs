@@ -1,0 +1,128 @@
+//! Random forest (the stand-in for the ensemble classifiers of [11] and
+//! [14] in Table IV).
+
+use crate::tree::DecisionTree;
+use crate::Classifier;
+use magic_tensor::Rng64;
+
+/// A bagged ensemble of Gini CART trees with per-split feature
+/// subsampling (√d features per split).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    num_trees: usize,
+    max_depth: usize,
+    seed: u64,
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest of `num_trees` trees of depth
+    /// `max_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_trees == 0`.
+    pub fn new(num_trees: usize, max_depth: usize, seed: u64) -> Self {
+        assert!(num_trees > 0, "forest needs at least one tree");
+        RandomForest { num_trees, max_depth, seed, trees: Vec::new(), num_classes: 0 }
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is unfitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], num_classes: usize) {
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        self.num_classes = num_classes;
+        self.trees.clear();
+        let mut rng = Rng64::new(self.seed);
+        let m = (x[0].len() as f64).sqrt().ceil() as usize;
+        for _ in 0..self.num_trees {
+            // Bootstrap sample.
+            let mut bx = Vec::with_capacity(x.len());
+            let mut by = Vec::with_capacity(x.len());
+            for _ in 0..x.len() {
+                let i = rng.next_below(x.len());
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let mut tree = DecisionTree::new(self.max_depth, 2).with_feature_subsample(m);
+            tree.fit(&bx, &by, num_classes, &mut rng);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "forest is not fitted");
+        let mut acc = vec![0.0; self.num_classes];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(x)) {
+                *a += p;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.trees.len() as f64;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng64::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let centers = [(0.0, 0.0), (4.0, 4.0), (0.0, 5.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                x.push(vec![
+                    cx + rng.next_normal() as f64 * 0.5,
+                    cy + rng.next_normal() as f64 * 0.5,
+                ]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_separates_blobs() {
+        let (x, y) = blobs(20, 3);
+        let mut rf = RandomForest::new(15, 6, 1);
+        rf.fit(&x, &y, 3);
+        let correct = x.iter().zip(&y).filter(|(xi, yi)| rf.predict(xi) == **yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95);
+        assert_eq!(rf.len(), 15);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (x, y) = blobs(10, 5);
+        let mut rf = RandomForest::new(5, 4, 2);
+        rf.fit(&x, &y, 3);
+        let p = rf.predict_proba(&[2.0, 2.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refitting_replaces_trees() {
+        let (x, y) = blobs(10, 7);
+        let mut rf = RandomForest::new(3, 4, 2);
+        rf.fit(&x, &y, 3);
+        rf.fit(&x, &y, 3);
+        assert_eq!(rf.len(), 3);
+    }
+}

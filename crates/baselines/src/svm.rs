@@ -1,0 +1,191 @@
+//! One-vs-rest linear SVM ensemble — the stand-in for ESVC [8], the
+//! chained Neyman-Pearson SVM system Fig. 11 compares against.
+
+use crate::Classifier;
+use magic_tensor::Rng64;
+
+/// A set of one-vs-rest linear SVMs trained with the Pegasos
+/// (stochastic sub-gradient) algorithm on standardized features.
+/// Probabilities are a softmax over the per-class margins.
+#[derive(Debug, Clone)]
+pub struct LinearSvmEnsemble {
+    epochs: usize,
+    lambda: f64,
+    seed: u64,
+    // One (weights, bias) per class.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+    // Feature standardization fitted on training data.
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl LinearSvmEnsemble {
+    /// Creates an unfitted ensemble. `lambda` is the Pegasos
+    /// regularization strength.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero epochs or non-positive lambda.
+    pub fn new(epochs: usize, lambda: f64, seed: u64) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        assert!(lambda > 0.0, "lambda must be positive");
+        LinearSvmEnsemble {
+            epochs,
+            lambda,
+            seed,
+            weights: Vec::new(),
+            biases: Vec::new(),
+            means: Vec::new(),
+            stds: Vec::new(),
+        }
+    }
+
+    fn standardize(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Signed margin of class `c` for a standardized sample.
+    fn margin(&self, c: usize, z: &[f64]) -> f64 {
+        self.weights[c].iter().zip(z).map(|(w, x)| w * x).sum::<f64>() + self.biases[c]
+    }
+}
+
+impl Classifier for LinearSvmEnsemble {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], num_classes: usize) {
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let d = x[0].len();
+        // Fit the standardization.
+        self.means = vec![0.0; d];
+        for xi in x {
+            for (m, v) in self.means.iter_mut().zip(xi) {
+                *m += v;
+            }
+        }
+        for m in &mut self.means {
+            *m /= x.len() as f64;
+        }
+        self.stds = vec![0.0; d];
+        for xi in x {
+            for ((s, v), m) in self.stds.iter_mut().zip(xi).zip(&self.means) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for s in &mut self.stds {
+            *s = (*s / x.len() as f64).sqrt().max(1e-9);
+        }
+        let z: Vec<Vec<f64>> = x.iter().map(|xi| self.standardize(xi)).collect();
+
+        // Pegasos per class.
+        self.weights = vec![vec![0.0; d]; num_classes];
+        self.biases = vec![0.0; num_classes];
+        let mut rng = Rng64::new(self.seed);
+        for c in 0..num_classes {
+            let mut t = 0u64;
+            for _ in 0..self.epochs {
+                let mut order: Vec<usize> = (0..z.len()).collect();
+                rng.shuffle(&mut order);
+                for i in order {
+                    t += 1;
+                    let eta = 1.0 / (self.lambda * t as f64);
+                    let target = if y[i] == c { 1.0 } else { -1.0 };
+                    let margin = self.margin(c, &z[i]);
+                    // Sub-gradient of the hinge loss + L2.
+                    for (w, xv) in self.weights[c].iter_mut().zip(&z[i]) {
+                        *w *= 1.0 - eta * self.lambda;
+                        if target * margin < 1.0 {
+                            *w += eta * target * xv;
+                        }
+                    }
+                    if target * margin < 1.0 {
+                        self.biases[c] += eta * target;
+                    }
+                }
+            }
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.weights.is_empty(), "SVM ensemble is not fitted");
+        let z = self.standardize(x);
+        let margins: Vec<f64> = (0..self.weights.len()).map(|c| self.margin(c, &z)).collect();
+        let m = margins.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = margins.iter().map(|s| (s - m).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        exps.iter().map(|e| e / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = Rng64::new(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3usize {
+            let (cx, cy) = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)][c];
+            for _ in 0..20 {
+                x.push(vec![
+                    cx + rng.next_normal() as f64,
+                    cy + rng.next_normal() as f64,
+                ]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn svm_solves_linear_problem() {
+        let (x, y) = linearly_separable(1);
+        let mut svm = LinearSvmEnsemble::new(20, 0.01, 3);
+        svm.fit(&x, &y, 3);
+        let correct = x.iter().zip(&y).filter(|(xi, yi)| svm.predict(xi) == **yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.9, "{correct}/60");
+    }
+
+    #[test]
+    fn svm_fails_on_nonlinear_rings() {
+        // The motivation for MAGIC's Fig. 11 wins: linear models cannot
+        // separate radius-defined classes.
+        let mut rng = Rng64::new(4);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..80 {
+            let r = if i % 2 == 0 { 1.0 } else { 3.0 };
+            let theta = rng.next_f64() * std::f64::consts::TAU;
+            x.push(vec![r * theta.cos(), r * theta.sin()]);
+            y.push(i % 2);
+        }
+        let mut svm = LinearSvmEnsemble::new(20, 0.01, 1);
+        svm.fit(&x, &y, 2);
+        let correct = x.iter().zip(&y).filter(|(xi, yi)| svm.predict(xi) == **yi).count();
+        let accuracy = correct as f64 / x.len() as f64;
+        assert!(accuracy < 0.75, "{correct}/80 should be near chance");
+    }
+
+    #[test]
+    fn probabilities_are_softmax_normalized() {
+        let (x, y) = linearly_separable(9);
+        let mut svm = LinearSvmEnsemble::new(5, 0.01, 2);
+        svm.fit(&x, &y, 3);
+        let p = svm.predict_proba(&[1.0, 1.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn constant_features_do_not_divide_by_zero() {
+        let x = vec![vec![1.0, 5.0]; 10];
+        let y = vec![0usize; 10];
+        let mut svm = LinearSvmEnsemble::new(2, 0.1, 1);
+        svm.fit(&x, &y, 2);
+        assert!(svm.predict_proba(&[1.0, 5.0]).iter().all(|p| p.is_finite()));
+    }
+}

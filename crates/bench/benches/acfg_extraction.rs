@@ -1,0 +1,57 @@
+//! Criterion bench: the CFG-extraction front end (Section V-E's
+//! "feature extraction time" component) — parsing, Algorithm 1/2 block
+//! building and Table I attribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_asm::{parse_listing, CfgBuilder};
+use magic_graph::Acfg;
+use magic_synth::codegen::CodeGenerator;
+use magic_synth::mskcfg::{mskcfg_profiles, MskcfgGenerator};
+use magic_tensor::Rng64;
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acfg_extraction");
+    group.sample_size(20);
+
+    // One listing per family archetype of interest.
+    let profiles = mskcfg_profiles();
+    for label in [0usize, 2, 8] {
+        let mut rng = Rng64::new(42 + label as u64);
+        let listing = CodeGenerator::new(&profiles[label]).generate(&mut rng);
+        let instructions = parse_listing(&listing).unwrap().len();
+        group.bench_with_input(
+            BenchmarkId::new(
+                "full_pipeline",
+                format!("{}[{}insts]", profiles[label].name, instructions),
+            ),
+            &listing,
+            |b, listing| {
+                b.iter(|| {
+                    let program = parse_listing(black_box(listing)).unwrap();
+                    let cfg = CfgBuilder::new(&program).build();
+                    black_box(Acfg::from_cfg(&cfg))
+                });
+            },
+        );
+    }
+
+    // Stage split: parse vs CFG build vs attribution.
+    let mut generator = MskcfgGenerator::new(1, 1.0);
+    let listing = generator.generate_one(1).listing;
+    let program = parse_listing(&listing).unwrap();
+    let cfg = CfgBuilder::new(&program).build();
+    group.bench_function("parse_only", |b| {
+        b.iter(|| black_box(parse_listing(black_box(&listing)).unwrap()))
+    });
+    group.bench_function("build_cfg_only", |b| {
+        b.iter(|| black_box(CfgBuilder::new(black_box(&program)).build()))
+    });
+    group.bench_function("attribute_only", |b| {
+        b.iter(|| black_box(Acfg::from_cfg(black_box(&cfg))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: the Table IV baseline classifiers — fit and predict
+//! costs on handcrafted ACFG features.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magic_baselines::{
+    Classifier, FeatureVector, GradientBoosting, LinearSvmEnsemble, RandomForest,
+};
+use magic_bench::prepare_yancfg;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let corpus = prepare_yancfg(11, 0.002);
+    let x: Vec<Vec<f64>> = corpus.acfgs.iter().map(|a| FeatureVector::Rich.extract(a)).collect();
+    let basic: Vec<Vec<f64>> =
+        corpus.acfgs.iter().map(|a| FeatureVector::Basic.extract(a)).collect();
+    let y = corpus.labels.clone();
+    let k = corpus.class_names.len();
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+
+    group.bench_function("feature_extraction_rich", |b| {
+        b.iter(|| {
+            for a in &corpus.acfgs {
+                black_box(FeatureVector::Rich.extract(a));
+            }
+        });
+    });
+    group.bench_function("random_forest_fit", |b| {
+        b.iter(|| {
+            let mut rf = RandomForest::new(10, 8, 3);
+            rf.fit(black_box(&basic), &y, k);
+            black_box(rf.predict(&basic[0]))
+        });
+    });
+    group.bench_function("gbdt_fit", |b| {
+        b.iter(|| {
+            let mut gb = GradientBoosting::new(5, 3, 0.3, 3);
+            gb.fit(black_box(&x), &y, k);
+            black_box(gb.predict(&x[0]))
+        });
+    });
+    group.bench_function("svm_ensemble_fit", |b| {
+        b.iter(|| {
+            let mut svm = LinearSvmEnsemble::new(5, 1e-3, 3);
+            svm.fit(black_box(&basic), &y, k);
+            black_box(svm.predict(&basic[0]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

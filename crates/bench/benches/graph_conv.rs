@@ -1,0 +1,61 @@
+//! Criterion bench: the graph convolution of Eq. (1) — forward pass and
+//! full forward+backward — across graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_autograd::Tape;
+use magic_graph::NUM_ATTRIBUTES;
+use magic_nn::{augment_adjacency, GraphConv, ParamStore};
+use magic_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn random_graph(n: usize, rng: &mut Rng64) -> (Tensor, Vec<f32>, Tensor) {
+    let mut adj = Tensor::zeros([n, n]);
+    for u in 0..n {
+        // CFG-like sparsity: 1-2 successors.
+        adj.set2(u, (u + 1) % n, 1.0);
+        if rng.next_bool(0.4) {
+            adj.set2(u, rng.next_below(n), 1.0);
+        }
+    }
+    let (a_hat, inv_deg) = augment_adjacency(&adj);
+    let x = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 2.0, rng);
+    (a_hat, inv_deg, x)
+}
+
+fn bench_graph_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_conv");
+    group.sample_size(30);
+    for &n in &[25usize, 50, 100, 200] {
+        let mut rng = Rng64::new(n as u64);
+        let (a_hat, inv_deg, x) = random_graph(n, &mut rng);
+        let mut store = ParamStore::new();
+        let conv = GraphConv::new(&mut store, "gc", NUM_ATTRIBUTES, 32, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let binding = store.bind(&mut tape);
+                let adj = tape.leaf(a_hat.clone(), false);
+                let z = tape.leaf(x.clone(), false);
+                let out = conv.forward(&mut tape, &binding, adj, &inv_deg, z);
+                black_box(tape.value(out).sum())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("forward_backward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let binding = store.bind(&mut tape);
+                let adj = tape.leaf(a_hat.clone(), false);
+                let z = tape.leaf(x.clone(), false);
+                let out = conv.forward(&mut tape, &binding, adj, &inv_deg, z);
+                let loss = tape.sum(out);
+                tape.backward(loss);
+                black_box(tape.grad(binding.var(store.find("gc.weight").unwrap())).is_some())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_conv);
+criterion_main!(benches);

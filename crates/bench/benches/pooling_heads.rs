@@ -1,0 +1,49 @@
+//! Criterion bench: the three readout heads of Section III compared on
+//! identical graphs — the ablation behind Table II's "Pooling Type" axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
+use magic_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn sample_input(n: usize, seed: u64) -> GraphInput {
+    let mut rng = Rng64::new(seed);
+    let mut g = DiGraph::new(n);
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1);
+    }
+    for _ in 0..n / 3 {
+        let u = rng.next_below(n);
+        let v = rng.next_below(n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    let attrs = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 4.0, &mut rng);
+    GraphInput::from_acfg(&Acfg::new(g, attrs))
+}
+
+fn bench_heads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling_heads");
+    group.sample_size(20);
+    let heads: [(&str, PoolingHead); 3] = [
+        ("adaptive_max_pool", PoolingHead::adaptive_max_pool(3)),
+        ("sortpool_conv1d", PoolingHead::sort_pool_conv1d(16)),
+        ("sortpool_weighted", PoolingHead::sort_pool_weighted(16)),
+    ];
+    for (name, head) in heads {
+        let config = DgcnnConfig::new(9, head);
+        let model = Dgcnn::new(&config, 3);
+        for &n in &[30usize, 100] {
+            let input = sample_input(n, n as u64);
+            group.bench_with_input(BenchmarkId::new(name, n), &input, |b, input| {
+                b.iter(|| black_box(model.predict(black_box(input))));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heads);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: end-to-end prediction throughput on generated
+//! corpora — the "malware prediction time" of Section V-E (paper:
+//! 11.33 ± 1.35 ms/instance on GPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use magic_bench::experiments::{best_params, Corpus};
+use magic_bench::{prepare_mskcfg, prepare_yancfg};
+use magic_model::Dgcnn;
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_throughput");
+    group.sample_size(10);
+
+    for (name, corpus, params) in [
+        ("mskcfg", prepare_mskcfg(3, 0.005), best_params(Corpus::Mskcfg)),
+        ("yancfg", prepare_yancfg(3, 0.003), best_params(Corpus::Yancfg)),
+    ] {
+        let config = params.to_model_config(corpus.class_names.len(), &corpus.graph_sizes());
+        let model = Dgcnn::new(&config, 1);
+        group.throughput(Throughput::Elements(corpus.len() as u64));
+        group.bench_with_input(BenchmarkId::new("batch_predict", name), &corpus, |b, corpus| {
+            b.iter(|| {
+                let mut correct = 0usize;
+                for (input, &label) in corpus.inputs.iter().zip(&corpus.labels) {
+                    if model.predict_class(input) == label {
+                        correct += 1;
+                    }
+                }
+                black_box(correct)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench: one training step (forward + backward + gradient
+//! accumulation + Adam update) of the Table II best MSKCFG model —
+//! the "classifier training time" component of Section V-E.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use magic_autograd::Tape;
+use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
+use magic_nn::{Adam, Optimizer};
+use magic_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn sample_input(n: usize, seed: u64) -> GraphInput {
+    let mut rng = Rng64::new(seed);
+    let mut g = DiGraph::new(n);
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1);
+    }
+    for _ in 0..n / 4 {
+        let (u, v) = (rng.next_below(n), rng.next_below(n));
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    GraphInput::from_acfg(&Acfg::new(
+        g,
+        Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 4.0, &mut rng),
+    ))
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(15);
+
+    // The Table II best MSKCFG model: adaptive pooling, (128,64,32,32).
+    let mut config = DgcnnConfig::new(9, PoolingHead::adaptive_max_pool(6));
+    config.conv_sizes = vec![128, 64, 32, 32];
+    let mut model = Dgcnn::new(&config, 1);
+    let mut opt = Adam::new(1e-3, 1e-4);
+    let input = sample_input(60, 5);
+    let mut rng = Rng64::new(9);
+
+    group.bench_function("forward_backward_update_1sample", |b| {
+        b.iter(|| {
+            model.store_mut().zero_grads();
+            let mut tape = Tape::new();
+            let binding = model.store().bind(&mut tape);
+            let lp = model.forward(&mut tape, &binding, &input, true, &mut rng);
+            let loss = tape.nll_loss(lp, vec![3]);
+            tape.backward(loss);
+            model.store_mut().accumulate_grads(&tape, &binding);
+            opt.step(model.store_mut(), 1);
+            black_box(tape.value(loss).item())
+        });
+    });
+
+    group.bench_function("forward_only_1sample", |b| {
+        b.iter(|| black_box(model.predict(&input)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

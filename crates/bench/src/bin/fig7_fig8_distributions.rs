@@ -1,0 +1,63 @@
+//! Figs. 7 and 8: malware family distributions of the two corpora.
+//!
+//! Prints the family histograms at full scale (the paper's counts) and at
+//! the requested generation scale, confirming the generators preserve the
+//! class imbalance that motivates stratified CV.
+
+use magic_bench::results::{bar, write_result};
+use magic_bench::RunArgs;
+use magic_synth::mskcfg::{MskcfgGenerator, MSKCFG_COUNTS, MSKCFG_FAMILIES};
+use magic_synth::yancfg::{YancfgGenerator, YANCFG_COUNTS, YANCFG_FAMILIES};
+use serde_json::json;
+
+fn print_distribution(title: &str, names: &[&str], full: &[usize], scaled: &[usize]) {
+    println!("\n=== {title} ===");
+    let max = *full.iter().max().unwrap_or(&1) as f64;
+    println!(
+        "{:<16} {:<42} {:>8} {:>8}",
+        "Family", "", "full", "scaled"
+    );
+    for ((name, &count), &s) in names.iter().zip(full).zip(scaled) {
+        println!("{:<16} {} {:>8} {:>8}", name, bar(count as f64, max, 40), count, s);
+    }
+    println!(
+        "{:<16} {:<42} {:>8} {:>8}",
+        "total",
+        "",
+        full.iter().sum::<usize>(),
+        scaled.iter().sum::<usize>()
+    );
+}
+
+fn main() {
+    let args = RunArgs::parse(RunArgs::quick());
+
+    let msk = MskcfgGenerator::new(args.seed, args.scale);
+    print_distribution(
+        "Fig. 7: MSKCFG family distribution",
+        &MSKCFG_FAMILIES,
+        &MSKCFG_COUNTS,
+        &msk.family_counts(),
+    );
+
+    let yan = YancfgGenerator::new(args.seed, args.scale);
+    print_distribution(
+        "Fig. 8: YANCFG family distribution",
+        &YANCFG_FAMILIES,
+        &YANCFG_COUNTS,
+        &yan.family_counts(),
+    );
+
+    write_result(
+        "fig7_fig8_distributions",
+        &json!({
+            "scale": args.scale,
+            "mskcfg": MSKCFG_FAMILIES.iter().zip(MSKCFG_COUNTS).zip(msk.family_counts())
+                .map(|((n, full), scaled)| json!({"family": n, "full": full, "scaled": scaled}))
+                .collect::<Vec<_>>(),
+            "yancfg": YANCFG_FAMILIES.iter().zip(YANCFG_COUNTS).zip(yan.family_counts())
+                .map(|((n, full), scaled)| json!({"family": n, "full": full, "scaled": scaled}))
+                .collect::<Vec<_>>(),
+        }),
+    );
+}

@@ -1,0 +1,58 @@
+//! Figs. 9 and 10: the cross-validation precision/recall/F1 bar charts.
+//!
+//! These figures plot the same data as Tables III and V; this binary
+//! re-renders the most recent `table3_mskcfg.json` / `table5_yancfg.json`
+//! results as grouped terminal bars, or instructs the user to generate
+//! them first.
+
+use magic_bench::results::{bar, results_dir};
+use serde_json::Value;
+
+fn render(name: &str, title: &str) -> bool {
+    let path = results_dir().join(format!("{name}.json"));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        println!(
+            "{title}: no result at {} — run `cargo run --release -p magic-bench --bin {name}` first",
+            path.display()
+        );
+        return false;
+    };
+    let v: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("{title}: unreadable result file: {e}");
+            return false;
+        }
+    };
+    println!("\n=== {title} ===");
+    println!(
+        "{:<16} {:<22} {:>7} {:>7} {:>7}",
+        "Family", "F1 bar", "Prec", "Recall", "F1"
+    );
+    if let Some(classes) = v["measured"]["classes"].as_array() {
+        for c in classes {
+            println!(
+                "{:<16} {:<22} {:>7.4} {:>7.4} {:>7.4}",
+                c["name"].as_str().unwrap_or("?"),
+                bar(c["f1"].as_f64().unwrap_or(0.0), 1.0, 20),
+                c["precision"].as_f64().unwrap_or(0.0),
+                c["recall"].as_f64().unwrap_or(0.0),
+                c["f1"].as_f64().unwrap_or(0.0),
+            );
+        }
+    }
+    println!(
+        "accuracy {:.4}  macro-F1 {:.4}",
+        v["measured"]["accuracy"].as_f64().unwrap_or(0.0),
+        v["measured"]["macro_f1"].as_f64().unwrap_or(0.0),
+    );
+    true
+}
+
+fn main() {
+    let a = render("table3_mskcfg", "Fig. 9: cross-validation scores on MSKCFG");
+    let b = render("table5_yancfg", "Fig. 10: cross-validation scores on YANCFG");
+    if !(a || b) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness for the MAGIC reproduction.
+//!
+//! Every table and figure of the paper's evaluation (Section V) has a
+//! binary in `src/bin/` that regenerates it; this library holds the
+//! shared plumbing: corpus preparation (synthetic MSKCFG/YANCFG through
+//! the real extraction pipeline), the experiment runners, and result
+//! persistence under `results/`.
+//!
+//! Default corpus scales are sized for a CPU laptop; pass `--scale` /
+//! `--epochs` / `--folds` to any binary to change them.
+
+pub mod args;
+pub mod corpus;
+pub mod experiments;
+pub mod results;
+
+pub use args::RunArgs;
+pub use corpus::{prepare_mskcfg, prepare_yancfg, PreparedCorpus};

@@ -1,0 +1,185 @@
+//! The `.magic` model file format: a JSON header line describing the
+//! model, followed by the weight records of `magic::checkpoint`.
+
+use magic::checkpoint::{load_weights, save_weights};
+use magic::tuning::{HeadKind, HyperParams};
+use magic_model::Dgcnn;
+use serde_json::{json, Value};
+
+/// Metadata stored in the header line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelHeader {
+    /// Which corpus profile the model was trained for.
+    pub corpus: String,
+    /// Family names, indexed by class id.
+    pub families: Vec<String>,
+    /// Hyperparameters needed to rebuild the architecture.
+    pub params: HyperParams,
+    /// Representative graph sizes (to re-resolve pooling ratios).
+    pub graph_sizes: Vec<usize>,
+}
+
+fn head_to_str(head: HeadKind) -> &'static str {
+    match head {
+        HeadKind::Adaptive => "adaptive",
+        HeadKind::SortConv1d => "sort_conv1d",
+        HeadKind::SortWeighted => "sort_weighted",
+    }
+}
+
+fn head_from_str(s: &str) -> Result<HeadKind, String> {
+    match s {
+        "adaptive" => Ok(HeadKind::Adaptive),
+        "sort_conv1d" => Ok(HeadKind::SortConv1d),
+        "sort_weighted" => Ok(HeadKind::SortWeighted),
+        other => Err(format!("unknown head kind {other:?}")),
+    }
+}
+
+/// Serializes a trained model plus its metadata into the `.magic` format.
+pub fn serialize_model(header: &ModelHeader, model: &Dgcnn) -> String {
+    let meta = json!({
+        "format": "magic-model-v1",
+        "corpus": header.corpus,
+        "families": header.families,
+        "graph_sizes": header.graph_sizes,
+        "params": {
+            "head": head_to_str(header.params.head),
+            "pooling_ratio": header.params.pooling_ratio,
+            "conv_sizes": header.params.conv_sizes,
+            "conv2d_channels": header.params.conv2d_channels,
+            "conv1d_channels": [header.params.conv1d_channels.0, header.params.conv1d_channels.1],
+            "conv1d_kernel": header.params.conv1d_kernel,
+            "dropout": header.params.dropout,
+            "batch_size": header.params.batch_size,
+            "weight_decay": header.params.weight_decay,
+        },
+    });
+    format!("{meta}\n{}", save_weights(model))
+}
+
+/// Parses a `.magic` file back into its header and a restored model.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found (bad JSON, missing
+/// fields, incompatible weights).
+pub fn deserialize_model(text: &str) -> Result<(ModelHeader, Dgcnn), String> {
+    let mut lines = text.splitn(2, '\n');
+    let header_line = lines.next().ok_or("empty model file")?;
+    let body = lines.next().unwrap_or("");
+    let meta: Value =
+        serde_json::from_str(header_line).map_err(|e| format!("bad header: {e}"))?;
+    if meta["format"] != "magic-model-v1" {
+        return Err(format!("unsupported format {:?}", meta["format"]));
+    }
+    let corpus = meta["corpus"].as_str().ok_or("missing corpus")?.to_string();
+    let families: Vec<String> = meta["families"]
+        .as_array()
+        .ok_or("missing families")?
+        .iter()
+        .map(|v| v.as_str().unwrap_or_default().to_string())
+        .collect();
+    if families.is_empty() {
+        return Err("family list is empty".into());
+    }
+    let graph_sizes: Vec<usize> = meta["graph_sizes"]
+        .as_array()
+        .ok_or("missing graph_sizes")?
+        .iter()
+        .filter_map(Value::as_u64)
+        .map(|v| v as usize)
+        .collect();
+
+    let p = &meta["params"];
+    let mut params = HyperParams::paper_default();
+    params.head = head_from_str(p["head"].as_str().ok_or("missing head")?)?;
+    params.pooling_ratio = p["pooling_ratio"].as_f64().ok_or("missing pooling_ratio")?;
+    params.conv_sizes = p["conv_sizes"]
+        .as_array()
+        .ok_or("missing conv_sizes")?
+        .iter()
+        .filter_map(Value::as_u64)
+        .map(|v| v as usize)
+        .collect();
+    params.conv2d_channels = p["conv2d_channels"].as_u64().unwrap_or(16) as usize;
+    if let Some(pair) = p["conv1d_channels"].as_array() {
+        if pair.len() == 2 {
+            params.conv1d_channels = (
+                pair[0].as_u64().unwrap_or(16) as usize,
+                pair[1].as_u64().unwrap_or(32) as usize,
+            );
+        }
+    }
+    params.conv1d_kernel = p["conv1d_kernel"].as_u64().unwrap_or(5) as usize;
+    params.dropout = p["dropout"].as_f64().unwrap_or(0.1) as f32;
+    params.batch_size = p["batch_size"].as_u64().unwrap_or(10) as usize;
+    params.weight_decay = p["weight_decay"].as_f64().unwrap_or(1e-4) as f32;
+
+    let config = params.to_model_config(families.len(), &graph_sizes);
+    let mut model = Dgcnn::new(&config, 0);
+    load_weights(&mut model, body).map_err(|e| format!("bad weights: {e}"))?;
+    let header = ModelHeader { corpus, families, params, graph_sizes };
+    Ok((header, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> ModelHeader {
+        let mut params = HyperParams::paper_default();
+        params.head = HeadKind::SortWeighted;
+        ModelHeader {
+            corpus: "mskcfg".into(),
+            families: vec!["A".into(), "B".into(), "C".into()],
+            params,
+            graph_sizes: (10..60).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_model_behaviour() {
+        use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+        use magic_model::GraphInput;
+        use magic_tensor::{Rng64, Tensor};
+
+        let header = sample_header();
+        let config = header.params.to_model_config(3, &header.graph_sizes);
+        let model = Dgcnn::new(&config, 99);
+        let text = serialize_model(&header, &model);
+
+        let (back_header, back_model) = deserialize_model(&text).unwrap();
+        assert_eq!(back_header, header);
+
+        let mut rng = Rng64::new(1);
+        let mut g = DiGraph::new(5);
+        for v in 0..4 {
+            g.add_edge(v, v + 1);
+        }
+        let acfg = Acfg::new(g, Tensor::rand_uniform([5, NUM_ATTRIBUTES], 0.0, 3.0, &mut rng));
+        let input = GraphInput::from_acfg(&acfg);
+        assert_eq!(model.predict(&input), back_model.predict(&input));
+    }
+
+    #[test]
+    fn rejects_wrong_format() {
+        assert!(deserialize_model("{\"format\":\"nope\"}\n").is_err());
+        assert!(deserialize_model("not json\n").is_err());
+        assert!(deserialize_model("").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_family_list() {
+        let text = "{\"format\":\"magic-model-v1\",\"corpus\":\"x\",\"families\":[],\"graph_sizes\":[10],\"params\":{\"head\":\"adaptive\",\"pooling_ratio\":0.2,\"conv_sizes\":[32]}}\n";
+        assert!(deserialize_model(text).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn head_kind_strings_roundtrip() {
+        for head in [HeadKind::Adaptive, HeadKind::SortConv1d, HeadKind::SortWeighted] {
+            assert_eq!(head_from_str(head_to_str(head)).unwrap(), head);
+        }
+        assert!(head_from_str("bogus").is_err());
+    }
+}

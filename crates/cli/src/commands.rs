@@ -1,0 +1,260 @@
+//! Subcommand implementations.
+
+use crate::checkpoint_file::{deserialize_model, serialize_model, ModelHeader};
+use magic::pipeline::{extract_acfg, MagicPipeline};
+use magic::trainer::{Trainer, TrainConfig};
+use magic::tuning::{HeadKind, HyperParams};
+use magic_data::stratified_kfold;
+use magic_graph::GraphStats;
+use magic_model::{Dgcnn, GraphInput};
+use magic_synth::{MskcfgGenerator, YancfgGenerator, MSKCFG_FAMILIES, YANCFG_FAMILIES};
+
+/// Parses the argument list and runs the matching subcommand.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("extract") => cmd_extract(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+magic — DGCNN malware classification over control flow graphs
+
+USAGE:
+    magic extract <listing.asm> [--dot]
+    magic train --corpus <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S] --out <model.magic>
+    magic predict --model <model.magic> <listing.asm>...
+    magic info --model <model.magic>";
+
+/// Pulls `--flag value` out of an argument list, returning the remainder.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+/// Pulls a boolean `--flag` out of an argument list.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let dot = take_switch(&mut args, "--dot");
+    let path = args.first().ok_or("extract requires a listing path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    if dot {
+        let program = magic_asm::parse_listing(&text).map_err(|e| e.to_string())?;
+        let cfg = magic_asm::CfgBuilder::new(&program).build();
+        println!("{}", cfg.to_dot());
+        return Ok(());
+    }
+    let acfg = extract_acfg(&text).map_err(|e| e.to_string())?;
+    let stats = GraphStats::of(&acfg);
+    eprintln!(
+        "{} blocks, {} edges, density {:.3}",
+        stats.vertices, stats.edges, stats.density
+    );
+    print!("{}", acfg.to_text());
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let corpus = take_flag(&mut args, "--corpus").ok_or("train requires --corpus")?;
+    let out = take_flag(&mut args, "--out").ok_or("train requires --out")?;
+    let scale: f64 = take_flag(&mut args, "--scale")
+        .map(|s| s.parse().map_err(|_| "bad --scale"))
+        .transpose()?
+        .unwrap_or(0.01);
+    let epochs: usize = take_flag(&mut args, "--epochs")
+        .map(|s| s.parse().map_err(|_| "bad --epochs"))
+        .transpose()?
+        .unwrap_or(20);
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(7);
+
+    // Build the corpus.
+    let (inputs, labels, families): (Vec<GraphInput>, Vec<usize>, Vec<String>) =
+        match corpus.as_str() {
+            "mskcfg" => {
+                let samples = MskcfgGenerator::new(seed, scale).generate();
+                let mut inputs = Vec::with_capacity(samples.len());
+                for s in &samples {
+                    let acfg = extract_acfg(&s.listing).map_err(|e| e.to_string())?;
+                    inputs.push(GraphInput::from_acfg(&acfg));
+                }
+                let labels = samples.iter().map(|s| s.label).collect();
+                (inputs, labels, MSKCFG_FAMILIES.iter().map(|s| s.to_string()).collect())
+            }
+            "yancfg" => {
+                let samples = YancfgGenerator::new(seed, scale).generate();
+                let inputs = samples.iter().map(|s| GraphInput::from_acfg(&s.acfg)).collect();
+                let labels = samples.iter().map(|s| s.label).collect();
+                (inputs, labels, YANCFG_FAMILIES.iter().map(|s| s.to_string()).collect())
+            }
+            other => return Err(format!("unknown corpus {other:?} (mskcfg|yancfg)")),
+        };
+    eprintln!("corpus: {} samples, {} families", inputs.len(), families.len());
+
+    // The Table II best architecture for the chosen corpus.
+    let mut params = HyperParams::paper_default();
+    params.head = HeadKind::Adaptive;
+    if corpus == "mskcfg" {
+        params.pooling_ratio = 0.64;
+        params.conv_sizes = vec![128, 64, 32, 32];
+    } else {
+        params.pooling_ratio = 0.2;
+        params.dropout = 0.5;
+        params.batch_size = 40;
+        params.weight_decay = 5e-4;
+    }
+    let graph_sizes: Vec<usize> = inputs.iter().map(GraphInput::vertex_count).collect();
+    let config = params.to_model_config(families.len(), &graph_sizes);
+    let mut model = Dgcnn::new(&config, seed);
+
+    let folds = stratified_kfold(&labels, 5, seed);
+    let split = &folds[0];
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: params.batch_size,
+        weight_decay: params.weight_decay,
+        learning_rate: 5e-3,
+        lr_patience: 5,
+        seed,
+        ..TrainConfig::default()
+    });
+    eprintln!("training {} weights for {epochs} epochs...", model.num_weights());
+    let outcome = trainer.train(&mut model, &inputs, &labels, &split.train, &split.validation);
+    let last = outcome.history.last().ok_or("no epochs ran")?;
+    eprintln!(
+        "done: val loss {:.4}, val accuracy {:.1}%",
+        last.val_loss,
+        last.val_accuracy * 100.0
+    );
+
+    let header = ModelHeader { corpus, families, params, graph_sizes };
+    std::fs::write(&out, serialize_model(&header, &model))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("model written to {out}");
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let model_path = take_flag(&mut args, "--model").ok_or("predict requires --model")?;
+    if args.is_empty() {
+        return Err("predict requires at least one listing path".into());
+    }
+    let text = std::fs::read_to_string(&model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let (header, model) = deserialize_model(&text)?;
+    let pipeline = MagicPipeline::new(model, header.families);
+
+    for path in &args {
+        let listing =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        match pipeline.classify_listing(&listing) {
+            Ok((family, p)) => println!("{path}: {family} (p = {p:.3})"),
+            Err(e) => println!("{path}: extraction failed ({e})"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let model_path = take_flag(&mut args, "--model").ok_or("info requires --model")?;
+    let text = std::fs::read_to_string(&model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let (header, model) = deserialize_model(&text)?;
+    println!("corpus:   {}", header.corpus);
+    println!("families: {}", header.families.join(", "));
+    println!("params:   {}", header.params);
+    println!("weights:  {}", model.num_weights());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_flag_extracts_pairs() {
+        let mut args: Vec<String> =
+            ["--model", "m.bin", "file.asm"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_flag(&mut args, "--model").as_deref(), Some("m.bin"));
+        assert_eq!(args, vec!["file.asm"]);
+        assert_eq!(take_flag(&mut args, "--model"), None);
+    }
+
+    #[test]
+    fn take_flag_handles_missing_value() {
+        let mut args: Vec<String> = vec!["--model".into()];
+        assert_eq!(take_flag(&mut args, "--model"), None);
+    }
+
+    #[test]
+    fn take_switch_removes_flag() {
+        let mut args: Vec<String> = vec!["--dot".into(), "x".into()];
+        assert!(take_switch(&mut args, "--dot"));
+        assert!(!take_switch(&mut args, "--dot"));
+        assert_eq!(args, vec!["x"]);
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_subcommand() {
+        let err = dispatch(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn dispatch_help_succeeds() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&["help".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn extract_roundtrip_through_tempfile() {
+        let dir = std::env::temp_dir().join("magic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.asm");
+        std::fs::write(
+            &path,
+            ".text:00401000    xor eax, eax\n.text:00401002    retn\n",
+        )
+        .unwrap();
+        let args = vec![path.to_string_lossy().to_string()];
+        assert!(cmd_extract(&args).is_ok());
+        let dot_args = vec![path.to_string_lossy().to_string(), "--dot".to_string()];
+        assert!(cmd_extract(&dot_args).is_ok());
+    }
+
+    #[test]
+    fn train_rejects_unknown_corpus() {
+        let args: Vec<String> = ["--corpus", "windows", "--out", "/tmp/x.magic"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_train(&args).unwrap_err().contains("unknown corpus"));
+    }
+}

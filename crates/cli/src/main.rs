@@ -1,0 +1,25 @@
+//! `magic` — command-line front end for the MAGIC DGCNN malware
+//! classifier.
+//!
+//! ```text
+//! magic extract <listing.asm> [--dot]        print the ACFG (or DOT)
+//! magic train --corpus mskcfg|yancfg [--scale S] [--epochs N] --out model.magic
+//! magic predict --model model.magic <listing.asm>...
+//! magic info --model model.magic             show checkpoint metadata
+//! ```
+
+mod checkpoint_file;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,41 @@
+use magic::cv::cross_validate;
+use magic::trainer::TrainConfig;
+use magic::tuning::{HeadKind, HyperParams};
+use magic::pipeline::extract_acfgs_parallel;
+use magic_baselines::{Classifier, FeatureVector, RandomForest};
+use magic_data::stratified_kfold;
+use magic_model::GraphInput;
+use magic_synth::MskcfgGenerator;
+
+fn main() {
+    let mut gen = MskcfgGenerator::new(7, 0.01);
+    let samples = gen.generate();
+    let listings: Vec<String> = samples.iter().map(|s| s.listing.clone()).collect();
+    let acfgs: Vec<_> = extract_acfgs_parallel(&listings, 1).into_iter().map(|r| r.unwrap()).collect();
+    let inputs: Vec<GraphInput> = acfgs.iter().map(GraphInput::from_acfg).collect();
+    let labels: Vec<usize> = samples.iter().map(|s| s.label).collect();
+    let sizes: Vec<usize> = inputs.iter().map(|i| i.vertex_count()).collect();
+
+    // RF probe for separability.
+    let feats: Vec<Vec<f64>> = acfgs.iter().map(|a| FeatureVector::Rich.extract(a)).collect();
+    let splits = stratified_kfold(&labels, 5, 7);
+    let mut correct = 0;
+    for split in &splits {
+        let tx: Vec<Vec<f64>> = split.train.iter().map(|&i| feats[i].clone()).collect();
+        let ty: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
+        let mut m = RandomForest::new(40, 10, 3);
+        m.fit(&tx, &ty, 9);
+        correct += split.validation.iter().filter(|&&i| m.predict(&feats[i]) == labels[i]).count();
+    }
+    println!("RF: {:.3}", correct as f64 / labels.len() as f64);
+
+    // DGCNN with lr 5e-3, patience 5, 30 epochs.
+    let mut params = HyperParams::paper_default();
+    params.head = HeadKind::Adaptive;
+    params.pooling_ratio = 0.64;
+    params.conv_sizes = vec![128, 64, 32, 32];
+    let config = params.to_model_config(9, &sizes);
+    let tc = TrainConfig { epochs: 30, batch_size: 10, learning_rate: 5e-3, weight_decay: 1e-4, seed: 5, lr_patience: 5, ..TrainConfig::default() };
+    let out = cross_validate(&config, &tc, &inputs, &labels, 5);
+    println!("DGCNN: acc {:.3} logloss {:.3}", out.confusion.accuracy(), out.log_loss);
+}

@@ -1,0 +1,244 @@
+//! The MAGIC front half: listing → CFG → ACFG, plus the assembled
+//! classify-one-binary pipeline.
+
+use magic_asm::{parse_listing, CfgBuilder, ParseError};
+use magic_graph::Acfg;
+use magic_model::{Dgcnn, GraphInput};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Error from ACFG extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The listing could not be parsed.
+    Parse(ParseError),
+    /// The listing parsed but produced no basic blocks.
+    EmptyProgram,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse failure: {e}"),
+            PipelineError::EmptyProgram => f.write_str("listing contains no instructions"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::EmptyProgram => None,
+        }
+    }
+}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+/// Extracts an attributed CFG from one IDA-style listing (the first half
+/// of Fig. 1's workflow).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] if the listing cannot be parsed or holds no
+/// instructions.
+pub fn extract_acfg(listing: &str) -> Result<Acfg, PipelineError> {
+    let program = parse_listing(listing)?;
+    if program.is_empty() {
+        return Err(PipelineError::EmptyProgram);
+    }
+    let cfg = CfgBuilder::new(&program).build();
+    Ok(Acfg::from_cfg(&cfg))
+}
+
+/// Extracts ACFGs for many listings across `workers` threads — MAGIC
+/// "can generate multiple ACFGs in parallel" (Section IV-C). Order is
+/// preserved; failures are reported per listing.
+pub fn extract_acfgs_parallel(
+    listings: &[String],
+    workers: usize,
+) -> Vec<Result<Acfg, PipelineError>> {
+    let workers = workers.max(1).min(listings.len().max(1));
+    let mut results: Vec<Option<Result<Acfg, PipelineError>>> = vec![None; listings.len()];
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<&mut Option<Result<Acfg, PipelineError>>>> =
+        results.iter_mut().map(parking_lot::Mutex::new).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= listings.len() {
+                    break;
+                }
+                let result = extract_acfg(&listings[i]);
+                **slots[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("extraction worker panicked");
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled"))
+        .collect()
+}
+
+/// The assembled end-to-end system: a trained DGCNN plus family names.
+///
+/// In the paper's deployment story (Section VII), this is the object that
+/// would live on the cloud: it takes raw disassembly and returns a family
+/// verdict.
+#[derive(Debug)]
+pub struct MagicPipeline {
+    model: Dgcnn,
+    family_names: Vec<String>,
+}
+
+impl MagicPipeline {
+    /// Wraps a trained model with its family vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name count differs from the model's class count.
+    pub fn new(model: Dgcnn, family_names: Vec<String>) -> Self {
+        assert_eq!(
+            model.config().num_classes,
+            family_names.len(),
+            "one family name per class required"
+        );
+        MagicPipeline { model, family_names }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Dgcnn {
+        &self.model
+    }
+
+    /// The family vocabulary.
+    pub fn family_names(&self) -> &[String] {
+        &self.family_names
+    }
+
+    /// Classifies one listing, returning `(family name, probability)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] if extraction fails.
+    pub fn classify_listing(&self, listing: &str) -> Result<(&str, f32), PipelineError> {
+        let acfg = extract_acfg(listing)?;
+        Ok(self.classify_acfg(&acfg))
+    }
+
+    /// Classifies a pre-extracted ACFG.
+    pub fn classify_acfg(&self, acfg: &Acfg) -> (&str, f32) {
+        let probs = self.model.predict(&GraphInput::from_acfg(acfg));
+        let (best, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty probability vector");
+        (&self.family_names[best], *p)
+    }
+
+    /// Full probability distribution over families for an ACFG.
+    pub fn family_distribution(&self, acfg: &Acfg) -> Vec<(&str, f32)> {
+        let probs = self.model.predict(&GraphInput::from_acfg(acfg));
+        self.family_names
+            .iter()
+            .map(String::as_str)
+            .zip(probs)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_model::{DgcnnConfig, PoolingHead};
+
+    const LISTING: &str = "\
+.text:00401000    cmp     eax, 1
+.text:00401003    jz      short loc_401008
+.text:00401005    add     eax, 2
+.text:00401008 loc_401008:
+.text:00401008    retn
+";
+
+    #[test]
+    fn extract_acfg_builds_three_blocks() {
+        let acfg = extract_acfg(LISTING).unwrap();
+        assert_eq!(acfg.vertex_count(), 3);
+        assert_eq!(acfg.edge_count(), 3);
+    }
+
+    #[test]
+    fn empty_listing_is_rejected() {
+        assert_eq!(extract_acfg("; nothing\n"), Err(PipelineError::EmptyProgram));
+    }
+
+    #[test]
+    fn parse_error_propagates_with_source() {
+        let err = extract_acfg(".text:  mov eax, 1").unwrap_err();
+        assert!(matches!(err, PipelineError::Parse(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn parallel_extraction_preserves_order_and_results() {
+        let listings: Vec<String> = (0..20)
+            .map(|i| {
+                format!(
+                    ".text:00401000    mov eax, {i}\n.text:00401005    retn\n"
+                )
+            })
+            .collect();
+        let serial: Vec<_> = listings.iter().map(|l| extract_acfg(l)).collect();
+        let parallel = extract_acfgs_parallel(&listings, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.as_ref().unwrap().vertex_count(), p.as_ref().unwrap().vertex_count());
+        }
+    }
+
+    #[test]
+    fn parallel_extraction_reports_failures_in_place() {
+        let listings = vec![
+            ".text:00401000  retn\n".to_string(),
+            String::new(),
+            ".text:00401000  nop\n".to_string(),
+        ];
+        let results = extract_acfgs_parallel(&listings, 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn pipeline_classifies_listing_to_a_named_family() {
+        let config = DgcnnConfig::new(3, PoolingHead::sort_pool_weighted(8));
+        let model = Dgcnn::new(&config, 4);
+        let pipeline = MagicPipeline::new(
+            model,
+            vec!["Ramnit".into(), "Vundo".into(), "Gatak".into()],
+        );
+        let (family, p) = pipeline.classify_listing(LISTING).unwrap();
+        assert!(["Ramnit", "Vundo", "Gatak"].contains(&family));
+        assert!(p > 0.0 && p <= 1.0);
+        let dist = pipeline.family_distribution(&extract_acfg(LISTING).unwrap());
+        let total: f32 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one family name per class")]
+    fn pipeline_rejects_mismatched_names() {
+        let config = DgcnnConfig::new(3, PoolingHead::sort_pool_weighted(8));
+        MagicPipeline::new(Dgcnn::new(&config, 0), vec!["OnlyOne".into()]);
+    }
+}

@@ -1,0 +1,129 @@
+//! The labeled dataset container.
+
+use crate::split::{stratified_kfold, Fold};
+
+/// A labeled classification dataset over arbitrary sample types.
+///
+/// Samples, integer labels and human-readable class names travel
+/// together; every accessor is index-based so splits can be represented
+/// as index vectors without cloning samples.
+#[derive(Debug, Clone)]
+pub struct Dataset<T> {
+    items: Vec<T>,
+    labels: Vec<usize>,
+    class_names: Vec<String>,
+}
+
+impl<T> Dataset<T> {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` and `labels` differ in length, or a label is out
+    /// of range for `class_names`.
+    pub fn new(items: Vec<T>, labels: Vec<usize>, class_names: Vec<String>) -> Self {
+        assert_eq!(items.len(), labels.len(), "one label per item required");
+        for &l in &labels {
+            assert!(l < class_names.len(), "label {l} out of range");
+        }
+        Dataset { items, labels, class_names }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// The class names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Sample at `idx`.
+    pub fn item(&self, idx: usize) -> &T {
+        &self.items[idx]
+    }
+
+    /// Label at `idx`.
+    pub fn label(&self, idx: usize) -> usize {
+        self.labels[idx]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates `(sample, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.items.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Per-class sample counts.
+    pub fn class_distribution(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.num_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Stratified K-fold split of this dataset's indices; see
+    /// [`stratified_kfold`].
+    pub fn stratified_kfold(&self, k: usize, seed: u64) -> Vec<Fold> {
+        stratified_kfold(&self.labels, k, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset<u32> {
+        Dataset::new(
+            vec![10, 20, 30, 40, 50, 60],
+            vec![0, 0, 0, 1, 1, 1],
+            vec!["A".into(), "B".into()],
+        )
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let ds = dataset();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(*ds.item(3), 40);
+        assert_eq!(ds.label(3), 1);
+        assert_eq!(ds.class_distribution(), vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        Dataset::new(vec![1], vec![5], vec!["A".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per item")]
+    fn rejects_length_mismatch() {
+        Dataset::new(vec![1, 2], vec![0], vec!["A".into()]);
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let ds = dataset();
+        let pairs: Vec<(u32, usize)> = ds.iter().map(|(x, l)| (*x, l)).collect();
+        assert_eq!(pairs[0], (10, 0));
+        assert_eq!(pairs[5], (60, 1));
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Dataset containers and cross-validation splitters for the MAGIC
+//! reproduction.
+//!
+//! The paper evaluates with stratified five-fold cross-validation
+//! (Section V-B): "the dataset is splitted into five equal-size subsets
+//! ... the training process never sees the testing samples". This crate
+//! provides the labeled dataset container, deterministic stratified
+//! K-fold splitting, and mini-batch iteration.
+//!
+//! # Example
+//!
+//! ```
+//! use magic_data::Dataset;
+//!
+//! let ds = Dataset::new(
+//!     vec!["a", "b", "c", "d"],
+//!     vec![0, 1, 0, 1],
+//!     vec!["FamA".into(), "FamB".into()],
+//! );
+//! let folds = ds.stratified_kfold(2, 99);
+//! assert_eq!(folds.len(), 2);
+//! ```
+
+mod dataset;
+mod split;
+
+pub use dataset::Dataset;
+pub use split::{batches, stratified_kfold, Fold};

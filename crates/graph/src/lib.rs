@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Graph data structures for the MAGIC reproduction: a directed graph
+//! type, the attributed control flow graph (ACFG) with the Table I vertex
+//! attributes, and graph statistics used by the handcrafted-feature
+//! baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use magic_asm::{parse_listing, CfgBuilder};
+//! use magic_graph::Acfg;
+//!
+//! let p = parse_listing(".text:00401000   xor eax, eax\n.text:00401002   retn")?;
+//! let cfg = CfgBuilder::new(&p).build();
+//! let acfg = Acfg::from_cfg(&cfg);
+//! assert_eq!(acfg.vertex_count(), 1);
+//! assert_eq!(acfg.attributes().cols(), magic_graph::NUM_ATTRIBUTES);
+//! # Ok::<(), magic_asm::ParseError>(())
+//! ```
+
+mod acfg;
+mod digraph;
+mod stats;
+
+pub use acfg::{Acfg, AcfgParseError, Attribute, NUM_ATTRIBUTES};
+pub use digraph::DiGraph;
+pub use stats::GraphStats;

@@ -1,0 +1,90 @@
+//! Whole-graph statistics, used by the handcrafted-feature baselines and
+//! the dataset summaries.
+
+use crate::acfg::Acfg;
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Edge density `m / (n * (n - 1))` (0 for graphs with < 2 vertices).
+    pub density: f64,
+    /// Fraction of vertices reachable from vertex 0.
+    pub entry_coverage: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for an ACFG.
+    pub fn of(acfg: &Acfg) -> Self {
+        let g = acfg.graph();
+        let n = g.vertex_count();
+        let m = g.edge_count();
+        let max_out = (0..n).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        GraphStats {
+            vertices: n,
+            edges: m,
+            avg_out_degree: if n > 0 { m as f64 / n as f64 } else { 0.0 },
+            max_out_degree: max_out,
+            density: if n > 1 {
+                m as f64 / (n as f64 * (n as f64 - 1.0))
+            } else {
+                0.0
+            },
+            entry_coverage: if n > 0 {
+                g.reachable_from_entry() as f64 / n as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+    use magic_tensor::Tensor;
+
+    fn acfg_with(n: usize, edges: &[(usize, usize)]) -> Acfg {
+        let mut g = DiGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        Acfg::new(g, Tensor::zeros([n, crate::NUM_ATTRIBUTES]))
+    }
+
+    #[test]
+    fn stats_of_simple_chain() {
+        let acfg = acfg_with(3, &[(0, 1), (1, 2)]);
+        let s = GraphStats::of(&acfg);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 2);
+        assert!((s.avg_out_degree - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max_out_degree, 1);
+        assert!((s.density - 2.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.entry_coverage, 1.0);
+    }
+
+    #[test]
+    fn stats_of_disconnected_graph() {
+        let acfg = acfg_with(4, &[(0, 1)]);
+        let s = GraphStats::of(&acfg);
+        assert_eq!(s.entry_coverage, 0.5);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let acfg = acfg_with(0, &[]);
+        let s = GraphStats::of(&acfg);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.entry_coverage, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Binary detection metrics: ROC-AUC.
+//!
+//! The works the paper compares against in the *detection* setting
+//! ([39], [12]) report two-class AUC; the `ext_detection` experiment uses
+//! this implementation to evaluate MAGIC as a detector (benign vs any
+//! malware family).
+
+/// Area under the ROC curve for binary scores.
+///
+/// `scores[i]` is the model's malware score for sample `i`;
+/// `is_positive[i]` marks the true malware samples. Ties are handled by
+/// the rank-sum (Mann–Whitney) formulation.
+///
+/// Returns 0.5 when either class is empty (no ranking information).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn roc_auc(scores: &[f64], is_positive: &[bool]) -> f64 {
+    assert_eq!(scores.len(), is_positive.len(), "one label per score");
+    let positives = is_positive.iter().filter(|&&p| p).count();
+    let negatives = scores.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending, sharing average ranks across ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let positive_rank_sum: f64 = ranks
+        .iter()
+        .zip(is_positive)
+        .filter(|(_, &p)| p)
+        .map(|(r, _)| r)
+        .sum();
+    let u = positive_rank_sum - positives as f64 * (positives as f64 + 1.0) / 2.0;
+    u / (positives as f64 * negatives as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert!(roc_auc(&scores, &labels) < 1e-12);
+    }
+
+    #[test]
+    fn balanced_interleaving_is_half() {
+        // Positives at the extremes, negatives in the middle: one
+        // positive outranks both negatives, the other outranks neither.
+        let scores = [0.1, 0.2, 0.3, 0.4];
+        let labels = [true, false, false, true];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ordering_gives_fractional_auc() {
+        // Positive ranks 1 and 3 of 4: U = (1+3) - 3 = 1; AUC = 1/4.
+        let scores = [0.1, 0.2, 0.3, 0.4];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ties_give_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn auc_is_threshold_free() {
+        // Monotone transformation of scores must not change AUC.
+        let scores = [0.1, 0.5, 0.3, 0.9, 0.2];
+        let labels = [false, true, false, true, false];
+        let transformed: Vec<f64> = scores.iter().map(|s| s * 100.0 + 7.0).collect();
+        assert!((roc_auc(&scores, &labels) - roc_auc(&transformed, &labels)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! Confusion matrix and the derived per-class scores.
+
+use std::fmt;
+
+/// A square confusion matrix; rows are true classes, columns predicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `n`-class matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        ConfusionMatrix { counts: vec![vec![0; num_classes]; num_classes] }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        let n = self.num_classes();
+        assert!(actual < n && predicted < n, "class index out of range");
+        self.counts[actual][predicted] += 1;
+    }
+
+    /// Merges another matrix (e.g. across CV folds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.num_classes(), other.num_classes(), "size mismatch");
+        for (row, orow) in self.counts.iter_mut().zip(&other.counts) {
+            for (c, oc) in row.iter_mut().zip(orow) {
+                *c += *oc;
+            }
+        }
+    }
+
+    /// Raw count of `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Observations whose true class is `c`.
+    pub fn support(&self, c: usize) -> usize {
+        self.counts[c].iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of class `c`: `TP / (TP + FP)`; 0 when the class was
+    /// never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let tp = self.counts[c][c];
+        let predicted: usize = (0..self.num_classes()).map(|r| self.counts[r][c]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c`: `TP / (TP + FN)`; 0 when the class has no
+    /// support.
+    pub fn recall(&self, c: usize) -> f64 {
+        let tp = self.counts[c][c];
+        let actual = self.support(c);
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score of class `c` (harmonic mean of precision and recall).
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        let n = self.num_classes();
+        (0..n).map(|c| self.f1(c)).sum::<f64>() / n as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes):", self.num_classes())?;
+        for row in &self.counts {
+            for c in row {
+                write!(f, "{c:>7}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(3);
+        // Class 0: 8 correct, 2 predicted as 1.
+        for _ in 0..8 {
+            cm.record(0, 0);
+        }
+        cm.record(0, 1);
+        cm.record(0, 1);
+        // Class 1: 5 correct.
+        for _ in 0..5 {
+            cm.record(1, 1);
+        }
+        // Class 2: 3 correct, 1 predicted as 0.
+        for _ in 0..3 {
+            cm.record(2, 2);
+        }
+        cm.record(2, 0);
+        cm
+    }
+
+    #[test]
+    fn accuracy_counts_diagonal() {
+        let cm = sample();
+        // 16 correct of 19 recorded observations.
+        assert!((cm.accuracy() - 16.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1_per_class() {
+        let cm = sample();
+        // Class 0: tp=8, predicted 0 nine times (8 + 1 from class 2).
+        assert!((cm.precision(0) - 8.0 / 9.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 0.8).abs() < 1e-12);
+        // Class 1: tp=5, predicted 7 times.
+        assert!((cm.precision(1) - 5.0 / 7.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-12);
+        let p = cm.precision(1);
+        let r = cm.recall(1);
+        assert!((cm.f1(1) - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpredicted_class_has_zero_scores() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 38);
+        assert_eq!(a.count(0, 0), 16);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_is_zero() {
+        assert_eq!(ConfusionMatrix::new(4).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = sample().to_string();
+        assert_eq!(s.lines().count(), 4);
+    }
+}

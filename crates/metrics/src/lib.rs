@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Classification metrics for the MAGIC reproduction: confusion matrices,
+//! per-family precision/recall/F1 (Tables III and V), accuracy and the
+//! mean negative-log-likelihood loss (Table IV).
+//!
+//! # Example
+//!
+//! ```
+//! use magic_metrics::ConfusionMatrix;
+//!
+//! let mut cm = ConfusionMatrix::new(2);
+//! cm.record(0, 0);
+//! cm.record(1, 1);
+//! cm.record(1, 0); // a mistake
+//! assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-9);
+//! assert!((cm.recall(1) - 0.5).abs() < 1e-9);
+//! ```
+
+mod auc;
+mod confusion;
+mod report;
+
+pub use auc::roc_auc;
+pub use confusion::ConfusionMatrix;
+pub use report::{mean_log_loss, ClassScore, ScoreReport};

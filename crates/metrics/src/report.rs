@@ -1,0 +1,162 @@
+//! Score reports in the shape of the paper's Tables III and V, plus the
+//! mean logarithmic loss of Table IV.
+
+use crate::confusion::ConfusionMatrix;
+use std::fmt;
+
+/// Precision/recall/F1 of one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassScore {
+    /// Class (family) name.
+    pub name: String,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// Number of true samples of this class.
+    pub support: usize,
+}
+
+/// A full evaluation report: per-class scores plus aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreReport {
+    /// Per-class scores, in class order.
+    pub classes: Vec<ClassScore>,
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Unweighted mean F1.
+    pub macro_f1: f64,
+    /// Mean negative-log-likelihood, when probabilities were recorded.
+    pub log_loss: Option<f64>,
+}
+
+impl ScoreReport {
+    /// Builds a report from a confusion matrix and class names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len()` differs from the matrix size.
+    pub fn from_confusion(cm: &ConfusionMatrix, names: &[String]) -> Self {
+        assert_eq!(names.len(), cm.num_classes(), "one name per class");
+        let classes = names
+            .iter()
+            .enumerate()
+            .map(|(c, name)| ClassScore {
+                name: name.clone(),
+                precision: cm.precision(c),
+                recall: cm.recall(c),
+                f1: cm.f1(c),
+                support: cm.support(c),
+            })
+            .collect();
+        ScoreReport {
+            classes,
+            accuracy: cm.accuracy(),
+            macro_f1: cm.macro_f1(),
+            log_loss: None,
+        }
+    }
+
+    /// Attaches a mean log loss (builder style).
+    pub fn with_log_loss(mut self, loss: f64) -> Self {
+        self.log_loss = Some(loss);
+        self
+    }
+
+    /// Score of a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassScore> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+impl fmt::Display for ScoreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<18} {:>9} {:>9} {:>9} {:>8}", "Family", "Precision", "Recall", "F1", "Support")?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "{:<18} {:>9.6} {:>9.6} {:>9.6} {:>8}",
+                c.name, c.precision, c.recall, c.f1, c.support
+            )?;
+        }
+        write!(f, "accuracy {:.4}  macro-F1 {:.4}", self.accuracy, self.macro_f1)?;
+        if let Some(l) = self.log_loss {
+            write!(f, "  log-loss {l:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Mean negative-log-likelihood (Eq. 5 evaluated on held-out data):
+/// `-(1/N) Σ log p_i[y_i]`, with probabilities clamped to `[1e-15, 1]`
+/// as is conventional for the Kaggle metric the paper reports.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a target is out of range.
+pub fn mean_log_loss(probabilities: &[Vec<f64>], targets: &[usize]) -> f64 {
+    assert_eq!(probabilities.len(), targets.len(), "one target per row");
+    assert!(!targets.is_empty(), "log loss of empty set");
+    let mut total = 0.0;
+    for (p, &t) in probabilities.iter().zip(targets) {
+        assert!(t < p.len(), "target {t} out of range");
+        total -= p[t].clamp(1e-15, 1.0).ln();
+    }
+    total / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_matches_confusion_matrix() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(1, 0);
+        cm.record(1, 1);
+        let names = vec!["Zbot".to_string(), "Zlob".to_string()];
+        let report = ScoreReport::from_confusion(&cm, &names);
+        assert_eq!(report.classes.len(), 2);
+        assert_eq!(report.class("Zbot").unwrap().support, 2);
+        assert!((report.accuracy - 0.75).abs() < 1e-12);
+        assert!(report.log_loss.is_none());
+        let with = report.with_log_loss(0.3);
+        assert_eq!(with.log_loss, Some(0.3));
+    }
+
+    #[test]
+    fn display_lists_every_family() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(1, 1);
+        let names = vec!["A".to_string(), "B".to_string()];
+        let text = ScoreReport::from_confusion(&cm, &names).to_string();
+        assert!(text.contains('A') && text.contains('B'));
+        assert!(text.contains("accuracy"));
+    }
+
+    #[test]
+    fn log_loss_of_perfect_predictions_is_zero() {
+        let probs = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(mean_log_loss(&probs, &[0, 1]) < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_of_uniform_predictions_is_ln_k() {
+        let probs = vec![vec![0.25; 4]; 10];
+        let targets = vec![0; 10];
+        assert!((mean_log_loss(&probs, &targets) - 4.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_clamps_zero_probability() {
+        let probs = vec![vec![0.0, 1.0]];
+        let loss = mean_log_loss(&probs, &[0]);
+        assert!(loss.is_finite());
+        assert!(loss > 30.0); // -ln(1e-15) ≈ 34.5
+    }
+}

@@ -1,0 +1,362 @@
+//! The assembled DGCNN model.
+
+use crate::config::{DgcnnConfig, PoolingHead};
+use crate::input::GraphInput;
+use magic_autograd::{Tape, Var};
+use magic_nn::{
+    AdaptiveMaxPool2d, Binding, Conv1dLayer, Conv2dLayer, Dropout, GraphConv, Linear, ParamStore,
+    SortPooling, WeightedVertices,
+};
+use magic_tensor::Rng64;
+
+/// Which head layers a model instantiated.
+#[derive(Debug)]
+enum HeadLayers {
+    SortPoolConv1d {
+        sort: SortPooling,
+        conv1: Conv1dLayer,
+        conv2: Conv1dLayer,
+    },
+    SortPoolWeighted {
+        sort: SortPooling,
+        weighted: WeightedVertices,
+    },
+    AdaptiveMaxPool {
+        pre_conv: Conv2dLayer,
+        pool: AdaptiveMaxPool2d,
+        post_conv: Conv2dLayer,
+    },
+}
+
+/// The end-to-end DGCNN malware classifier.
+///
+/// Owns its parameters in a [`ParamStore`]; the training loop binds the
+/// store onto a fresh tape per sample, calls [`Dgcnn::forward`] and backs
+/// the resulting log-probabilities through the tape. Inference uses
+/// [`Dgcnn::predict`].
+#[derive(Debug)]
+pub struct Dgcnn {
+    config: DgcnnConfig,
+    store: ParamStore,
+    graph_convs: Vec<GraphConv>,
+    head: HeadLayers,
+    fc1: Linear,
+    fc2: Linear,
+    dropout: Dropout,
+}
+
+impl Dgcnn {
+    /// Builds a model with freshly initialized parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`DgcnnConfig::validate`].
+    pub fn new(config: &DgcnnConfig, seed: u64) -> Self {
+        config.validate();
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::new(seed);
+
+        let mut graph_convs = Vec::with_capacity(config.conv_sizes.len());
+        let mut in_ch = config.input_channels;
+        for (i, &out_ch) in config.conv_sizes.iter().enumerate() {
+            graph_convs.push(GraphConv::new(&mut store, &format!("gconv{i}"), in_ch, out_ch, &mut rng));
+            in_ch = out_ch;
+        }
+        let concat = config.concat_channels();
+
+        let (head, feature_len) = match &config.head {
+            PoolingHead::SortPoolConv1d { k, channels, kernel } => {
+                let conv1 = Conv1dLayer::new(&mut store, "head.conv1", 1, channels.0, concat, concat, &mut rng);
+                let conv2 = Conv1dLayer::new(&mut store, "head.conv2", channels.0, channels.1, *kernel, 1, &mut rng);
+                // conv1 over the flattened (1, k*concat) signal gives k
+                // positions; maxpool 2 halves; conv2 slides kernel.
+                let after_pool = k / 2;
+                let after_conv2 = after_pool - kernel + 1;
+                let head = HeadLayers::SortPoolConv1d { sort: SortPooling::new(*k), conv1, conv2 };
+                (head, channels.1 * after_conv2)
+            }
+            PoolingHead::SortPoolWeightedVertices { k } => {
+                let weighted = WeightedVertices::new(&mut store, "head.wv", *k, &mut rng);
+                let head = HeadLayers::SortPoolWeighted { sort: SortPooling::new(*k), weighted };
+                (head, concat)
+            }
+            PoolingHead::AdaptiveMaxPool { grid, channels } => {
+                let pre_conv = Conv2dLayer::new(&mut store, "head.pre", 1, *channels, 3, 1, 1, &mut rng);
+                let post_conv =
+                    Conv2dLayer::new(&mut store, "head.post", *channels, *channels, 3, 1, 1, &mut rng);
+                let head = HeadLayers::AdaptiveMaxPool {
+                    pre_conv,
+                    pool: AdaptiveMaxPool2d::new(grid.0, grid.1),
+                    post_conv,
+                };
+                (head, channels * grid.0 * grid.1)
+            }
+        };
+
+        let fc1 = Linear::new(&mut store, "fc1", feature_len, config.hidden, &mut rng);
+        let fc2 = Linear::new(&mut store, "fc2", config.hidden, config.num_classes, &mut rng);
+
+        Dgcnn {
+            config: config.clone(),
+            store,
+            graph_convs,
+            head,
+            fc1,
+            fc2,
+            dropout: Dropout::new(config.dropout),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &DgcnnConfig {
+        &self.config
+    }
+
+    /// The parameter store (read access, e.g. for checkpointing).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store (for the optimizer).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Total trainable weights.
+    pub fn num_weights(&self) -> usize {
+        self.store.num_weights()
+    }
+
+    /// Runs the forward pass on a tape, returning `(1, num_classes)`
+    /// log-probabilities.
+    ///
+    /// `binding` must come from `self.store().bind(tape)`. `training`
+    /// enables dropout, which draws from `rng`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        input: &GraphInput,
+        training: bool,
+        rng: &mut Rng64,
+    ) -> Var {
+        // Graph convolution stack (Eq. 1) with per-layer outputs kept.
+        let adj = tape.leaf(input.adj_hat().clone(), false);
+        let mut z = tape.leaf(input.attributes().clone(), false);
+        let mut per_layer = Vec::with_capacity(self.graph_convs.len());
+        for conv in &self.graph_convs {
+            z = conv.forward(tape, binding, adj, input.inv_degree(), z);
+            per_layer.push(z);
+        }
+        let z_concat = tape.concat_cols(&per_layer);
+
+        // Readout head.
+        let features = match &self.head {
+            HeadLayers::SortPoolConv1d { sort, conv1, conv2 } => {
+                let z_sp = sort.forward(tape, z_concat); // (k, concat)
+                let k = sort.k();
+                let concat = self.config.concat_channels();
+                let flat = tape.reshape(z_sp, [1, k * concat]);
+                let c1 = conv1.forward(tape, binding, flat); // (ch0, k)
+                let pooled = tape.max_pool1d(c1, 2); // (ch0, k/2)
+                let c2 = conv2.forward(tape, binding, pooled); // (ch1, L)
+                let len = tape.value(c2).len();
+                tape.reshape(c2, [1, len])
+            }
+            HeadLayers::SortPoolWeighted { sort, weighted } => {
+                let z_sp = sort.forward(tape, z_concat); // (k, concat)
+                weighted.forward(tape, binding, z_sp) // (1, concat)
+            }
+            HeadLayers::AdaptiveMaxPool { pre_conv, pool, post_conv } => {
+                let n = input.vertex_count();
+                let concat = self.config.concat_channels();
+                let image = tape.reshape(z_concat, [1, n, concat]);
+                let c1 = pre_conv.forward(tape, binding, image); // (ch, n, concat)
+                let pooled = pool.forward(tape, c1); // (ch, H, W)
+                let c2 = post_conv.forward(tape, binding, pooled); // (ch, H, W)
+                let len = tape.value(c2).len();
+                tape.reshape(c2, [1, len])
+            }
+        };
+
+        // Classifier perceptron.
+        let h = self.fc1.forward(tape, binding, features);
+        let h = tape.relu(h);
+        let h = self.dropout.forward(tape, h, training, rng);
+        let logits = self.fc2.forward(tape, binding, h);
+        tape.log_softmax_rows(logits)
+    }
+
+    /// Class probabilities for one graph (inference mode).
+    pub fn predict(&self, input: &GraphInput) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let binding = self.store.bind(&mut tape);
+        let mut rng = Rng64::new(0); // unused: dropout is off at inference
+        let log_probs = self.forward(&mut tape, &binding, input, false, &mut rng);
+        tape.value(log_probs).map(f32::exp).into_vec()
+    }
+
+    /// Most probable class for one graph.
+    pub fn predict_class(&self, input: &GraphInput) -> usize {
+        let probs = self.predict(input);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+    use magic_nn::{Adam, Optimizer};
+    use magic_tensor::Tensor;
+
+    fn tiny_input(n: usize, seed: u64) -> GraphInput {
+        let mut rng = Rng64::new(seed);
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        if n > 2 {
+            g.add_edge(n - 1, rng.next_below(n - 1));
+        }
+        let attrs = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 5.0, &mut rng);
+        GraphInput::from_acfg(&Acfg::new(g, attrs))
+    }
+
+    fn all_heads() -> Vec<PoolingHead> {
+        vec![
+            PoolingHead::sort_pool_conv1d(12),
+            PoolingHead::sort_pool_weighted(10),
+            PoolingHead::adaptive_max_pool(3),
+        ]
+    }
+
+    #[test]
+    fn every_head_produces_normalized_probabilities() {
+        for head in all_heads() {
+            let config = DgcnnConfig::new(5, head.clone());
+            let model = Dgcnn::new(&config, 1);
+            for n in [2usize, 5, 30, 80] {
+                let probs = model.predict(&tiny_input(n, n as u64));
+                assert_eq!(probs.len(), 5);
+                let total: f32 = probs.iter().sum();
+                assert!((total - 1.0).abs() < 1e-3, "head {head:?}, n={n}: sum {total}");
+                assert!(probs.iter().all(|p| p.is_finite() && *p >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn graphs_smaller_than_k_still_classify() {
+        let config = DgcnnConfig::new(3, PoolingHead::sort_pool_weighted(64));
+        let model = Dgcnn::new(&config, 2);
+        let probs = model.predict(&tiny_input(2, 9));
+        assert_eq!(probs.len(), 3);
+    }
+
+    #[test]
+    fn every_parameter_receives_gradient_via_some_input() {
+        for head in all_heads() {
+            let config = DgcnnConfig::new(3, head.clone());
+            let mut model = Dgcnn::new(&config, 3);
+            let input = tiny_input(30, 4);
+            let mut rng = Rng64::new(5);
+
+            let mut tape = Tape::new();
+            let binding = model.store().bind(&mut tape);
+            let lp = model.forward(&mut tape, &binding, &input, true, &mut rng);
+            let loss = tape.nll_loss(lp, vec![1]);
+            tape.backward(loss);
+            model.store_mut().accumulate_grads(&tape, &binding);
+
+            let grad_norm = model.store().grad_norm();
+            assert!(grad_norm > 0.0, "head {head:?}: zero gradient");
+            assert!(grad_norm.is_finite());
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_separable_toy_problem() {
+        // Two "families": dense high-attribute graphs vs sparse low ones.
+        let config = DgcnnConfig::new(2, PoolingHead::adaptive_max_pool(3));
+        let mut model = Dgcnn::new(&config, 6);
+        let mut opt = Adam::new(0.01, 0.0);
+        let mut rng = Rng64::new(11);
+
+        let make = |label: usize, seed: u64| {
+            let mut r = Rng64::new(seed);
+            let n = 10;
+            let mut g = DiGraph::new(n);
+            for i in 0..n - 1 {
+                g.add_edge(i, i + 1);
+            }
+            let hi = if label == 1 { 8.0 } else { 1.0 };
+            let attrs = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, hi, &mut r);
+            (GraphInput::from_acfg(&Acfg::new(g, attrs)), label)
+        };
+        let data: Vec<_> = (0..16).map(|i| make(i % 2, 100 + i as u64)).collect();
+
+        let epoch_loss = |model: &mut Dgcnn, opt: &mut Adam, rng: &mut Rng64, train: bool| {
+            let mut total = 0.0;
+            for (input, label) in &data {
+                let mut tape = Tape::new();
+                let binding = model.store().bind(&mut tape);
+                let lp = model.forward(&mut tape, &binding, input, train, rng);
+                let loss = tape.nll_loss(lp, vec![*label]);
+                total += tape.value(loss).item();
+                if train {
+                    tape.backward(loss);
+                    model.store_mut().accumulate_grads(&tape, &binding);
+                }
+            }
+            if train {
+                opt.step(model.store_mut(), data.len());
+                model.store_mut().zero_grads();
+            }
+            total / data.len() as f32
+        };
+
+        let before = epoch_loss(&mut model, &mut opt, &mut rng, false);
+        for _ in 0..15 {
+            epoch_loss(&mut model, &mut opt, &mut rng, true);
+        }
+        let after = epoch_loss(&mut model, &mut opt, &mut rng, false);
+        assert!(after < before * 0.7, "loss {before} -> {after}");
+        // The model actually separates the two classes.
+        let correct = data
+            .iter()
+            .filter(|(input, label)| model.predict_class(input) == *label)
+            .count();
+        assert!(correct >= 14, "{correct}/16 correct");
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let config = DgcnnConfig::new(4, PoolingHead::sort_pool_weighted(8));
+        let model = Dgcnn::new(&config, 8);
+        let input = tiny_input(20, 3);
+        assert_eq!(model.predict(&input), model.predict(&input));
+    }
+
+    #[test]
+    fn models_with_different_seeds_differ() {
+        let config = DgcnnConfig::new(4, PoolingHead::sort_pool_weighted(8));
+        let a = Dgcnn::new(&config, 1);
+        let b = Dgcnn::new(&config, 2);
+        let input = tiny_input(20, 3);
+        assert_ne!(a.predict(&input), b.predict(&input));
+    }
+
+    #[test]
+    fn num_weights_is_substantial_for_paper_config() {
+        let mut config = DgcnnConfig::new(9, PoolingHead::adaptive_max_pool(4));
+        config.conv_sizes = vec![128, 64, 32, 32];
+        let model = Dgcnn::new(&config, 0);
+        assert!(model.num_weights() > 30_000, "{} weights", model.num_weights());
+    }
+}

@@ -1,0 +1,97 @@
+//! Pre-processed model input: the per-graph constant tensors of Eq. (1).
+
+use magic_graph::Acfg;
+use magic_nn::augment_adjacency;
+use magic_tensor::Tensor;
+
+/// A graph prepared for DGCNN consumption: the augmented adjacency
+/// `Â = A + I`, the inverse augmented degrees `D̂⁻¹` and the (log-scaled)
+/// attribute matrix `X`.
+///
+/// These are constants of the forward pass, computed once per sample and
+/// reused across epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphInput {
+    adj_hat: Tensor,
+    inv_degree: Vec<f32>,
+    attributes: Tensor,
+}
+
+impl GraphInput {
+    /// Prepares an ACFG: augments the adjacency and log-scales the raw
+    /// attribute counts (heavy-tailed counts destabilize training
+    /// otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty graph.
+    pub fn from_acfg(acfg: &Acfg) -> Self {
+        assert!(acfg.vertex_count() > 0, "cannot embed an empty graph");
+        let (adj_hat, inv_degree) = augment_adjacency(&acfg.adjacency_tensor());
+        GraphInput {
+            adj_hat,
+            inv_degree,
+            attributes: acfg.log_scaled_attributes(),
+        }
+    }
+
+    /// Builds an input from raw parts (mainly for tests and tooling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn from_parts(adjacency: Tensor, attributes: Tensor) -> Self {
+        assert_eq!(adjacency.rows(), attributes.rows(), "vertex count mismatch");
+        let (adj_hat, inv_degree) = augment_adjacency(&adjacency);
+        GraphInput { adj_hat, inv_degree, attributes }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj_hat.rows()
+    }
+
+    /// The augmented adjacency matrix `Â`.
+    pub fn adj_hat(&self) -> &Tensor {
+        &self.adj_hat
+    }
+
+    /// The inverse augmented degree diagonal.
+    pub fn inv_degree(&self) -> &[f32] {
+        &self.inv_degree
+    }
+
+    /// The attribute matrix fed to the first convolution.
+    pub fn attributes(&self) -> &Tensor {
+        &self.attributes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+
+    #[test]
+    fn from_acfg_augments_and_scales() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        let mut attrs = Tensor::zeros([2, NUM_ATTRIBUTES]);
+        attrs.set2(0, 8, (std::f32::consts::E - 1.0) * 1.0); // ln(1+x) = 1
+        let acfg = Acfg::new(g, attrs);
+        let input = GraphInput::from_acfg(&acfg);
+        assert_eq!(input.vertex_count(), 2);
+        // Â has self loops.
+        assert_eq!(input.adj_hat().get2(0, 0), 1.0);
+        assert_eq!(input.adj_hat().get2(0, 1), 1.0);
+        assert_eq!(input.inv_degree(), &[0.5, 1.0]);
+        assert!((input.attributes().get2(0, 8) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn rejects_empty_graph() {
+        let acfg = Acfg::new(DiGraph::new(0), Tensor::zeros([0, NUM_ATTRIBUTES]));
+        GraphInput::from_acfg(&acfg);
+    }
+}

@@ -1,0 +1,52 @@
+//! Weight initialization schemes.
+
+use magic_tensor::{Rng64, Shape, Tensor};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suited to the tanh/sigmoid and
+/// linear layers.
+pub fn xavier_uniform(shape: impl Into<Shape>, fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// He/Kaiming uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / fan_in)`. Suited to the ReLU activations used in the
+/// paper's graph convolution layers.
+pub fn he_uniform(shape: impl Into<Shape>, fan_in: usize, rng: &mut Rng64) -> Tensor {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bound_depends_on_fans() {
+        let mut rng = Rng64::new(1);
+        let t = xavier_uniform([100, 100], 100, 100, &mut rng);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a));
+        // Values actually spread out, not collapsed near zero.
+        assert!(t.max() > a * 0.8);
+        assert!(t.min() < -a * 0.8);
+    }
+
+    #[test]
+    fn he_bound_depends_on_fan_in() {
+        let mut rng = Rng64::new(2);
+        let t = he_uniform([50, 50], 50, &mut rng);
+        let a = (6.0f32 / 50.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let mut r1 = Rng64::new(9);
+        let mut r2 = Rng64::new(9);
+        let a = xavier_uniform([4, 4], 4, 4, &mut r1);
+        let b = xavier_uniform([4, 4], 4, 4, &mut r2);
+        assert_eq!(a, b);
+    }
+}

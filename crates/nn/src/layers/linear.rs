@@ -1,0 +1,95 @@
+//! Fully connected layer.
+
+use crate::param::{Binding, ParamId, ParamStore};
+use magic_autograd::{Tape, Var};
+use magic_tensor::Rng64;
+
+/// A dense affine layer `y = x W + b` mapping `(n, in)` to `(n, out)`.
+///
+/// Used for the final one-layer perceptron of the original DGCNN head and
+/// the classifier MLPs of both MAGIC heads.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Registers the layer's weight `(in, out)` (Xavier-initialized) and
+    /// bias `(out)` (zeros) in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.weight"),
+            crate::init::xavier_uniform([in_features, out_features], in_features, out_features, rng),
+        );
+        let b = store.add(
+            format!("{name}.bias"),
+            magic_tensor::Tensor::zeros([out_features]),
+        );
+        Linear { w, b, in_features, out_features }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the layer on the tape.
+    pub fn forward(&self, tape: &mut Tape, binding: &Binding, x: Var) -> Var {
+        let xw = tape.matmul(x, binding.var(self.w));
+        tape.add_bias(xw, binding.var(self.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::new(0);
+        let layer = Linear::new(&mut store, "fc", 3, 2, &mut rng);
+        // Overwrite with known weights for a deterministic check.
+        *store.value_mut(layer.w) = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        *store.value_mut(layer.b) = Tensor::from_slice(&[10.0, 20.0]);
+
+        let mut tape = Tape::new();
+        let binding = store.bind(&mut tape);
+        let x = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]), false);
+        let y = layer.forward(&mut tape, &binding, x);
+        assert_eq!(tape.value(y).row(0), &[14.0, 25.0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_both_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::new(1);
+        let layer = Linear::new(&mut store, "fc", 2, 2, &mut rng);
+
+        let mut tape = Tape::new();
+        let binding = store.bind(&mut tape);
+        let x = tape.leaf(Tensor::ones([4, 2]), false);
+        let y = layer.forward(&mut tape, &binding, x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        store.accumulate_grads(&tape, &binding);
+
+        assert!(store.grad(layer.w).as_slice().iter().all(|&g| g == 4.0));
+        assert!(store.grad(layer.b).as_slice().iter().all(|&g| g == 4.0));
+    }
+}

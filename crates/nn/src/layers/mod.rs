@@ -1,0 +1,13 @@
+//! The layers of the MAGIC architecture.
+
+mod conv;
+mod dropout;
+mod graph_conv;
+mod linear;
+mod pooling;
+
+pub use conv::{Conv1dLayer, Conv2dLayer};
+pub use dropout::Dropout;
+pub use graph_conv::{augment_adjacency, GraphConv};
+pub use linear::Linear;
+pub use pooling::{AdaptiveMaxPool2d, SortPooling, WeightedVertices};

@@ -1,0 +1,249 @@
+//! Trainable parameter storage and tape binding.
+
+use magic_autograd::{Tape, Var};
+use magic_tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// Owns all trainable tensors of a model, plus their accumulated
+/// gradients.
+///
+/// MAGIC trains on graphs of different sizes, so a mini-batch is processed
+/// as a sequence of per-graph tapes whose parameter gradients are
+/// *accumulated* here and applied once per batch by an
+/// [`crate::Optimizer`].
+///
+/// The lifecycle per batch is:
+/// 1. [`ParamStore::zero_grads`],
+/// 2. per example: [`ParamStore::bind`] onto a fresh tape, forward,
+///    `tape.backward(loss)`, then [`ParamStore::accumulate_grads`],
+/// 3. `optimizer.step(&mut store, batch_len)`.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+}
+
+/// The tape variables produced by one [`ParamStore::bind`] call.
+#[derive(Debug)]
+pub struct Binding {
+    vars: Vec<Var>,
+}
+
+impl Binding {
+    /// The tape variable bound for `id` in this binding.
+    pub fn var(&self, id: ParamId) -> Var {
+        self.vars[id.0]
+    }
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter with an initial value; returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape().clone());
+        self.names.push(name.into());
+        self.values.push(value);
+        self.grads.push(grad);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of trainable scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Parameter value by id.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable parameter value by id.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient by id.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Parameter name by id.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(name, value)` pairs, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.names.iter().map(String::as_str).zip(self.values.iter())
+    }
+
+    /// Looks a parameter up by registration name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Mutable access to a parameter by name (convenient for tests and
+    /// checkpoint loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no parameter has that name.
+    pub fn value_mut_by_name(&mut self, name: &str) -> &mut Tensor {
+        let id = self
+            .find(name)
+            .unwrap_or_else(|| panic!("no parameter named {name:?}"));
+        self.value_mut(id)
+    }
+
+    /// Leafs every parameter onto `tape` (with gradients enabled) and
+    /// returns the binding used to look the variables up during the
+    /// forward pass.
+    pub fn bind(&self, tape: &mut Tape) -> Binding {
+        Binding {
+            vars: self
+                .values
+                .iter()
+                .map(|v| tape.leaf(v.clone(), true))
+                .collect(),
+        }
+    }
+
+    /// Adds the gradients `tape` computed for `binding`'s variables into
+    /// the store's accumulators.
+    pub fn accumulate_grads(&mut self, tape: &Tape, binding: &Binding) {
+        for (i, var) in binding.vars.iter().enumerate() {
+            if let Some(g) = tape.grad(*var) {
+                self.grads[i].add_assign(g);
+            }
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            for x in g.as_mut_slice() {
+                *x = 0.0;
+            }
+        }
+    }
+
+    /// Applies `update(value, grad)` to every parameter. Used by
+    /// optimizers.
+    pub(crate) fn update_each(&mut self, mut update: impl FnMut(usize, &mut Tensor, &Tensor)) {
+        for i in 0..self.values.len() {
+            update(i, &mut self.values[i], &self.grads[i]);
+        }
+    }
+
+    /// Global L2 norm of all accumulated gradients (for diagnostics and
+    /// gradient clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|g| g.as_slice().iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so their global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                g.scale_assign(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_autograd::Tape;
+
+    #[test]
+    fn bind_and_accumulate_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[2.0]]));
+
+        let mut tape = Tape::new();
+        let binding = store.bind(&mut tape);
+        let x = tape.leaf(Tensor::from_rows(&[&[3.0]]), false);
+        let y = tape.matmul(x, binding.var(w));
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        store.accumulate_grads(&tape, &binding);
+
+        assert_eq!(store.grad(w).as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_tapes() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_rows(&[&[1.0]]));
+        for _ in 0..3 {
+            let mut tape = Tape::new();
+            let binding = store.bind(&mut tape);
+            let loss = tape.sum(binding.var(w));
+            tape.backward(loss);
+            store.accumulate_grads(&tape, &binding);
+        }
+        assert_eq!(store.grad(w).as_slice(), &[3.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(w).as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn num_weights_counts_scalars() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::zeros([2, 3]));
+        store.add("b", Tensor::zeros([4]));
+        assert_eq!(store.num_weights(), 10);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros([2]));
+        {
+            let mut tape = Tape::new();
+            let binding = store.bind(&mut tape);
+            let s = tape.scale(binding.var(w), 1.0);
+            let t = tape.sum(s);
+            tape.backward(t);
+            store.accumulate_grads(&tape, &binding);
+        }
+        // grad = [1, 1], norm = sqrt(2)
+        store.clip_grad_norm(1.0);
+        assert!((store.grad(w).frobenius_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn names_are_preserved() {
+        let mut store = ParamStore::new();
+        let id = store.add("conv1.weight", Tensor::zeros([1]));
+        assert_eq!(store.name(id), "conv1.weight");
+        let collected: Vec<&str> = store.iter().map(|(n, _)| n).collect();
+        assert_eq!(collected, vec!["conv1.weight"]);
+    }
+}

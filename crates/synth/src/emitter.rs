@@ -1,0 +1,267 @@
+//! A tiny two-pass assembler: build instruction streams with symbolic
+//! labels, then lay them out at concrete addresses and render an
+//! IDA-Pro-style listing.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Symbolic label inside an [`AsmProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(usize);
+
+/// One operand: literal text or a reference to a label resolved at layout
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Verbatim operand text (registers, constants, memory expressions).
+    Text(String),
+    /// Jump/call target resolved to `loc_XXXX` at render time.
+    Label(LabelId),
+}
+
+impl Operand {
+    /// Convenience constructor for literal text.
+    pub fn text(t: impl Into<String>) -> Self {
+        Operand::Text(t.into())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    labels: Vec<LabelId>,
+    mnemonic: String,
+    operands: Vec<Operand>,
+    size: u64,
+}
+
+/// An instruction stream under construction.
+///
+/// # Example
+///
+/// ```
+/// use magic_synth::emitter::{AsmProgram, Operand};
+///
+/// let mut p = AsmProgram::new();
+/// let end = p.fresh_label();
+/// p.push("jmp", vec![Operand::Label(end)], 2);
+/// p.place_label(end);
+/// p.push("retn", vec![], 1);
+/// let listing = p.render(0x401000);
+/// assert!(listing.contains("jmp"));
+/// assert!(listing.contains("loc_"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsmProgram {
+    lines: Vec<Line>,
+    pending_labels: Vec<LabelId>,
+    next_label: usize,
+}
+
+impl AsmProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        AsmProgram::default()
+    }
+
+    /// Allocates a label not yet placed.
+    pub fn fresh_label(&mut self) -> LabelId {
+        self.next_label += 1;
+        LabelId(self.next_label - 1)
+    }
+
+    /// Attaches `label` to the *next* pushed instruction.
+    pub fn place_label(&mut self, label: LabelId) {
+        self.pending_labels.push(label);
+    }
+
+    /// Appends an instruction of `size` bytes.
+    pub fn push(&mut self, mnemonic: impl Into<String>, operands: Vec<Operand>, size: u64) {
+        self.lines.push(Line {
+            labels: std::mem::take(&mut self.pending_labels),
+            mnemonic: mnemonic.into(),
+            operands,
+            size: size.max(1),
+        });
+    }
+
+    /// Appends an instruction with plain-text operands.
+    pub fn push_text(&mut self, mnemonic: &str, operands: &[&str], size: u64) {
+        self.push(
+            mnemonic,
+            operands.iter().map(|o| Operand::text(*o)).collect(),
+            size,
+        );
+    }
+
+    /// Number of instructions so far.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no instructions have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Appends all instructions (and labels) of `other`.
+    ///
+    /// Labels of `other` are remapped so the two label spaces cannot
+    /// collide.
+    pub fn append(&mut self, other: AsmProgram) -> HashMap<LabelId, LabelId> {
+        let mut mapping = HashMap::new();
+        let remap = |old: LabelId, next_label: &mut usize, mapping: &mut HashMap<LabelId, LabelId>| {
+            *mapping.entry(old).or_insert_with(|| {
+                *next_label += 1;
+                LabelId(*next_label - 1)
+            })
+        };
+        for line in other.lines {
+            let labels = line
+                .labels
+                .into_iter()
+                .map(|l| remap(l, &mut self.next_label, &mut mapping))
+                .collect();
+            let operands = line
+                .operands
+                .into_iter()
+                .map(|op| match op {
+                    Operand::Label(l) => Operand::Label(remap(l, &mut self.next_label, &mut mapping)),
+                    t => t,
+                })
+                .collect();
+            self.lines.push(Line {
+                labels,
+                mnemonic: line.mnemonic,
+                operands,
+                size: line.size,
+            });
+        }
+        mapping
+    }
+
+    /// Lays the program out starting at `base` and renders the IDA-style
+    /// listing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never placed.
+    pub fn render(&self, base: u64) -> String {
+        // Pass 1: assign addresses.
+        let mut addr = base;
+        let mut label_addr: HashMap<LabelId, u64> = HashMap::new();
+        let mut addrs = Vec::with_capacity(self.lines.len());
+        for line in &self.lines {
+            for l in &line.labels {
+                label_addr.insert(*l, addr);
+            }
+            addrs.push(addr);
+            addr += line.size;
+        }
+        // Pass 2: render.
+        let mut out = String::new();
+        for (line, &addr) in self.lines.iter().zip(&addrs) {
+            if !line.labels.is_empty() {
+                let _ = writeln!(out, ".text:{addr:08X} loc_{addr:X}:");
+            }
+            let ops: Vec<String> = line
+                .operands
+                .iter()
+                .map(|op| match op {
+                    Operand::Text(t) => t.clone(),
+                    Operand::Label(l) => {
+                        let dst = label_addr
+                            .get(l)
+                            .unwrap_or_else(|| panic!("label {l:?} referenced but never placed"));
+                        format!("loc_{dst:X}")
+                    }
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                ".text:{addr:08X}                 {:<7} {}",
+                line.mnemonic,
+                ops.join(", ")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_asm::{parse_listing, CfgBuilder};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut p = AsmProgram::new();
+        let top = p.fresh_label();
+        let end = p.fresh_label();
+        p.place_label(top);
+        p.push_text("dec", &["eax"], 1);
+        p.push("jz", vec![Operand::Label(end)], 2);
+        p.push("jmp", vec![Operand::Label(top)], 2);
+        p.place_label(end);
+        p.push_text("retn", &[], 1);
+        let listing = p.render(0x1000);
+        // top = 0x1000, end = 0x1005.
+        assert!(listing.contains("jz      loc_1005"), "{listing}");
+        assert!(listing.contains("jmp     loc_1000"), "{listing}");
+    }
+
+    #[test]
+    fn rendered_listing_parses_back() {
+        let mut p = AsmProgram::new();
+        let skip = p.fresh_label();
+        p.push_text("cmp", &["eax", "0"], 2);
+        p.push("jz", vec![Operand::Label(skip)], 2);
+        p.push_text("add", &["eax", "1"], 3);
+        p.place_label(skip);
+        p.push_text("retn", &[], 1);
+        let listing = p.render(0x401000);
+
+        let program = parse_listing(&listing).unwrap();
+        assert_eq!(program.len(), 4);
+        let cfg = CfgBuilder::new(&program).build();
+        assert_eq!(cfg.block_count(), 3);
+    }
+
+    #[test]
+    fn sizes_accumulate_into_addresses() {
+        let mut p = AsmProgram::new();
+        p.push_text("push", &["ebp"], 1);
+        p.push_text("mov", &["ebp", "esp"], 2);
+        p.push_text("retn", &[], 1);
+        let listing = p.render(0x100);
+        assert!(listing.contains(".text:00000100"));
+        assert!(listing.contains(".text:00000101"));
+        assert!(listing.contains(".text:00000103"));
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unplaced_label_panics_at_render() {
+        let mut p = AsmProgram::new();
+        let ghost = p.fresh_label();
+        p.push("jmp", vec![Operand::Label(ghost)], 2);
+        p.render(0);
+    }
+
+    #[test]
+    fn append_remaps_labels() {
+        let mut callee = AsmProgram::new();
+        let top = callee.fresh_label();
+        callee.place_label(top);
+        callee.push("jmp", vec![Operand::Label(top)], 2);
+
+        let mut main = AsmProgram::new();
+        let own = main.fresh_label();
+        main.place_label(own);
+        main.push_text("retn", &[], 1);
+        let mapping = main.append(callee);
+        assert_eq!(mapping.len(), 1);
+        // Renders without label collisions or panics.
+        let listing = main.render(0x10);
+        assert!(listing.contains("jmp"));
+    }
+}

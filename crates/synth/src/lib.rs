@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Synthetic malware corpora for the MAGIC reproduction.
+//!
+//! The paper evaluates on two proprietary corpora that cannot be
+//! redistributed: the Microsoft Malware Classification Challenge
+//! (MSKCFG — 10,868 IDA `.asm` listings in 9 families, Fig. 7) and
+//! YANCFG (16,351 pre-extracted CFGs in 13 families, Fig. 8). This crate
+//! builds faithful *synthetic* stand-ins:
+//!
+//! * [`mskcfg`] emits IDA-style `.asm` listings from per-family generative
+//!   grammars (loop nests, call trees, switch dispatch, packer-style
+//!   decoder blocks, junk-code polymorphism). Samples flow through the
+//!   real parser and the paper's Algorithms 1–2, so the entire MAGIC
+//!   front-end is exercised.
+//! * [`yancfg`] emits [`magic_graph::Acfg`]s directly (YANCFG ships CFGs,
+//!   not assembly), with deliberately overlapping bot families so the
+//!   per-family difficulty profile of Table V is reproduced.
+//!
+//! Family proportions follow Figs. 7–8; a `scale` parameter shrinks the
+//! corpora for CPU-sized experiments while keeping the proportions.
+//!
+//! # Example
+//!
+//! ```
+//! use magic_synth::mskcfg::MskcfgGenerator;
+//!
+//! let mut gen = MskcfgGenerator::new(42, 0.01);
+//! let samples = gen.generate();
+//! assert!(!samples.is_empty());
+//! assert!(samples[0].listing.contains(".text:"));
+//! ```
+
+pub mod codegen;
+pub mod emitter;
+pub mod mskcfg;
+pub mod polymorph;
+pub mod profile;
+pub mod yancfg;
+
+pub use mskcfg::{AsmSample, MskcfgGenerator, MSKCFG_FAMILIES};
+pub use profile::FamilyProfile;
+pub use yancfg::{CfgSample, YancfgGenerator, YANCFG_FAMILIES};

@@ -1,0 +1,291 @@
+//! The MSKCFG-like corpus: IDA-style `.asm` listings in the nine families
+//! of the 2015 Microsoft Malware Classification Challenge (Fig. 7).
+
+use crate::codegen::CodeGenerator;
+use crate::profile::{FamilyProfile, InstructionMix};
+use magic_tensor::Rng64;
+
+/// The nine MSKCFG family names, in the paper's order.
+pub const MSKCFG_FAMILIES: [&str; 9] = [
+    "Ramnit",
+    "Lollipop",
+    "Kelihos_ver3",
+    "Vundo",
+    "Simda",
+    "Tracur",
+    "Kelihos_ver1",
+    "Obfuscator.ACY",
+    "Gatak",
+];
+
+/// Family sample counts of the Kaggle training set (Fig. 7), which the
+/// generator scales down proportionally.
+pub const MSKCFG_COUNTS: [usize; 9] = [1541, 2478, 2942, 475, 42, 751, 398, 1228, 1013];
+
+/// One generated sample: the rendered listing plus its family label.
+#[derive(Debug, Clone)]
+pub struct AsmSample {
+    /// IDA-style `.asm` listing text.
+    pub listing: String,
+    /// Index into [`MSKCFG_FAMILIES`].
+    pub label: usize,
+}
+
+/// The per-family generative profiles.
+///
+/// Each family gets a distinct structural fingerprint, mirroring what is
+/// known about the real families: Ramnit (file infector) is loop-heavy;
+/// Lollipop (adware) is API-call-heavy with large graphs; Kelihos v3/v1
+/// (spam bots) carry wide switch dispatch, v3 bigger than v1; Vundo is a
+/// small arithmetic-dense injector; Simda is tiny and junk-laden;
+/// Tracur spreads through transfer-dense trampolines; Obfuscator.ACY is
+/// polymorphism dialed to the maximum; Gatak hides behind long
+/// packer-style decoder stubs.
+pub fn mskcfg_profiles() -> Vec<FamilyProfile> {
+    let mut profiles = Vec::with_capacity(9);
+
+    let mut ramnit = FamilyProfile::base("Ramnit");
+    ramnit.mean_blocks = 55.0;
+    ramnit.loop_weight = 3.5;
+    ramnit.block_jitter = 0.25;
+    ramnit.branch_weight = 1.2;
+    ramnit.call_weight = 0.8;
+    ramnit.mix = InstructionMix { arithmetic: 1.2, mov: 1.5, compare: 0.7, api_call: 0.4, other: 0.2 };
+    profiles.push(ramnit);
+
+    let mut lollipop = FamilyProfile::base("Lollipop");
+    lollipop.mean_blocks = 90.0;
+    lollipop.call_weight = 2.2;
+    lollipop.subroutines = 8;
+    lollipop.branch_weight = 1.5;
+    lollipop.block_jitter = 0.25;
+    lollipop.mix = InstructionMix { arithmetic: 0.4, mov: 2.5, compare: 0.6, api_call: 3.0, other: 0.2 };
+    profiles.push(lollipop);
+
+    let mut kelihos3 = FamilyProfile::base("Kelihos_ver3");
+    kelihos3.mean_blocks = 110.0;
+    kelihos3.switch_weight = 3.5;
+    kelihos3.block_jitter = 0.25;
+    kelihos3.loop_weight = 1.0;
+    kelihos3.subroutines = 6;
+    kelihos3.block_len_mean = 3.0;
+    kelihos3.mix = InstructionMix { arithmetic: 0.8, mov: 1.4, compare: 1.6, api_call: 1.0, other: 0.2 };
+    profiles.push(kelihos3);
+
+    let mut vundo = FamilyProfile::base("Vundo");
+    vundo.mean_blocks = 22.0;
+    vundo.block_len_mean = 7.0;
+    vundo.const_density = 0.9;
+    vundo.block_jitter = 0.25;
+    vundo.mix = InstructionMix { arithmetic: 3.5, mov: 0.8, compare: 0.4, api_call: 0.2, other: 0.1 };
+    profiles.push(vundo);
+
+    let mut simda = FamilyProfile::base("Simda");
+    simda.mean_blocks = 14.0;
+    simda.junk_rate = 0.45;
+    simda.split_rate = 0.08;
+    simda.block_len_mean = 3.5;
+    simda.mix = InstructionMix { arithmetic: 0.8, mov: 1.0, compare: 0.5, api_call: 0.5, other: 2.2 };
+    profiles.push(simda);
+
+    let mut tracur = FamilyProfile::base("Tracur");
+    tracur.mean_blocks = 60.0;
+    tracur.split_rate = 0.22;
+    tracur.block_jitter = 0.25;
+    tracur.branch_weight = 2.0;
+    tracur.block_len_mean = 2.0;
+    tracur.mix = InstructionMix { arithmetic: 0.8, mov: 1.3, compare: 1.0, api_call: 0.7, other: 0.4 };
+    profiles.push(tracur);
+
+    let mut kelihos1 = FamilyProfile::base("Kelihos_ver1");
+    kelihos1.mean_blocks = 45.0;
+    kelihos1.switch_weight = 1.2;
+    kelihos1.loop_weight = 2.2;
+    kelihos1.block_jitter = 0.25;
+    kelihos1.block_len_mean = 4.5;
+    kelihos1.mix = InstructionMix { arithmetic: 0.7, mov: 1.0, compare: 2.4, api_call: 0.5, other: 0.2 };
+    profiles.push(kelihos1);
+
+    let mut obf = FamilyProfile::base("Obfuscator.ACY");
+    obf.mean_blocks = 70.0;
+    obf.junk_rate = 0.5;
+    obf.split_rate = 0.15;
+    obf.const_density = 0.8;
+    obf.data_decl_rate = 0.12;
+    obf.mix = InstructionMix { arithmetic: 1.8, mov: 1.0, compare: 0.6, api_call: 0.3, other: 1.2 };
+    profiles.push(obf);
+
+    let mut gatak = FamilyProfile::base("Gatak");
+    gatak.mean_blocks = 35.0;
+    gatak.decoder_weight = 3.5;
+    gatak.block_jitter = 0.25;
+    gatak.branch_weight = 0.5;
+    gatak.loop_weight = 0.8;
+    gatak.data_decl_rate = 0.15;
+    gatak.mix = InstructionMix { arithmetic: 1.4, mov: 1.6, compare: 0.3, api_call: 0.2, other: 0.2 };
+    profiles.push(gatak);
+
+    profiles
+}
+
+/// Deterministic generator for the MSKCFG-like corpus.
+///
+/// # Example
+///
+/// ```
+/// use magic_synth::mskcfg::{MskcfgGenerator, MSKCFG_FAMILIES};
+///
+/// let samples = MskcfgGenerator::new(7, 0.005).generate();
+/// assert!(samples.iter().all(|s| s.label < MSKCFG_FAMILIES.len()));
+/// ```
+#[derive(Debug)]
+pub struct MskcfgGenerator {
+    rng: Rng64,
+    scale: f64,
+    profiles: Vec<FamilyProfile>,
+}
+
+impl MskcfgGenerator {
+    /// Creates a generator. `scale` multiplies the Fig. 7 family counts
+    /// (1.0 reproduces the full 10,868-sample corpus size; 0.1 gives a
+    /// laptop-sized corpus with the same proportions). Every family keeps
+    /// at least 10 samples so 5-fold stratified CV stays well-defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0`.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        MskcfgGenerator { rng: Rng64::new(seed), scale, profiles: mskcfg_profiles() }
+    }
+
+    /// Number of samples per family at this scale.
+    pub fn family_counts(&self) -> Vec<usize> {
+        MSKCFG_COUNTS
+            .iter()
+            .map(|&c| ((c as f64 * self.scale).round() as usize).max(10))
+            .collect()
+    }
+
+    /// Generates one sample of family `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn generate_one(&mut self, label: usize) -> AsmSample {
+        let profile = &self.profiles[label];
+        let mut sample_rng = self.rng.fork();
+        let listing = CodeGenerator::new(profile).generate(&mut sample_rng);
+        AsmSample { listing, label }
+    }
+
+    /// Generates the whole corpus (shuffled).
+    pub fn generate(&mut self) -> Vec<AsmSample> {
+        let counts = self.family_counts();
+        let mut samples = Vec::with_capacity(counts.iter().sum());
+        for (label, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                samples.push(self.generate_one(label));
+            }
+        }
+        let mut rng = self.rng.fork();
+        rng.shuffle(&mut samples);
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_asm::{parse_listing, CfgBuilder};
+    use magic_graph::{Acfg, Attribute};
+
+    #[test]
+    fn nine_profiles_with_distinct_names() {
+        let profiles = mskcfg_profiles();
+        assert_eq!(profiles.len(), 9);
+        for (p, name) in profiles.iter().zip(MSKCFG_FAMILIES) {
+            assert_eq!(p.name, name);
+        }
+    }
+
+    #[test]
+    fn counts_follow_fig7_proportions() {
+        let gen = MskcfgGenerator::new(1, 0.1);
+        let counts = gen.family_counts();
+        // Kelihos_ver3 is the largest family, Simda the smallest.
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert_eq!(counts[2], *max);
+        assert_eq!(counts[4], *min);
+        assert!(counts[4] >= 10, "stratified CV needs >= 10 per family");
+    }
+
+    #[test]
+    fn every_sample_parses_into_an_acfg() {
+        let mut gen = MskcfgGenerator::new(3, 0.002);
+        let samples = gen.generate();
+        assert!(samples.len() >= 90);
+        for s in &samples {
+            let p = parse_listing(&s.listing).unwrap();
+            let cfg = CfgBuilder::new(&p).build();
+            let acfg = Acfg::from_cfg(&cfg);
+            assert!(acfg.vertex_count() >= 2, "family {}", MSKCFG_FAMILIES[s.label]);
+        }
+    }
+
+    #[test]
+    fn families_are_structurally_distinguishable_on_average() {
+        // Gatak (packer) must have longer average blocks than Tracur
+        // (trampoline-dense); Kelihos_ver3 must be bigger than Vundo.
+        let mut gen = MskcfgGenerator::new(9, 0.002);
+        let stats = |label: usize, gen: &mut MskcfgGenerator| {
+            let mut total_len = 0.0;
+            let mut total_blocks = 0.0;
+            for _ in 0..8 {
+                let s = gen.generate_one(label);
+                let p = parse_listing(&s.listing).unwrap();
+                let cfg = CfgBuilder::new(&p).build();
+                total_len += cfg.instruction_count() as f64 / cfg.block_count() as f64;
+                total_blocks += cfg.block_count() as f64;
+            }
+            (total_len / 8.0, total_blocks / 8.0)
+        };
+        let (gatak_len, _) = stats(8, &mut gen);
+        let (tracur_len, _) = stats(5, &mut gen);
+        assert!(gatak_len > tracur_len, "gatak {gatak_len:.1} vs tracur {tracur_len:.1}");
+        let (_, k3_blocks) = stats(2, &mut gen);
+        let (_, vundo_blocks) = stats(3, &mut gen);
+        assert!(k3_blocks > vundo_blocks * 2.0);
+    }
+
+    #[test]
+    fn samples_within_family_differ_but_share_statistics() {
+        let mut gen = MskcfgGenerator::new(5, 0.002);
+        let a = gen.generate_one(0);
+        let b = gen.generate_one(0);
+        assert_ne!(a.listing, b.listing, "polymorphism must vary samples");
+    }
+
+    #[test]
+    fn arithmetic_density_separates_vundo_from_lollipop() {
+        let mut gen = MskcfgGenerator::new(13, 0.002);
+        let density = |label: usize, gen: &mut MskcfgGenerator| {
+            let mut arith = 0.0;
+            let mut total = 0.0;
+            for _ in 0..6 {
+                let s = gen.generate_one(label);
+                let p = parse_listing(&s.listing).unwrap();
+                let acfg = Acfg::from_cfg(&CfgBuilder::new(&p).build());
+                for v in 0..acfg.vertex_count() {
+                    arith += acfg.attribute(v, Attribute::ArithmeticInstructions);
+                    total += acfg.attribute(v, Attribute::TotalInstructions);
+                }
+            }
+            arith / total
+        };
+        let vundo = density(3, &mut gen);
+        let lollipop = density(1, &mut gen);
+        assert!(vundo > lollipop, "vundo {vundo:.3} vs lollipop {lollipop:.3}");
+    }
+}

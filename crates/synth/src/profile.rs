@@ -1,0 +1,134 @@
+//! Per-family generative profiles.
+//!
+//! Real malware families differ in how their control flow is organized —
+//! worms carry replication loops, bots carry command dispatch switches,
+//! packed droppers carry long linear decoder stubs — and in their
+//! instruction mix. A [`FamilyProfile`] captures those axes; the code
+//! generator ([`crate::codegen`]) and the direct CFG generator
+//! ([`crate::yancfg`]) both consume it. Classifier difficulty is
+//! controlled by how far apart profiles sit: the bot families of YANCFG
+//! are given nearly identical profiles on purpose, reproducing the
+//! paper's low Rbot/Sdbot/Ldpinch scores (Table V).
+
+/// Relative weights for filler instruction categories within a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Arithmetic/bitwise instructions.
+    pub arithmetic: f64,
+    /// Data movement (mov/push/pop/lea).
+    pub mov: f64,
+    /// Compares and tests.
+    pub compare: f64,
+    /// Calls to imported APIs (no static CFG edge).
+    pub api_call: f64,
+    /// Everything else (nop, cld, ...).
+    pub other: f64,
+}
+
+impl InstructionMix {
+    /// A balanced mix.
+    pub fn balanced() -> Self {
+        InstructionMix { arithmetic: 1.0, mov: 1.0, compare: 0.5, api_call: 0.3, other: 0.3 }
+    }
+
+    /// The weights as a sampling array (ordering matches
+    /// `codegen::FILLER_KINDS`).
+    pub fn weights(&self) -> [f64; 5] {
+        [self.arithmetic, self.mov, self.compare, self.api_call, self.other]
+    }
+}
+
+/// The generative knobs of one malware family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyProfile {
+    /// Family name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Target number of basic blocks (lognormal-ish mean).
+    pub mean_blocks: f64,
+    /// Relative spread of the block count.
+    pub block_jitter: f64,
+    /// Construct weights: straight-line block.
+    pub straight_weight: f64,
+    /// Construct weights: if/else diamond.
+    pub branch_weight: f64,
+    /// Construct weights: counted loop.
+    pub loop_weight: f64,
+    /// Construct weights: multi-way switch dispatch.
+    pub switch_weight: f64,
+    /// Construct weights: call to a generated subroutine.
+    pub call_weight: f64,
+    /// Construct weights: long linear packer-style decoder block.
+    pub decoder_weight: f64,
+    /// Mean instructions per straight block.
+    pub block_len_mean: f64,
+    /// Number of generated subroutines (call targets).
+    pub subroutines: usize,
+    /// Probability of inserting a junk instruction before any line.
+    pub junk_rate: f64,
+    /// Probability of splitting a block mid-way with a `jmp next`.
+    pub split_rate: f64,
+    /// Probability that an ALU operand is an immediate constant.
+    pub const_density: f64,
+    /// Probability of a data declaration line inside a block.
+    pub data_decl_rate: f64,
+    /// Filler instruction category mix.
+    pub mix: InstructionMix,
+}
+
+impl FamilyProfile {
+    /// A neutral default profile, suitable as a starting point.
+    pub fn base(name: &'static str) -> Self {
+        FamilyProfile {
+            name,
+            mean_blocks: 40.0,
+            block_jitter: 0.4,
+            straight_weight: 1.0,
+            branch_weight: 1.0,
+            loop_weight: 0.6,
+            switch_weight: 0.2,
+            call_weight: 0.5,
+            decoder_weight: 0.05,
+            block_len_mean: 5.0,
+            subroutines: 3,
+            junk_rate: 0.05,
+            split_rate: 0.02,
+            const_density: 0.4,
+            data_decl_rate: 0.01,
+            mix: InstructionMix::balanced(),
+        }
+    }
+
+    /// Construct weights as a sampling array (ordering matches
+    /// `codegen::CONSTRUCT_KINDS`).
+    pub fn construct_weights(&self) -> [f64; 6] {
+        [
+            self.straight_weight,
+            self.branch_weight,
+            self.loop_weight,
+            self.switch_weight,
+            self.call_weight,
+            self.decoder_weight,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_profile_is_well_formed() {
+        let p = FamilyProfile::base("Test");
+        assert!(p.construct_weights().iter().all(|&w| w >= 0.0));
+        assert!(p.construct_weights().iter().sum::<f64>() > 0.0);
+        assert!(p.mean_blocks > 0.0);
+        assert!((0.0..1.0).contains(&p.junk_rate));
+    }
+
+    #[test]
+    fn mix_weights_match_fields() {
+        let m = InstructionMix::balanced();
+        assert_eq!(m.weights()[0], m.arithmetic);
+        assert_eq!(m.weights()[4], m.other);
+    }
+}

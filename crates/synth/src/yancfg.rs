@@ -1,0 +1,497 @@
+//! The YANCFG-like corpus: pre-extracted attributed CFGs in the thirteen
+//! families of Fig. 8 (twelve malware families plus `Benign`).
+//!
+//! Unlike [`crate::mskcfg`], which emits assembly text, this generator
+//! emits [`Acfg`]s directly — mirroring how the real YANCFG dataset ships
+//! CFGs rather than listings (Section V-A explains the two corpora are
+//! not interchangeable for exactly this reason). Graphs are assembled
+//! from control-flow motifs (chains, diamonds, loops, switch fans, call
+//! hubs); vertex attributes are sampled from family-conditioned
+//! distributions, with the four IRC-bot families (Ldpinch, Lmir, Rbot,
+//! Sdbot) given overlapping profiles so the classifier's difficulty
+//! ranking matches Table V.
+
+use crate::profile::{FamilyProfile, InstructionMix};
+use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+use magic_tensor::{Rng64, Tensor};
+
+/// The thirteen YANCFG family names, in the paper's order.
+pub const YANCFG_FAMILIES: [&str; 13] = [
+    "Bagle", "Benign", "Bifrose", "Hupigon", "Koobface", "Ldpinch", "Lmir", "Rbot", "Sdbot",
+    "Swizzor", "Vundo", "Zbot", "Zlob",
+];
+
+/// Family sample counts (proportions of Fig. 8; totals 16,351 at scale
+/// 1.0).
+pub const YANCFG_COUNTS: [usize; 13] =
+    [100, 1900, 1300, 3300, 500, 360, 210, 1500, 450, 2900, 1600, 1000, 1231];
+
+/// One generated sample: the ACFG plus its family label.
+#[derive(Debug, Clone)]
+pub struct CfgSample {
+    /// The attributed control flow graph.
+    pub acfg: Acfg,
+    /// Index into [`YANCFG_FAMILIES`].
+    pub label: usize,
+}
+
+/// How strongly a family's samples scatter around its profile; higher
+/// values blur the family into its neighbours.
+fn family_noise(label: usize) -> f64 {
+    match YANCFG_FAMILIES[label] {
+        // The bot families overlap heavily (paper: recall ~0.5 for
+        // Ldpinch/Sdbot, precision ~0.64-0.70 for Rbot).
+        "Ldpinch" | "Sdbot" => 0.9,
+        "Rbot" | "Lmir" => 0.7,
+        // Koobface and Swizzor are nearly perfectly separable.
+        "Koobface" | "Swizzor" => 0.08,
+        _ => 0.3,
+    }
+}
+
+/// The per-family generative profiles.
+pub fn yancfg_profiles() -> Vec<FamilyProfile> {
+    let mut profiles = Vec::with_capacity(13);
+
+    let mut bagle = FamilyProfile::base("Bagle");
+    bagle.mean_blocks = 30.0;
+    bagle.loop_weight = 3.2;
+    bagle.block_jitter = 0.2;
+    bagle.mix = InstructionMix { arithmetic: 1.0, mov: 1.6, compare: 0.6, api_call: 0.9, other: 0.2 };
+    profiles.push(bagle);
+
+    let mut benign = FamilyProfile::base("Benign");
+    benign.mean_blocks = 80.0;
+    benign.block_jitter = 0.8; // benign software is the most diverse class
+    benign.branch_weight = 1.4;
+    benign.call_weight = 1.4;
+    benign.mix = InstructionMix { arithmetic: 1.0, mov: 1.8, compare: 1.0, api_call: 1.2, other: 0.4 };
+    profiles.push(benign);
+
+    let mut bifrose = FamilyProfile::base("Bifrose");
+    bifrose.mean_blocks = 65.0;
+    bifrose.switch_weight = 1.2;
+    bifrose.block_jitter = 0.25;
+    bifrose.call_weight = 1.5;
+    bifrose.mix = InstructionMix { arithmetic: 0.5, mov: 1.4, compare: 1.0, api_call: 2.2, other: 0.3 };
+    profiles.push(bifrose);
+
+    let mut hupigon = FamilyProfile::base("Hupigon");
+    hupigon.mean_blocks = 120.0;
+    hupigon.call_weight = 2.4;
+    hupigon.block_jitter = 0.25;
+    hupigon.branch_weight = 1.6;
+    hupigon.mix = InstructionMix { arithmetic: 0.9, mov: 1.7, compare: 1.0, api_call: 1.6, other: 0.3 };
+    profiles.push(hupigon);
+
+    let mut koobface = FamilyProfile::base("Koobface");
+    koobface.mean_blocks = 48.0;
+    koobface.block_jitter = 0.1;
+    koobface.loop_weight = 2.8;
+    koobface.switch_weight = 1.8;
+    koobface.block_len_mean = 8.0;
+    koobface.const_density = 0.75;
+    koobface.mix = InstructionMix { arithmetic: 2.2, mov: 0.8, compare: 1.6, api_call: 0.5, other: 0.1 };
+    profiles.push(koobface);
+
+    // The four overlapping IRC-bot families: identical base with small
+    // deltas, separated mostly by size.
+    let mut bot = FamilyProfile::base("Ldpinch");
+    bot.mean_blocks = 40.0;
+    bot.switch_weight = 1.5;
+    bot.loop_weight = 0.9;
+    bot.mix = InstructionMix { arithmetic: 1.0, mov: 1.2, compare: 1.3, api_call: 1.0, other: 0.4 };
+    let mut ldpinch = bot.clone();
+    ldpinch.name = "Ldpinch";
+    ldpinch.mean_blocks = 36.0;
+    profiles.push(ldpinch);
+    let mut lmir = bot.clone();
+    lmir.name = "Lmir";
+    lmir.mean_blocks = 44.0;
+    lmir.loop_weight = 1.1;
+    profiles.push(lmir);
+    let mut rbot = bot.clone();
+    rbot.name = "Rbot";
+    rbot.mean_blocks = 52.0;
+    rbot.switch_weight = 1.8;
+    profiles.push(rbot);
+    let mut sdbot = bot.clone();
+    sdbot.name = "Sdbot";
+    sdbot.mean_blocks = 48.0;
+    sdbot.switch_weight = 1.6;
+    profiles.push(sdbot);
+
+    let mut swizzor = FamilyProfile::base("Swizzor");
+    swizzor.mean_blocks = 95.0;
+    swizzor.block_jitter = 0.12;
+    swizzor.decoder_weight = 1.5;
+    swizzor.block_len_mean = 9.0;
+    swizzor.data_decl_rate = 0.10;
+    swizzor.mix = InstructionMix { arithmetic: 1.6, mov: 2.4, compare: 0.3, api_call: 0.2, other: 0.2 };
+    profiles.push(swizzor);
+
+    let mut vundo = FamilyProfile::base("Vundo");
+    vundo.mean_blocks = 26.0;
+    vundo.block_len_mean = 7.0;
+    vundo.const_density = 0.9;
+    vundo.block_jitter = 0.2;
+    vundo.mix = InstructionMix { arithmetic: 3.4, mov: 0.8, compare: 0.4, api_call: 0.2, other: 0.1 };
+    profiles.push(vundo);
+
+    let mut zbot = FamilyProfile::base("Zbot");
+    zbot.mean_blocks = 70.0;
+    zbot.branch_weight = 1.8;
+    zbot.loop_weight = 1.3;
+    zbot.const_density = 0.6;
+    zbot.block_jitter = 0.25;
+    zbot.junk_rate = 0.18;
+    zbot.mix = InstructionMix { arithmetic: 1.5, mov: 1.2, compare: 1.4, api_call: 0.8, other: 0.2 };
+    profiles.push(zbot);
+
+    let mut zlob = FamilyProfile::base("Zlob");
+    zlob.mean_blocks = 55.0;
+    zlob.call_weight = 1.0;
+    zlob.data_decl_rate = 0.12;
+    zlob.block_jitter = 0.25;
+    zlob.decoder_weight = 1.4;
+    zlob.mix = InstructionMix { arithmetic: 1.1, mov: 1.8, compare: 0.6, api_call: 0.6, other: 0.3 };
+    profiles.push(zlob);
+
+    profiles
+}
+
+/// Deterministic generator for the YANCFG-like corpus.
+///
+/// # Example
+///
+/// ```
+/// use magic_synth::yancfg::YancfgGenerator;
+///
+/// let samples = YancfgGenerator::new(1, 0.003).generate();
+/// assert!(samples.iter().all(|s| s.acfg.vertex_count() >= 2));
+/// ```
+#[derive(Debug)]
+pub struct YancfgGenerator {
+    rng: Rng64,
+    scale: f64,
+    profiles: Vec<FamilyProfile>,
+}
+
+impl YancfgGenerator {
+    /// Creates a generator; `scale` works as in
+    /// [`crate::mskcfg::MskcfgGenerator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0`.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        YancfgGenerator { rng: Rng64::new(seed), scale, profiles: yancfg_profiles() }
+    }
+
+    /// Creates a generator whose family profiles have *drifted* by the
+    /// given relative amount — bigger programs, heavier obfuscation,
+    /// shifted instruction mixes. Models the paper's future-work concern
+    /// that "malware development trends after the collection of these two
+    /// datasets introduce new challenges" (Section V-E); the
+    /// `ext_drift` experiment trains on the un-drifted corpus and
+    /// evaluates on this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0` and `0 <= drift`.
+    pub fn with_drift(seed: u64, scale: f64, drift: f64) -> Self {
+        assert!(drift >= 0.0, "drift must be non-negative");
+        let mut generator = Self::new(seed, scale);
+        for profile in &mut generator.profiles {
+            profile.mean_blocks *= 1.0 + 0.5 * drift;
+            profile.junk_rate = (profile.junk_rate + 0.3 * drift).min(0.9);
+            profile.split_rate = (profile.split_rate + 0.15 * drift).min(0.5);
+            profile.const_density = (profile.const_density * (1.0 - 0.4 * drift)).max(0.05);
+            profile.mix.api_call *= 1.0 + drift;
+            profile.mix.arithmetic *= 1.0 + 0.5 * drift;
+        }
+        generator
+    }
+
+    /// Number of samples per family at this scale.
+    pub fn family_counts(&self) -> Vec<usize> {
+        YANCFG_COUNTS
+            .iter()
+            .map(|&c| ((c as f64 * self.scale).round() as usize).max(10))
+            .collect()
+    }
+
+    /// Generates one ACFG of family `label`.
+    pub fn generate_one(&mut self, label: usize) -> CfgSample {
+        let mut rng = self.rng.fork();
+        let profile = self.profiles[label].clone();
+        let noise = family_noise(label);
+        let graph = generate_structure(&profile, noise, &mut rng);
+        let attributes = generate_attributes(&graph, &profile, noise, &mut rng);
+        CfgSample { acfg: Acfg::new(graph, attributes), label }
+    }
+
+    /// Generates the whole corpus (shuffled).
+    pub fn generate(&mut self) -> Vec<CfgSample> {
+        let counts = self.family_counts();
+        let mut samples = Vec::with_capacity(counts.iter().sum());
+        for (label, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                samples.push(self.generate_one(label));
+            }
+        }
+        let mut rng = self.rng.fork();
+        rng.shuffle(&mut samples);
+        samples
+    }
+}
+
+/// Assembles a CFG-shaped directed graph from control-flow motifs.
+fn generate_structure(profile: &FamilyProfile, noise: f64, rng: &mut Rng64) -> DiGraph {
+    let jitter = 1.0 + (profile.block_jitter + 0.3 * noise) * (rng.next_f64() * 2.0 - 1.0);
+    let target = ((profile.mean_blocks * jitter).round() as usize).max(4);
+
+    let mut g = DiGraph::new(1); // entry vertex 0
+    let mut exit = 0usize;
+    let weights = profile.construct_weights();
+    while g.vertex_count() < target {
+        match rng.next_weighted(&weights) {
+            // Straight chain.
+            0 => {
+                let len = rng.next_range(1, 4);
+                for _ in 0..len {
+                    let v = g.add_vertex();
+                    g.add_edge(exit, v);
+                    exit = v;
+                }
+            }
+            // Diamond: exit -> a, b; a, b -> join.
+            1 => {
+                let a = g.add_vertex();
+                let b = g.add_vertex();
+                let join = g.add_vertex();
+                g.add_edge(exit, a);
+                g.add_edge(exit, b);
+                g.add_edge(a, join);
+                g.add_edge(b, join);
+                exit = join;
+            }
+            // Loop: exit -> head; head -> body -> head; head -> out.
+            2 => {
+                let head = g.add_vertex();
+                let body = g.add_vertex();
+                let out = g.add_vertex();
+                g.add_edge(exit, head);
+                g.add_edge(head, body);
+                g.add_edge(body, head);
+                g.add_edge(head, out);
+                exit = out;
+            }
+            // Switch fan: exit -> case_i -> join.
+            3 => {
+                let cases = rng.next_range(3, 7);
+                let join = g.add_vertex();
+                for _ in 0..cases {
+                    let c = g.add_vertex();
+                    g.add_edge(exit, c);
+                    g.add_edge(c, join);
+                }
+                exit = join;
+            }
+            // Call hub: exit -> hub; hub -> callee chain -> hub; hub -> out.
+            4 => {
+                let hub = g.add_vertex();
+                g.add_edge(exit, hub);
+                let callees = rng.next_range(1, 4);
+                for _ in 0..callees {
+                    let c1 = g.add_vertex();
+                    let c2 = g.add_vertex();
+                    g.add_edge(hub, c1);
+                    g.add_edge(c1, c2);
+                    g.add_edge(c2, hub);
+                }
+                let out = g.add_vertex();
+                g.add_edge(hub, out);
+                exit = out;
+            }
+            // Decoder stub: one long chain (its vertices will receive
+            // long-block attributes below because of their degree-1
+            // shape).
+            _ => {
+                let len = rng.next_range(2, 5);
+                for _ in 0..len {
+                    let v = g.add_vertex();
+                    g.add_edge(exit, v);
+                    exit = v;
+                }
+            }
+        }
+    }
+    // Structural noise: a few random cross edges, more for noisy families.
+    let n = g.vertex_count();
+    let extra = ((n as f64) * 0.05 * (1.0 + noise)) as usize;
+    for _ in 0..extra {
+        let u = rng.next_below(n);
+        let v = rng.next_below(n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Samples the Table I attribute matrix for a generated structure.
+fn generate_attributes(
+    graph: &DiGraph,
+    profile: &FamilyProfile,
+    noise: f64,
+    rng: &mut Rng64,
+) -> Tensor {
+    let n = graph.vertex_count();
+    let mut attrs = Tensor::zeros([n, NUM_ATTRIBUTES]);
+    // Per-sample drift blurs the family statistics; noisy families drift
+    // further from their profile means.
+    let drift = 1.0 + noise * (rng.next_f64() * 2.0 - 1.0);
+    let mix = profile.mix.weights();
+    let mix_total: f64 = mix.iter().sum();
+    for v in 0..n {
+        let out_deg = graph.out_degree(v) as f32;
+        let len_mean = profile.block_len_mean * drift * (0.5 + rng.next_f64());
+        let total = (sample_poissonish(len_mean, rng) + 1) as f32;
+
+        // Split `total` into the five filler categories by the mix.
+        let mut row = [0.0f32; NUM_ATTRIBUTES];
+        let mut assigned = 0.0f32;
+        // [arith, mov, compare, api_call, other] -> attribute channels.
+        let channels = [3usize, 5, 4, 2, usize::MAX];
+        for (w, &ch) in mix.iter().zip(&channels) {
+            let share = ((total as f64) * w / mix_total).round() as f32;
+            if ch != usize::MAX {
+                row[ch] += share;
+            }
+            assigned += share;
+        }
+        // Structure-implied instructions: a branchy vertex ends in a
+        // compare + transfer, a sink ends in a termination.
+        if out_deg >= 2.0 {
+            row[4] += 1.0; // compare
+            row[1] += out_deg - 1.0; // transfer
+        }
+        if out_deg == 0.0 {
+            row[6] += 1.0; // termination
+        }
+        let data_decls = if rng.next_bool(profile.data_decl_rate * 5.0) {
+            rng.next_below(3) as f32
+        } else {
+            0.0
+        };
+        row[7] = data_decls;
+        let grand_total = (assigned + row[1] + row[4].min(1.0) + row[6] + data_decls).max(1.0);
+        row[8] = grand_total;
+        row[0] = (grand_total as f64 * profile.const_density * drift).round() as f32; // constants
+        row[9] = out_deg;
+        row[10] = grand_total;
+        attrs.set_row(v, &row);
+    }
+    attrs
+}
+
+/// Cheap Poisson-ish sampler (sum of two geometrics clipped), adequate
+/// for attribute counts.
+fn sample_poissonish(mean: f64, rng: &mut Rng64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let u = rng.next_f64().max(1e-9);
+    let v = rng.next_f64().max(1e-9);
+    let x = -mean / 2.0 * u.ln() - mean / 2.0 * v.ln();
+    x.round().min(mean * 8.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_graph::{Attribute, GraphStats};
+
+    #[test]
+    fn thirteen_profiles_matching_names() {
+        let profiles = yancfg_profiles();
+        assert_eq!(profiles.len(), 13);
+        for (p, name) in profiles.iter().zip(YANCFG_FAMILIES) {
+            assert_eq!(p.name, name);
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_fig8_total() {
+        assert_eq!(YANCFG_COUNTS.iter().sum::<usize>(), 16_351);
+    }
+
+    #[test]
+    fn generated_acfgs_are_wellformed() {
+        let mut gen = YancfgGenerator::new(2, 0.002);
+        let samples = gen.generate();
+        assert!(samples.len() >= 130);
+        for s in &samples {
+            assert!(s.acfg.vertex_count() >= 4);
+            assert!(s.acfg.attributes().all_finite());
+            // Offspring channel must equal the real out-degree.
+            for v in 0..s.acfg.vertex_count() {
+                assert_eq!(
+                    s.acfg.attribute(v, Attribute::Offspring),
+                    s.acfg.graph().out_degree(v) as f32
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entry_reaches_most_of_the_graph() {
+        let mut gen = YancfgGenerator::new(3, 0.002);
+        let s = gen.generate_one(3); // Hupigon, large
+        let stats = GraphStats::of(&s.acfg);
+        assert!(stats.entry_coverage > 0.9, "coverage {}", stats.entry_coverage);
+    }
+
+    #[test]
+    fn bot_families_overlap_more_than_distinct_ones() {
+        // Feature distance between family mean vectors: Rbot vs Sdbot
+        // should be far smaller than Koobface vs Swizzor.
+        let mut gen = YancfgGenerator::new(5, 0.002);
+        let mean_vec = |label: usize, gen: &mut YancfgGenerator| -> Vec<f64> {
+            let mut acc = [0.0f64; NUM_ATTRIBUTES];
+            let reps = 10;
+            for _ in 0..reps {
+                let s = gen.generate_one(label);
+                let sums = s.acfg.attributes().sum_rows();
+                let n = s.acfg.vertex_count() as f64;
+                for (a, x) in acc.iter_mut().zip(&sums) {
+                    *a += *x as f64 / n;
+                }
+            }
+            acc.iter().map(|a| a / reps as f64).collect()
+        };
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+        };
+        let rbot = mean_vec(7, &mut gen);
+        let sdbot = mean_vec(8, &mut gen);
+        let koob = mean_vec(4, &mut gen);
+        let swizzor = mean_vec(9, &mut gen);
+        assert!(
+            dist(&rbot, &sdbot) < dist(&koob, &swizzor),
+            "bots {:.2} vs distinct {:.2}",
+            dist(&rbot, &sdbot),
+            dist(&koob, &swizzor)
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = YancfgGenerator::new(4, 0.001).generate_one(0);
+        let b = YancfgGenerator::new(4, 0.001).generate_one(0);
+        assert_eq!(a.acfg.vertex_count(), b.acfg.vertex_count());
+        assert!(a.acfg.attributes().approx_eq(b.acfg.attributes(), 0.0));
+    }
+}

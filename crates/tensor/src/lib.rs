@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Dense `f32` tensor library underpinning the MAGIC DGCNN reproduction.
+//!
+//! This crate provides the numeric substrate for everything above it: the
+//! autodiff engine (`magic-autograd`), the neural network layers
+//! (`magic-nn`) and the DGCNN model itself. It implements a row-major,
+//! contiguous, n-dimensional `f32` array with the operations the paper's
+//! Equations (1)-(5) require: matrix multiplication, elementwise arithmetic,
+//! reductions, row gathering/sorting (for the SortPooling layer) and 2-D
+//! window maxima (for the AdaptiveMaxPooling layer).
+//!
+//! # Example
+//!
+//! ```
+//! use magic_tensor::Tensor;
+//!
+//! let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod linalg;
+mod ops;
+mod reduce;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use rng::Rng64;
+pub use shape::Shape;
+pub use tensor::Tensor;

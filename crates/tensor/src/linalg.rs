@@ -1,0 +1,180 @@
+//! Matrix products and the graph-specific matrix helpers used by Eq. (1).
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product `self @ other`.
+    ///
+    /// This is the hot operation of the reproduction: every graph
+    /// convolution layer computes `D̂⁻¹ Â Z W` via two of these products.
+    /// An ikj loop order keeps the inner accesses sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with compatible inner
+    /// dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = Tensor::zeros([m, n]);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut o[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += aip * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product, treating `v` as a column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank 2 or dimensions disagree.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        let (m, k) = (self.rows(), self.cols());
+        assert_eq!(k, v.len(), "matvec dimension mismatch");
+        let a = self.as_slice();
+        (0..m)
+            .map(|i| {
+                a[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(v)
+                    .map(|(x, y)| x * y)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Scales each row `i` by `factors[i]`. This implements the
+    /// row-normalization `D̂⁻¹ (·)` of Eq. (1) without materializing the
+    /// diagonal matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors.len()` differs from the row count.
+    pub fn scale_rows(&self, factors: &[f32]) -> Tensor {
+        assert_eq!(factors.len(), self.rows(), "row factor count mismatch");
+        let cols = self.cols();
+        let mut out = self.clone();
+        for (i, &f) in factors.iter().enumerate() {
+            for x in &mut out.as_mut_slice()[i * cols..(i + 1) * cols] {
+                *x *= f;
+            }
+        }
+        out
+    }
+
+    /// Outer product of two vectors: `a (m) ⊗ b (n) -> (m, n)`.
+    pub fn outer(a: &[f32], b: &[f32]) -> Tensor {
+        let mut out = Tensor::zeros([a.len(), b.len()]);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                out.set2(i, j, ai * bj);
+            }
+        }
+        out
+    }
+
+    /// Frobenius (elementwise L2) norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Dot product of two equal-length slices.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_dims() {
+        Tensor::zeros([2, 3]).matmul(&Tensor::zeros([2, 3]));
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Tensor::ones([1, 4]);
+        let b = Tensor::ones([4, 5]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[1, 5]);
+        assert!(c.as_slice().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = a.matvec(&[1.0, -1.0]);
+        assert_eq!(v, vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_rows_normalizes() {
+        let a = Tensor::from_rows(&[&[2.0, 4.0], &[3.0, 9.0]]);
+        let s = a.scale_rows(&[0.5, 1.0 / 3.0]);
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        assert_eq!(s.row(1), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let o = Tensor::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(o.shape().dims(), &[2, 3]);
+        assert_eq!(o.row(1), &[6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_is_l2() {
+        let a = Tensor::from_slice(&[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Tensor::dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn matmul_associativity_on_random_matrices() {
+        let mut rng = crate::Rng64::new(17);
+        let a = Tensor::rand_uniform([4, 5], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([5, 3], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform([3, 2], -1.0, 1.0, &mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert!(left.approx_eq(&right, 1e-4));
+    }
+}

@@ -1,0 +1,184 @@
+//! Reductions, argmax/argsort and the softmax family.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max() of empty tensor");
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> f32 {
+        assert!(!self.is_empty(), "min() of empty tensor");
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax() of empty tensor");
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// Per-column sums of a matrix, returned as a length-`cols` vector.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = vec![0.0; c];
+        for i in 0..r {
+            for (o, &x) in out.iter_mut().zip(self.row(i)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Per-row sums of a matrix, returned as a length-`rows` vector.
+    pub fn sum_cols(&self) -> Vec<f32> {
+        (0..self.rows()).map(|i| self.row(i).iter().sum()).collect()
+    }
+
+    /// Numerically stable softmax over a 1-D tensor.
+    pub fn softmax(&self) -> Tensor {
+        let m = self.max();
+        let exps: Vec<f32> = self.as_slice().iter().map(|&x| (x - m).exp()).collect();
+        let total: f32 = exps.iter().sum();
+        Tensor::from_vec(exps.iter().map(|e| e / total).collect(), self.shape().clone())
+    }
+
+    /// Numerically stable log-softmax over a 1-D tensor.
+    pub fn log_softmax(&self) -> Tensor {
+        let m = self.max();
+        let log_sum: f32 = self
+            .as_slice()
+            .iter()
+            .map(|&x| (x - m).exp())
+            .sum::<f32>()
+            .ln();
+        self.map(|x| x - m - log_sum)
+    }
+
+    /// Indices that sort the rows of a matrix in *descending*
+    /// lexicographic order reading channels from the **last column
+    /// backwards** — the exact ordering of the DGCNN SortPooling layer:
+    /// "vertices are first sorted by the last channel of the last layer in
+    /// a decreasing order; ties are broken using earlier channels".
+    pub fn argsort_rows_desc_lastcol(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.rows()).collect();
+        idx.sort_by(|&a, &b| {
+            let ra = self.row(a);
+            let rb = self.row(b);
+            for (x, y) in ra.iter().rev().zip(rb.iter().rev()) {
+                match y.partial_cmp(x) {
+                    Some(std::cmp::Ordering::Equal) | None => continue,
+                    Some(ord) => return ord,
+                }
+            }
+            a.cmp(&b)
+        });
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    fn max_min_argmax() {
+        let t = Tensor::from_slice(&[1.0, 5.0, -2.0]);
+        assert_eq!(t.max(), 5.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.sum_rows(), vec![4.0, 6.0]);
+        assert_eq!(t.sum_cols(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let s = t.softmax();
+        assert!((s.sum() - 1.0).abs() < 1e-6);
+        let shifted = t.add_scalar(100.0).softmax();
+        assert!(s.approx_eq(&shifted, 1e-5));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let t = Tensor::from_slice(&[0.5, -1.0, 2.0]);
+        let ls = t.log_softmax();
+        let s_log = t.softmax().ln();
+        assert!(ls.approx_eq(&s_log, 1e-5));
+    }
+
+    #[test]
+    fn softmax_survives_large_inputs() {
+        let t = Tensor::from_slice(&[1000.0, 1000.0]);
+        let s = t.softmax();
+        assert!(s.all_finite());
+        assert!((s.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argsort_orders_by_last_column_descending() {
+        // Rows with last-column values 3, 1, 2 -> order 0, 2, 1.
+        let t = Tensor::from_rows(&[&[0.0, 3.0], &[9.0, 1.0], &[0.0, 2.0]]);
+        assert_eq!(t.argsort_rows_desc_lastcol(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn argsort_breaks_ties_with_earlier_columns() {
+        // Last column tied; the second-to-last column decides (descending).
+        let t = Tensor::from_rows(&[&[1.0, 5.0], &[2.0, 5.0], &[0.0, 5.0]]);
+        assert_eq!(t.argsort_rows_desc_lastcol(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn argsort_is_stable_for_fully_tied_rows() {
+        let t = Tensor::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        assert_eq!(t.argsort_rows_desc_lastcol(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the tensor algebra.
+
+use magic_tensor::{Rng64, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100f32..100.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, [rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transpose_is_involutive(t in tensor_strategy(3, 5)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor_strategy(3, 4), b in tensor_strategy(4, 2)) {
+        // (AB)^T = B^T A^T
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-3));
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative(
+        a in tensor_strategy(2, 3),
+        b in tensor_strategy(2, 3),
+        c in tensor_strategy(2, 3),
+    ) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert!(a.add(&b).add(&c).approx_eq(&a.add(&b.add(&c)), 1e-3));
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(t in tensor_strategy(4, 4)) {
+        let r = t.relu();
+        prop_assert_eq!(r.relu(), r.clone());
+        prop_assert!(r.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn scale_rows_matches_diagonal_matmul(t in tensor_strategy(3, 4)) {
+        // D t == scale_rows(t, diag(D)) for diagonal D.
+        let factors = [0.5f32, -2.0, 3.0];
+        let mut d = Tensor::zeros([3, 3]);
+        for (i, &f) in factors.iter().enumerate() {
+            d.set2(i, i, f);
+        }
+        let via_matmul = d.matmul(&t);
+        let via_scale = t.scale_rows(&factors);
+        prop_assert!(via_matmul.approx_eq(&via_scale, 1e-3));
+    }
+
+    #[test]
+    fn gather_then_concat_partition_is_identity(seed in 0u64..1000) {
+        // Splitting rows into two index sets and re-gathering in order
+        // reproduces the matrix.
+        let mut rng = Rng64::new(seed);
+        let t = Tensor::rand_uniform([6, 3], -1.0, 1.0, &mut rng);
+        let top = t.gather_rows(&[0, 1, 2]);
+        let bottom = t.gather_rows(&[3, 4, 5]);
+        prop_assert_eq!(Tensor::concat_rows(&[&top, &bottom]), t);
+    }
+
+    #[test]
+    fn argsort_produces_descending_keys(t in tensor_strategy(8, 3)) {
+        let order = t.argsort_rows_desc_lastcol();
+        // The primary key (last column) is non-increasing along the order.
+        for w in order.windows(2) {
+            prop_assert!(t.get2(w[0], 2) >= t.get2(w[1], 2));
+        }
+        // And it is a permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn log_softmax_exponentiates_to_distribution(v in prop::collection::vec(-30f32..30.0, 2..12)) {
+        let t = Tensor::from_slice(&v);
+        let exp_sum: f32 = t.log_softmax().exp().sum();
+        prop_assert!((exp_sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pad_or_truncate_is_idempotent_at_target(t in tensor_strategy(5, 2), k in 1usize..10) {
+        let once = t.pad_or_truncate_rows(k);
+        let twice = once.pad_or_truncate_rows(k);
+        prop_assert_eq!(once, twice);
+    }
+}

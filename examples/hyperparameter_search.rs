@@ -1,0 +1,55 @@
+//! Hyperparameter tuning demo: sweep the reduced Table II grid on a tiny
+//! MSKCFG-like corpus and report the ranking.
+//!
+//! Run with: `cargo run --release --example hyperparameter_search`
+
+use magic::pipeline::extract_acfgs_parallel;
+use magic::tuning::{GridSearch, HyperParams};
+use magic_model::GraphInput;
+use magic_synth::{MskcfgGenerator, MSKCFG_FAMILIES};
+
+fn main() {
+    println!(
+        "Table II full grid holds {} settings; sweeping the reduced {}-setting grid here.",
+        HyperParams::full_grid().len(),
+        HyperParams::reduced_grid().len()
+    );
+
+    let mut generator = MskcfgGenerator::new(31, 0.005);
+    let samples = generator.generate();
+    let listings: Vec<String> = samples.iter().map(|s| s.listing.clone()).collect();
+    let acfgs: Vec<_> = extract_acfgs_parallel(&listings, 8)
+        .into_iter()
+        .map(|r| r.expect("generated listings parse"))
+        .collect();
+    let inputs: Vec<GraphInput> = acfgs.iter().map(GraphInput::from_acfg).collect();
+    let labels: Vec<usize> = samples.iter().map(|s| s.label).collect();
+    println!("corpus: {} samples\n", inputs.len());
+
+    let search = GridSearch {
+        grid: HyperParams::reduced_grid(),
+        epochs: 8,
+        folds: 3,
+        seed: 2,
+    };
+    let ranked = search.run(&inputs, &labels, MSKCFG_FAMILIES.len(), |i, total, outcome| {
+        println!(
+            "[{}/{}] mean val loss {:.4}  accuracy {:.4}  <- {}",
+            i + 1,
+            total,
+            outcome.cv.mean_val_loss,
+            outcome.cv.confusion.accuracy(),
+            outcome.params
+        );
+    });
+
+    println!("\nranking (best first):");
+    for (rank, outcome) in ranked.iter().enumerate() {
+        println!(
+            "{:>2}. val loss {:.4}  {}",
+            rank + 1,
+            outcome.cv.mean_val_loss,
+            outcome.params
+        );
+    }
+}

@@ -1,0 +1,16 @@
+.text:00401000 sub_401000      proc near
+.text:00401000                 push    ebp
+.text:00401001                 mov     ebp, esp
+.text:00401003                 mov     ecx, 10
+.text:00401008 loc_401008:
+.text:00401008                 xor     eax, 3Fh
+.text:0040100B                 dec     ecx
+.text:0040100C                 jnz     short loc_401008
+.text:0040100E                 cmp     eax, 0
+.text:00401011                 jz      short loc_401017
+.text:00401013                 call    ds:MessageBoxA
+.text:00401019                 retn
+.text:00401017 loc_401017:
+.text:00401017                 pop     ebp
+.text:00401018                 retn
+.text:00401019 sub_401000      endp

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (plus the extension
+# experiments) at CPU-sized scales. Each binary writes JSON into results/
+# and a log into results/logs/.
+#
+# Usage: scripts/run_experiments.sh [fast|full]
+#   fast (default): ~1 hour on a single core
+#   full: larger corpora, closer to paper shape; several hours
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-fast}"
+if [ "$MODE" = full ]; then
+    SCALE_MSK=0.05; SCALE_YAN=0.03; EPOCHS=60; SMALL_EPOCHS=30; GRID_EPOCHS=20
+else
+    SCALE_MSK=0.015; SCALE_YAN=0.012; EPOCHS=30; SMALL_EPOCHS=15; GRID_EPOCHS=6
+fi
+
+mkdir -p results/logs
+cargo build --release -p magic-bench
+
+run() {
+    local bin="$1"; shift
+    echo "=== $bin $* ==="
+    ./target/release/"$bin" "$@" 2>&1 | tee "results/logs/$bin.log"
+}
+
+run table1_attributes
+run fig7_fig8_distributions
+run table3_mskcfg --scale "$SCALE_MSK" --epochs "$EPOCHS"
+run table4_comparison --scale "$SCALE_MSK" --epochs "$EPOCHS"
+run table5_yancfg --scale "$SCALE_YAN" --epochs "$EPOCHS"
+run fig11_esvc_improvement --scale "$SCALE_YAN" --epochs "$EPOCHS"
+run fig9_fig10_scores
+run table2_hyperparams --scale 0.008 --epochs "$GRID_EPOCHS"
+run timing_overhead --scale 0.01
+run ablation_attributes --scale 0.008 --epochs "$SMALL_EPOCHS"
+run ext_wl_kernel --scale 0.012 --epochs "$SMALL_EPOCHS"
+run ext_detection --scale 0.012 --epochs "$SMALL_EPOCHS"
+run ext_drift --scale 0.012 --epochs "$SMALL_EPOCHS"
+
+echo "all experiments complete; outputs in results/"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Trimmed continuation used when the fast suite must fit a tight budget:
+# runs everything after table3 with reduced epochs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results/logs
+
+run() {
+    local bin="$1"; shift
+    echo "=== $bin $* ==="
+    ./target/release/"$bin" "$@" 2>&1 | tee "results/logs/$bin.log"
+}
+
+run table4_comparison --scale 0.01 --epochs 15
+run table5_yancfg --scale 0.012 --epochs 20
+run fig11_esvc_improvement --scale 0.012 --epochs 20
+run fig9_fig10_scores
+run table2_hyperparams --scale 0.006 --epochs 5
+run timing_overhead --scale 0.01
+run ablation_attributes --scale 0.006 --epochs 12
+run ext_wl_kernel --scale 0.01 --epochs 12
+run ext_drift --scale 0.01 --epochs 12
+run ext_detection --scale 0.008 --epochs 8
+
+echo "remaining experiments complete"

@@ -1,0 +1,72 @@
+//! Workspace-level integration tests for the MAGIC reproduction.
+//!
+//! The real content lives in `tests/tests/*.rs`; this library only hosts
+//! shared helpers for those tests.
+
+use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+use magic_tensor::{Rng64, Tensor};
+
+/// Builds a random, connected, CFG-shaped ACFG for tests.
+pub fn random_acfg(n: usize, seed: u64) -> Acfg {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = Rng64::new(seed);
+    let mut g = DiGraph::new(n);
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1);
+    }
+    for _ in 0..n / 3 {
+        let (u, v) = (rng.next_below(n), rng.next_below(n));
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    let attrs = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 5.0, &mut rng);
+    Acfg::new(g, attrs)
+}
+
+/// Applies a vertex permutation to an ACFG: vertex `perm[v]` of the input
+/// becomes vertex `v` of the result.
+pub fn permute_acfg(acfg: &Acfg, perm: &[usize]) -> Acfg {
+    let n = acfg.vertex_count();
+    assert_eq!(perm.len(), n, "permutation must cover all vertices");
+    // inverse[old] = new position.
+    let mut inverse = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inverse[old] = new;
+    }
+    let mut g = DiGraph::new(n);
+    for (u, v) in acfg.graph().edges() {
+        g.add_edge(inverse[u], inverse[v]);
+    }
+    let mut attrs = Tensor::zeros([n, NUM_ATTRIBUTES]);
+    for (new, &old) in perm.iter().enumerate() {
+        attrs.set_row(new, acfg.attributes().row(old));
+    }
+    Acfg::new(g, attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permute_identity_is_noop() {
+        let acfg = random_acfg(6, 1);
+        let perm: Vec<usize> = (0..6).collect();
+        let p = permute_acfg(&acfg, &perm);
+        assert_eq!(p.edge_count(), acfg.edge_count());
+        assert!(p.attributes().approx_eq(acfg.attributes(), 0.0));
+    }
+
+    #[test]
+    fn permutation_preserves_degree_multiset() {
+        let acfg = random_acfg(8, 2);
+        let perm = vec![3, 1, 4, 0, 6, 2, 7, 5];
+        let p = permute_acfg(&acfg, &perm);
+        let mut a: Vec<usize> = (0..8).map(|v| acfg.graph().out_degree(v)).collect();
+        let mut b: Vec<usize> = (0..8).map(|v| p.graph().out_degree(v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate invariants of the DGCNN model.
+
+use magic_integration::{permute_acfg, random_acfg};
+use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
+use magic_tensor::Rng64;
+
+/// SortPooling-based heads order vertices canonically by their WL-style
+/// feature descriptors, so predictions must be invariant under vertex
+/// relabeling (up to float noise from reordered summation).
+#[test]
+fn sortpool_heads_are_permutation_invariant() {
+    for head in [PoolingHead::sort_pool_weighted(8), PoolingHead::sort_pool_conv1d(12)] {
+        let config = DgcnnConfig::new(4, head.clone());
+        let model = Dgcnn::new(&config, 3);
+        let mut rng = Rng64::new(50);
+        for trial in 0..10 {
+            let n = 6 + trial;
+            let acfg = random_acfg(n, 100 + trial as u64);
+            let mut perm: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut perm);
+            let permuted = permute_acfg(&acfg, &perm);
+
+            let p1 = model.predict(&GraphInput::from_acfg(&acfg));
+            let p2 = model.predict(&GraphInput::from_acfg(&permuted));
+            for (a, b) in p1.iter().zip(&p2) {
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "head {head:?}, trial {trial}: {p1:?} vs {p2:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Predictions must always be a valid probability distribution, for any
+/// head and any graph shape — including pathological ones.
+#[test]
+fn predictions_are_distributions_on_pathological_graphs() {
+    use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+    use magic_tensor::Tensor;
+
+    let configs = [
+        DgcnnConfig::new(5, PoolingHead::adaptive_max_pool(4)),
+        DgcnnConfig::new(5, PoolingHead::sort_pool_weighted(16)),
+        DgcnnConfig::new(5, PoolingHead::sort_pool_conv1d(14)),
+    ];
+    // Pathologies: single vertex; all-zero attributes; complete digraph;
+    // self-loops only.
+    let mut cases: Vec<Acfg> = Vec::new();
+    cases.push(Acfg::new(DiGraph::new(1), Tensor::ones([1, NUM_ATTRIBUTES])));
+    cases.push(Acfg::new(DiGraph::new(3), Tensor::zeros([3, NUM_ATTRIBUTES])));
+    let mut complete = DiGraph::new(5);
+    for u in 0..5 {
+        for v in 0..5 {
+            if u != v {
+                complete.add_edge(u, v);
+            }
+        }
+    }
+    cases.push(Acfg::new(complete, Tensor::ones([5, NUM_ATTRIBUTES])));
+    let mut loops = DiGraph::new(4);
+    for v in 0..4 {
+        loops.add_edge(v, v);
+    }
+    cases.push(Acfg::new(loops, Tensor::full([4, NUM_ATTRIBUTES], 2.0)));
+
+    for config in &configs {
+        let model = Dgcnn::new(config, 9);
+        for (i, acfg) in cases.iter().enumerate() {
+            let probs = model.predict(&GraphInput::from_acfg(acfg));
+            assert_eq!(probs.len(), 5);
+            let total: f32 = probs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-3, "case {i}: sum {total}");
+            assert!(probs.iter().all(|p| p.is_finite() && *p >= 0.0), "case {i}");
+        }
+    }
+}
+
+/// Scaling every attribute by a constant must change predictions (the
+/// model is attribute-sensitive), while graph structure alone must also
+/// matter (structure-sensitivity).
+#[test]
+fn model_is_sensitive_to_both_attributes_and_structure() {
+    use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+    use magic_tensor::Tensor;
+
+    let config = DgcnnConfig::new(3, PoolingHead::adaptive_max_pool(3));
+    let model = Dgcnn::new(&config, 21);
+
+    let acfg = random_acfg(12, 7);
+    let base = model.predict(&GraphInput::from_acfg(&acfg));
+
+    // Attribute sensitivity.
+    let scaled = Acfg::new(acfg.graph().clone(), acfg.attributes().scale(3.0));
+    let scaled_pred = model.predict(&GraphInput::from_acfg(&scaled));
+    assert_ne!(base, scaled_pred, "attribute scaling must matter");
+
+    // Structure sensitivity: same attributes, different wiring.
+    let mut rewired = DiGraph::new(12);
+    for v in 0..11 {
+        rewired.add_edge(11 - v, 11 - v - 1);
+    }
+    rewired.add_edge(0, 11);
+    let restructured = Acfg::new(rewired, acfg.attributes().clone());
+    let restructured_pred = model.predict(&GraphInput::from_acfg(&restructured));
+    assert_ne!(base, restructured_pred, "structure must matter");
+
+    let _ = Tensor::zeros([1, NUM_ATTRIBUTES]); // keep imports honest
+}
+
+/// Two models constructed from the same seed are byte-identical in
+/// behaviour — required for the paper's reproducible grid search.
+#[test]
+fn same_seed_models_agree_everywhere() {
+    let config = DgcnnConfig::new(6, PoolingHead::sort_pool_weighted(10));
+    let a = Dgcnn::new(&config, 42);
+    let b = Dgcnn::new(&config, 42);
+    for trial in 0..5 {
+        let input = GraphInput::from_acfg(&random_acfg(10 + trial, trial as u64));
+        assert_eq!(a.predict(&input), b.predict(&input));
+    }
+}
