@@ -26,6 +26,32 @@ pub fn finite_difference_gradient(
     grad
 }
 
+/// First element at which two tensors differ in exact bit pattern, if
+/// any.
+///
+/// Gradient-path refactors (e.g. moving accumulation from a single store
+/// onto per-worker buffers) are required to be *bitwise* no-ops, and a
+/// plain float `==` cannot check that: it accepts `-0.0 == 0.0` and
+/// rejects `NaN == NaN`. Comparing the `f32` bit patterns does exactly
+/// what the determinism contract demands.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn first_bitwise_mismatch(a: &Tensor, b: &Tensor) -> Option<usize> {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "tensor shapes differ: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .position(|(x, y)| x.to_bits() != y.to_bits())
+}
+
 /// Largest absolute elementwise difference between an analytic gradient and
 /// its finite-difference estimate, normalized by `1 + |numeric|` so the
 /// tolerance is meaningful across magnitudes.
@@ -215,5 +241,20 @@ mod tests {
     fn max_grad_error_is_zero_for_equal_tensors() {
         let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
         assert_eq!(max_grad_error(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn bitwise_mismatch_distinguishes_what_float_eq_cannot() {
+        let a = Tensor::from_slice(&[1.0, 0.0, 3.0]);
+        assert_eq!(first_bitwise_mismatch(&a, &a), None);
+        let b = Tensor::from_slice(&[1.0, -0.0, 3.0]);
+        // -0.0 == 0.0 under float comparison, but the bits differ.
+        assert_eq!(first_bitwise_mismatch(&a, &b), Some(1));
+        let n = Tensor::from_slice(&[f32::NAN, 0.0, 3.0]);
+        // Same NaN payload compares as identical bits.
+        assert_eq!(first_bitwise_mismatch(&n, &n), None);
+        // One ULP apart: far below any plausible approx-eq tolerance.
+        let c = Tensor::from_slice(&[1.0, 0.0, f32::from_bits(3.0f32.to_bits() + 1)]);
+        assert_eq!(first_bitwise_mismatch(&a, &c), Some(2));
     }
 }

@@ -34,6 +34,6 @@ mod check;
 mod conv;
 mod tape;
 
-pub use check::{finite_difference_gradient, max_grad_error};
+pub use check::{finite_difference_gradient, first_bitwise_mismatch, max_grad_error};
 pub use conv::{conv1d_shape, conv2d_shape};
 pub use tape::{Tape, Var};

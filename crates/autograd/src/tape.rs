@@ -93,6 +93,16 @@ impl Tape {
         self.grads.clear();
     }
 
+    /// Prepares the tape for the next sample, keeping allocations.
+    ///
+    /// This is the worker-reuse entry point: data-parallel training
+    /// keeps one tape per worker lane and resets it between samples
+    /// instead of allocating a fresh tape, so the node and gradient
+    /// vectors stay warm. Identical to [`Tape::clear`].
+    pub fn reset(&mut self) {
+        self.clear();
+    }
+
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
         self.nodes.push(Node { value, op, requires_grad });
         self.grads.push(None);
@@ -780,5 +790,27 @@ mod tests {
         let s2 = tape.sum(y);
         tape.backward(s2);
         assert_eq!(tape.grad(y).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    fn reset_behaves_like_clear() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([2, 2]), true);
+        let s = tape.sum(x);
+        tape.backward(s);
+        tape.reset();
+        assert!(tape.is_empty());
+    }
+
+    /// The tape holds only owned tensors and plain enum data, so worker
+    /// threads may own or share one. This must keep holding as ops are
+    /// added — a stray `Rc` or `RefCell` in a node would silently force
+    /// training back to a single thread.
+    #[test]
+    fn tape_and_vars_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tape>();
+        assert_send_sync::<Var>();
+        assert_send_sync::<Tensor>();
     }
 }

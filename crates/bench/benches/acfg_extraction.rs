@@ -2,7 +2,7 @@
 //! "feature extraction time" component) — parsing, Algorithm 1/2 block
 //! building and Table I attribution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use magic_asm::{parse_listing, CfgBuilder};
 use magic_graph::Acfg;
 use magic_synth::codegen::CodeGenerator;

@@ -1,7 +1,7 @@
 //! Criterion bench: the Table IV baseline classifiers — fit and predict
 //! costs on handcrafted ACFG features.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use magic_microbench::{criterion_group, criterion_main, Criterion};
 use magic_baselines::{
     Classifier, FeatureVector, GradientBoosting, LinearSvmEnsemble, RandomForest,
 };

@@ -1,7 +1,7 @@
 //! Criterion bench: the graph convolution of Eq. (1) — forward pass and
 //! full forward+backward — across graph sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use magic_autograd::Tape;
 use magic_graph::NUM_ATTRIBUTES;
 use magic_nn::{augment_adjacency, GraphConv, ParamStore};

@@ -1,7 +1,7 @@
 //! Criterion bench: the three readout heads of Section III compared on
 //! identical graphs — the ablation behind Table II's "Pooling Type" axis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
 use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
 use magic_tensor::{Rng64, Tensor};

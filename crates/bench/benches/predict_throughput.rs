@@ -2,7 +2,7 @@
 //! corpora — the "malware prediction time" of Section V-E (paper:
 //! 11.33 ± 1.35 ms/instance on GPU).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use magic_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use magic_bench::experiments::{best_params, Corpus};
 use magic_bench::{prepare_mskcfg, prepare_yancfg};
 use magic_model::Dgcnn;

@@ -1,0 +1,104 @@
+//! Serial vs data-parallel training epochs: measures one epoch of the
+//! mini-batch engine at several `train_workers` settings and records the
+//! speedup ratio in `results/BENCH_train_parallel.json`.
+//!
+//! Training is bitwise identical for every worker count, so this bench
+//! is purely about wall-clock scaling (which in turn depends on the
+//! machine's core count — the ratio is recorded alongside the detected
+//! parallelism so results from different hosts stay interpretable).
+
+use magic::trainer::{TrainConfig, Trainer};
+use magic::resolve_workers;
+use magic_bench::results::write_result;
+use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+use magic_json::json;
+use magic_microbench::{time_fn, Stats};
+use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
+use magic_tensor::{Rng64, Tensor};
+use std::time::Duration;
+
+fn sample_input(n: usize, seed: u64) -> GraphInput {
+    let mut rng = Rng64::new(seed);
+    let mut g = DiGraph::new(n);
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1);
+    }
+    for _ in 0..n / 4 {
+        let (u, v) = (rng.next_below(n), rng.next_below(n));
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    GraphInput::from_acfg(&Acfg::new(
+        g,
+        Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 4.0, &mut rng),
+    ))
+}
+
+fn epoch_stats(workers: usize, inputs: &[GraphInput], labels: &[usize]) -> Stats {
+    let config = DgcnnConfig::new(4, PoolingHead::sort_pool_weighted(10));
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 10,
+        learning_rate: 1e-3,
+        seed: 11,
+        train_workers: workers,
+        ..TrainConfig::default()
+    });
+    let train_idx: Vec<usize> = (0..inputs.len()).collect();
+    time_fn(
+        || {
+            let mut model = Dgcnn::new(&config, 2);
+            let outcome = trainer.train(&mut model, inputs, labels, &train_idx, &[]);
+            std::hint::black_box(outcome.history.len());
+        },
+        10,
+        Duration::from_millis(200),
+        Duration::from_millis(1200),
+    )
+}
+
+fn stats_json(stats: &Stats) -> magic_json::Value {
+    json!({
+        "median_ns": stats.median_ns,
+        "mean_ns": stats.mean_ns,
+        "min_ns": stats.min_ns,
+        "max_ns": stats.max_ns,
+        "samples": stats.samples,
+        "iters_per_sample": stats.iters_per_sample,
+    })
+}
+
+fn main() {
+    let inputs: Vec<GraphInput> = (0..40).map(|i| sample_input(30, i)).collect();
+    let labels: Vec<usize> = (0..inputs.len()).map(|i| i % 4).collect();
+
+    let serial = epoch_stats(1, &inputs, &labels);
+    println!("train epoch, 1 worker:  {:>12.0} ns/epoch", serial.median_ns);
+
+    let mut runs = Vec::new();
+    for workers in [2usize, 4] {
+        let stats = epoch_stats(workers, &inputs, &labels);
+        let ratio = serial.median_ns / stats.median_ns;
+        println!(
+            "train epoch, {workers} workers: {:>12.0} ns/epoch ({ratio:.2}x vs serial)",
+            stats.median_ns
+        );
+        runs.push(json!({
+            "workers": workers,
+            "stats": stats_json(&stats),
+            "speedup_vs_serial": ratio,
+        }));
+    }
+
+    write_result(
+        "BENCH_train_parallel",
+        &json!({
+            "bench": "train_parallel",
+            "available_parallelism": resolve_workers(0),
+            "corpus": { "graphs": inputs.len(), "vertices_per_graph": 30, "batch_size": 10 },
+            "serial": stats_json(&serial),
+            "parallel": runs,
+        }),
+    );
+}

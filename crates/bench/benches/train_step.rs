@@ -2,7 +2,7 @@
 //! accumulation + Adam update) of the Table II best MSKCFG model —
 //! the "classifier training time" component of Section V-E.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use magic_microbench::{criterion_group, criterion_main, Criterion};
 use magic_autograd::Tape;
 use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
 use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};

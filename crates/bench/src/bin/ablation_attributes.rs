@@ -15,7 +15,7 @@ use magic_bench::results::write_result;
 use magic_bench::{prepare_yancfg, RunArgs};
 use magic_graph::{Acfg, Attribute};
 use magic_model::GraphInput;
-use serde_json::json;
+use magic_json::json;
 
 /// Zeroes the given attribute channels of every vertex.
 fn mask_channels(acfg: &Acfg, channels: &[usize]) -> Acfg {

@@ -17,7 +17,7 @@ use magic_data::stratified_kfold;
 use magic_metrics::{roc_auc, ConfusionMatrix};
 use magic_model::Dgcnn;
 use magic::trainer::Trainer;
-use serde_json::json;
+use magic_json::json;
 
 fn main() {
     let args = RunArgs::parse(RunArgs::quick());

@@ -14,7 +14,7 @@ use magic_bench::results::{bar, write_result};
 use magic_bench::RunArgs;
 use magic_model::{Dgcnn, GraphInput};
 use magic_synth::YancfgGenerator;
-use serde_json::json;
+use magic_json::json;
 
 fn corpus_inputs(generator: &mut YancfgGenerator) -> (Vec<GraphInput>, Vec<usize>) {
     let samples = generator.generate();

@@ -17,7 +17,7 @@ use magic_bench::{prepare_yancfg, RunArgs};
 use magic_data::stratified_kfold;
 use magic_metrics::ConfusionMatrix;
 use magic_model::Dgcnn;
-use serde_json::json;
+use magic_json::json;
 use std::time::Instant;
 
 fn main() {

@@ -12,7 +12,7 @@ use magic_bench::{prepare_yancfg, RunArgs};
 use magic_baselines::{Classifier, FeatureVector, LinearSvmEnsemble};
 use magic_data::stratified_kfold;
 use magic_metrics::{ConfusionMatrix, ScoreReport};
-use serde_json::json;
+use magic_json::json;
 
 fn main() {
     let args = RunArgs::parse(RunArgs::quick());

@@ -8,7 +8,7 @@ use magic_bench::results::{bar, write_result};
 use magic_bench::RunArgs;
 use magic_synth::mskcfg::{MskcfgGenerator, MSKCFG_COUNTS, MSKCFG_FAMILIES};
 use magic_synth::yancfg::{YancfgGenerator, YANCFG_COUNTS, YANCFG_FAMILIES};
-use serde_json::json;
+use magic_json::json;
 
 fn print_distribution(title: &str, names: &[&str], full: &[usize], scaled: &[usize]) {
     println!("\n=== {title} ===");

@@ -6,7 +6,7 @@
 //! them first.
 
 use magic_bench::results::{bar, results_dir};
-use serde_json::Value;
+use magic_json::Value;
 
 fn render(name: &str, title: &str) -> bool {
     let path = results_dir().join(format!("{name}.json"));
@@ -17,7 +17,7 @@ fn render(name: &str, title: &str) -> bool {
         );
         return false;
     };
-    let v: Value = match serde_json::from_str(&text) {
+    let v: Value = match magic_json::from_str(&text) {
         Ok(v) => v,
         Err(e) => {
             println!("{title}: unreadable result file: {e}");

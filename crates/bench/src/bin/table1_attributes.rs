@@ -7,7 +7,7 @@
 use magic::pipeline::extract_acfg;
 use magic_bench::{prepare_mskcfg, RunArgs};
 use magic_graph::Attribute;
-use serde_json::json;
+use magic_json::json;
 
 const DEMO_LISTING: &str = "\
 .text:00401000                 push    ebp
@@ -65,7 +65,7 @@ fn main() {
         vertices += acfg.vertex_count();
     }
     println!("({} samples, {} vertices)", corpus.len(), vertices);
-    let mut json_means = serde_json::Map::new();
+    let mut json_means = magic_json::Map::new();
     for (attr, &total) in Attribute::ALL.iter().zip(&sums) {
         let mean = total / vertices.max(1) as f64;
         println!("{:<36} mean/vertex = {mean:.3}", attr.name());

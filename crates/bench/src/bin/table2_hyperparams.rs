@@ -8,9 +8,9 @@
 use magic::tuning::{GridSearch, HyperParams};
 use magic_bench::results::write_result;
 use magic_bench::{prepare_mskcfg, prepare_yancfg, PreparedCorpus, RunArgs};
-use serde_json::json;
+use magic_json::json;
 
-fn sweep(name: &str, corpus: &PreparedCorpus, args: &RunArgs) -> Vec<serde_json::Value> {
+fn sweep(name: &str, corpus: &PreparedCorpus, args: &RunArgs) -> Vec<magic_json::Value> {
     let grid = if args.full {
         HyperParams::full_grid()
     } else {

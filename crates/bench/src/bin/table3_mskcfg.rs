@@ -7,7 +7,7 @@
 use magic_bench::experiments::{best_params, run_cv, Corpus};
 use magic_bench::results::{bar, report_to_json, write_result};
 use magic_bench::{prepare_mskcfg, RunArgs};
-use serde_json::json;
+use magic_json::json;
 
 fn main() {
     let args = RunArgs::parse(RunArgs::quick());

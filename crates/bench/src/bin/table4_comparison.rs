@@ -13,7 +13,7 @@ use magic_bench::experiments::{
 };
 use magic_bench::results::write_result;
 use magic_bench::{prepare_mskcfg, RunArgs};
-use serde_json::json;
+use magic_json::json;
 
 fn main() {
     let args = RunArgs::parse(RunArgs::quick());

@@ -8,7 +8,7 @@
 use magic_bench::experiments::{best_params, run_cv, Corpus};
 use magic_bench::results::{bar, report_to_json, write_result};
 use magic_bench::{prepare_yancfg, RunArgs};
-use serde_json::json;
+use magic_json::json;
 
 /// Table V of the paper, for side-by-side printing.
 const PAPER_F1: [(&str, f64); 13] = [

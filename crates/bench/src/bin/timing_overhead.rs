@@ -14,7 +14,7 @@ use magic_bench::results::write_result;
 use magic_bench::{prepare_mskcfg, RunArgs};
 use magic_model::Dgcnn;
 use magic_synth::MskcfgGenerator;
-use serde_json::json;
+use magic_json::json;
 use std::time::Instant;
 
 fn mean_std(samples: &[f64]) -> (f64, f64) {

@@ -2,7 +2,7 @@
 //! `results/` so EXPERIMENTS.md can cite machine-generated numbers.
 
 use magic_metrics::ScoreReport;
-use serde_json::{json, Value};
+use magic_json::{json, Value};
 use std::path::PathBuf;
 
 /// Directory where experiment outputs are stored (relative to the
@@ -42,7 +42,7 @@ pub fn write_result(name: &str, value: &Value) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+    match std::fs::write(&path, magic_json::to_string_pretty(value)) {
         Ok(()) => println!("\nresult written to {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }

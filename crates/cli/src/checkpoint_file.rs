@@ -4,7 +4,7 @@
 use magic::checkpoint::{load_weights, save_weights};
 use magic::tuning::{HeadKind, HyperParams};
 use magic_model::Dgcnn;
-use serde_json::{json, Value};
+use magic_json::{from_str, json, Value};
 
 /// Metadata stored in the header line.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,7 +69,7 @@ pub fn deserialize_model(text: &str) -> Result<(ModelHeader, Dgcnn), String> {
     let header_line = lines.next().ok_or("empty model file")?;
     let body = lines.next().unwrap_or("");
     let meta: Value =
-        serde_json::from_str(header_line).map_err(|e| format!("bad header: {e}"))?;
+        from_str(header_line).map_err(|e| format!("bad header: {e}"))?;
     if meta["format"] != "magic-model-v1" {
         return Err(format!("unsupported format {:?}", meta["format"]));
     }

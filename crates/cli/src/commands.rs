@@ -29,7 +29,9 @@ magic — DGCNN malware classification over control flow graphs
 
 USAGE:
     magic extract <listing.asm> [--dot]
-    magic train --corpus <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S] --out <model.magic>
+    magic train --corpus <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
+                [--train-workers N] --out <model.magic>
+                (--train-workers 0 = auto; results are identical for any N)
     magic predict --model <model.magic> <listing.asm>...
     magic info --model <model.magic>";
 
@@ -92,6 +94,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --seed"))
         .transpose()?
         .unwrap_or(7);
+    let train_workers: usize = take_flag(&mut args, "--train-workers")
+        .map(|s| s.parse().map_err(|_| "bad --train-workers"))
+        .transpose()?
+        .unwrap_or(0);
 
     // Build the corpus.
     let (inputs, labels, families): (Vec<GraphInput>, Vec<usize>, Vec<String>) =
@@ -141,9 +147,14 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         learning_rate: 5e-3,
         lr_patience: 5,
         seed,
+        train_workers,
         ..TrainConfig::default()
     });
-    eprintln!("training {} weights for {epochs} epochs...", model.num_weights());
+    eprintln!(
+        "training {} weights for {epochs} epochs on {} worker(s)...",
+        model.num_weights(),
+        magic::resolve_workers(train_workers)
+    );
     let outcome = trainer.train(&mut model, &inputs, &labels, &split.train, &split.validation);
     let last = outcome.history.last().ok_or("no epochs ran")?;
     eprintln!(
@@ -256,5 +267,15 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(cmd_train(&args).unwrap_err().contains("unknown corpus"));
+    }
+
+    #[test]
+    fn train_rejects_malformed_worker_count() {
+        let args: Vec<String> =
+            ["--corpus", "yancfg", "--out", "/tmp/x.magic", "--train-workers", "many"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert_eq!(cmd_train(&args).unwrap_err(), "bad --train-workers");
     }
 }

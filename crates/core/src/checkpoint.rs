@@ -4,12 +4,12 @@
 //! The format is line-oriented JSON (one parameter per line) — trivially
 //! diffable and stable across versions of this crate.
 
+use magic_json::Value;
 use magic_model::Dgcnn;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::fmt::Write as _;
 
-#[derive(Debug, Serialize, Deserialize)]
 struct ParamRecord {
     name: String,
     shape: Vec<usize>,
@@ -19,8 +19,8 @@ struct ParamRecord {
 /// Error from checkpoint loading.
 #[derive(Debug)]
 pub enum CheckpointError {
-    /// A line was not valid JSON.
-    Malformed(serde_json::Error),
+    /// A line was not valid JSON or lacked a required field.
+    Malformed(String),
     /// The checkpoint names a parameter the model does not have.
     UnknownParam(String),
     /// A parameter's shape does not match the model's.
@@ -40,18 +40,54 @@ impl fmt::Display for CheckpointError {
 impl Error for CheckpointError {}
 
 /// Serializes all model weights.
+///
+/// Weights are written with Rust's shortest-roundtrip `f32` formatting;
+/// reading them back through an `f64` parse and narrowing restores the
+/// exact bits (covered by the roundtrip test in `magic-json`).
 pub fn save_weights(model: &Dgcnn) -> String {
     let mut out = String::new();
     for (name, tensor) in model.store().iter() {
-        let record = ParamRecord {
-            name: name.to_string(),
-            shape: tensor.shape().dims().to_vec(),
-            values: tensor.as_slice().to_vec(),
-        };
-        out.push_str(&serde_json::to_string(&record).expect("serializable record"));
-        out.push('\n');
+        out.push_str("{\"name\":");
+        out.push_str(&Value::String(name.to_string()).to_string());
+        out.push_str(",\"shape\":[");
+        for (i, d) in tensor.shape().dims().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{d}");
+        }
+        out.push_str("],\"values\":[");
+        for (i, v) in tensor.as_slice().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("]}\n");
     }
     out
+}
+
+/// Parses one checkpoint line into its record.
+fn parse_record(line: &str) -> Result<ParamRecord, CheckpointError> {
+    let malformed = |what: &str| CheckpointError::Malformed(format!("{what} in {line:?}"));
+    let doc = magic_json::from_str(line).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+    let name = doc["name"].as_str().ok_or_else(|| malformed("missing name"))?.to_string();
+    let shape = doc["shape"]
+        .as_array()
+        .ok_or_else(|| malformed("missing shape"))?
+        .iter()
+        .map(|d| d.as_u64().map(|d| d as usize))
+        .collect::<Option<Vec<usize>>>()
+        .ok_or_else(|| malformed("non-integer shape"))?;
+    let values = doc["values"]
+        .as_array()
+        .ok_or_else(|| malformed("missing values"))?
+        .iter()
+        .map(|v| v.as_f64().map(|v| v as f32))
+        .collect::<Option<Vec<f32>>>()
+        .ok_or_else(|| malformed("non-numeric values"))?;
+    Ok(ParamRecord { name, shape, values })
 }
 
 /// Restores weights saved by [`save_weights`] into `model`, which must
@@ -63,7 +99,7 @@ pub fn save_weights(model: &Dgcnn) -> String {
 /// names or shape mismatches.
 pub fn load_weights(model: &mut Dgcnn, text: &str) -> Result<(), CheckpointError> {
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        let record: ParamRecord = serde_json::from_str(line).map_err(CheckpointError::Malformed)?;
+        let record = parse_record(line)?;
         let id = model
             .store()
             .find(&record.name)

@@ -35,7 +35,14 @@ impl CvOutcome {
 ///
 /// Folds are independent, so they train on parallel threads (the paper
 /// likewise spreads its grid over four GPUs); results are deterministic
-/// regardless of scheduling because each fold derives its own seed.
+/// regardless of scheduling because each fold derives its own seed and
+/// in-fold training is bitwise worker-count independent.
+///
+/// When [`TrainConfig::train_workers`] is `0` ("auto"), the machine's
+/// parallelism is divided across the fold threads so the two layers of
+/// fan-out — folds here, mini-batch samples inside
+/// [`Trainer::train`] — do not oversubscribe the cores. An explicit
+/// worker count is honored verbatim, *per fold*.
 ///
 /// # Panics
 ///
@@ -48,7 +55,12 @@ pub fn cross_validate(
     folds: usize,
 ) -> CvOutcome {
     assert_eq!(inputs.len(), labels.len(), "one label per input");
-    let trainer = Trainer::new(train_config.clone());
+    let mut fold_config = train_config.clone();
+    if fold_config.train_workers == 0 {
+        fold_config.train_workers =
+            (crate::executor::resolve_workers(0) / folds.max(1)).max(1);
+    }
+    let trainer = Trainer::new(fold_config);
     let splits = stratified_kfold(labels, folds, train_config.seed);
 
     // One worker per fold; each returns (best val loss, per-sample

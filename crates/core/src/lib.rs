@@ -39,11 +39,13 @@
 
 pub mod checkpoint;
 pub mod cv;
+pub mod executor;
 pub mod pipeline;
 pub mod trainer;
 pub mod tuning;
 
 pub use cv::{cross_validate, CvOutcome};
+pub use executor::{executor_for, resolve_workers, BatchExecutor, SerialExecutor, ThreadedExecutor};
 pub use pipeline::{extract_acfg, extract_acfgs_parallel, MagicPipeline, PipelineError};
-pub use trainer::{EpochStats, TrainConfig, Trainer, TrainOutcome};
+pub use trainer::{evaluate, evaluate_with, EpochStats, TrainConfig, Trainer, TrainOutcome};
 pub use tuning::{GridSearch, HeadKind, HyperParams, SearchOutcome};

@@ -1,12 +1,12 @@
 //! The MAGIC front half: listing → CFG → ACFG, plus the assembled
 //! classify-one-binary pipeline.
 
+use crate::executor::{run_indexed, SerialExecutor, ThreadedExecutor};
 use magic_asm::{parse_listing, CfgBuilder, ParseError};
 use magic_graph::Acfg;
 use magic_model::{Dgcnn, GraphInput};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Error from ACFG extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,28 +65,12 @@ pub fn extract_acfgs_parallel(
     workers: usize,
 ) -> Vec<Result<Acfg, PipelineError>> {
     let workers = workers.max(1).min(listings.len().max(1));
-    let mut results: Vec<Option<Result<Acfg, PipelineError>>> = vec![None; listings.len()];
-    let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<Result<Acfg, PipelineError>>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= listings.len() {
-                    break;
-                }
-                let result = extract_acfg(&listings[i]);
-                **slots[i].lock() = Some(result);
-            });
-        }
-    })
-    .expect("extraction worker panicked");
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot is filled"))
-        .collect()
+    let job = |_worker: usize, i: usize| extract_acfg(&listings[i]);
+    if workers <= 1 {
+        run_indexed(&SerialExecutor, listings.len(), job)
+    } else {
+        run_indexed(&ThreadedExecutor::new(workers), listings.len(), job)
+    }
 }
 
 /// The assembled end-to-end system: a trained DGCNN plus family names.

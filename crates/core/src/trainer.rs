@@ -1,11 +1,26 @@
 //! Model training: Adam over the Eq. (5) loss with the Section V-B
 //! learning-rate schedule.
+//!
+//! # Threading model
+//!
+//! The mini-batch loop fans per-sample forward/backward passes across a
+//! [`BatchExecutor`]: workers share the read-only parameter store
+//! (`ParamStore::bind` takes `&self`) and each batch position owns a
+//! [`GradBuffer`] that is folded back into the store **in batch order**
+//! once all samples finish. Because the float additions happen in the
+//! same order as the serial loop, and dropout noise comes from per-sample
+//! [`Rng64::for_sample`] streams rather than a shared generator, training
+//! is bitwise identical for any `train_workers` value.
+
+use std::sync::Mutex;
 
 use magic_autograd::Tape;
 use magic_data::batches;
 use magic_model::{Dgcnn, GraphInput};
-use magic_nn::{Adam, Optimizer, ReduceLrOnPlateau};
+use magic_nn::{Adam, GradBuffer, Optimizer, ReduceLrOnPlateau};
 use magic_tensor::Rng64;
+
+use crate::executor::{executor_for, run_indexed, BatchExecutor, SerialExecutor};
 
 /// Training hyperparameters not covered by the model architecture.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,7 +33,7 @@ pub struct TrainConfig {
     pub learning_rate: f32,
     /// L2 weight regularization factor (Table II: 1e-4 or 5e-4).
     pub weight_decay: f32,
-    /// Seed for shuffling and dropout.
+    /// Seed for shuffling and the per-sample dropout streams.
     pub seed: u64,
     /// Cap on the global gradient norm (0 disables clipping).
     pub grad_clip: f32,
@@ -29,6 +44,11 @@ pub struct TrainConfig {
     /// enough that the paper's setting fires spuriously; raise this when
     /// training on reduced-scale corpora.
     pub lr_patience: usize,
+    /// Worker threads for mini-batch fan-out and evaluation. `0` means
+    /// "auto" (the machine's available parallelism); `1` trains on the
+    /// calling thread. The result is bitwise identical for every value —
+    /// this knob only changes wall-clock time.
+    pub train_workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +62,7 @@ impl Default for TrainConfig {
             grad_clip: 5.0,
             lr_decay_factor: 10.0,
             lr_patience: 2,
+            train_workers: 0,
         }
     }
 }
@@ -71,13 +92,21 @@ pub struct TrainOutcome {
 }
 
 impl TrainOutcome {
-    /// The epoch achieving the best validation loss.
+    /// The *first* epoch achieving the minimum validation loss.
+    ///
+    /// Ties go to the earliest epoch: with an identical score, the model
+    /// that got there in fewer updates is the one early stopping would
+    /// have kept.
     pub fn best_epoch(&self) -> usize {
-        self.history
-            .iter()
-            .min_by(|a, b| a.val_loss.partial_cmp(&b.val_loss).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|e| e.epoch)
-            .unwrap_or(0)
+        let mut best = 0;
+        let mut best_loss = f32::INFINITY;
+        for stats in &self.history {
+            if stats.val_loss < best_loss {
+                best_loss = stats.val_loss;
+                best = stats.epoch;
+            }
+        }
+        best
     }
 }
 
@@ -108,6 +137,10 @@ impl Trainer {
     /// every epoch, decaying the learning rate 10× after two consecutive
     /// epochs of rising validation loss (Section V-B).
     ///
+    /// Per-sample work runs on the executor selected by
+    /// [`TrainConfig::train_workers`]; the outcome (losses, weights,
+    /// history) is bitwise independent of the worker count.
+    ///
     /// # Panics
     ///
     /// Panics if an index is out of range or a label exceeds the model's
@@ -126,6 +159,17 @@ impl Trainer {
             assert!(l < num_classes, "label {l} exceeds {num_classes} classes");
         }
 
+        let executor = executor_for(self.config.train_workers);
+        // One reusable tape per worker lane (lanes run their jobs
+        // sequentially, so the lock is never contended) and one gradient
+        // buffer per batch position, so the reduction below can replay
+        // the serial float-addition order exactly.
+        let tapes: Vec<Mutex<Tape>> =
+            (0..executor.workers()).map(|_| Mutex::new(Tape::new())).collect();
+        let grad_slots: Vec<Mutex<GradBuffer>> = (0..self.config.batch_size)
+            .map(|_| Mutex::new(GradBuffer::for_store(model.store())))
+            .collect();
+
         let mut rng = Rng64::new(self.config.seed);
         let mut optimizer = Adam::new(self.config.learning_rate, self.config.weight_decay);
         let mut scheduler =
@@ -138,25 +182,46 @@ impl Trainer {
             rng.shuffle(&mut order);
             let mut train_loss_total = 0.0;
             for batch in batches(&order, self.config.batch_size) {
-                model.store_mut().zero_grads();
-                for &i in &batch {
-                    let mut tape = Tape::new();
-                    let binding = model.store().bind(&mut tape);
-                    let lp = model.forward(&mut tape, &binding, &inputs[i], true, &mut rng);
+                let store = model.store();
+                let losses: Vec<f32> = run_indexed(executor.as_ref(), batch.len(), |worker, j| {
+                    let i = batch[j];
+                    let mut tape = tapes[worker].lock().expect("unpoisoned tape");
+                    tape.reset();
+                    let binding = store.bind(&mut tape);
+                    // Dropout draws come from a stream keyed on
+                    // (seed, epoch, sample), not on batch composition or
+                    // scheduling, so every worker count sees the same
+                    // noise.
+                    let mut sample_rng =
+                        Rng64::for_sample(self.config.seed, epoch as u64, i as u64);
+                    let lp = model.forward(&mut tape, &binding, &inputs[i], true, &mut sample_rng);
                     let loss = tape.nll_loss(lp, vec![labels[i]]);
-                    train_loss_total += tape.value(loss).item();
+                    let item = tape.value(loss).item();
                     tape.backward(loss);
-                    model.store_mut().accumulate_grads(&tape, &binding);
+                    let mut buffer = grad_slots[j].lock().expect("unpoisoned grad slot");
+                    buffer.zero();
+                    buffer.accumulate(&tape, &binding);
+                    item
+                });
+
+                let store = model.store_mut();
+                store.zero_grads();
+                for (j, loss) in losses.iter().enumerate() {
+                    train_loss_total += loss;
+                    // Reduce in batch order — this is what makes the sum
+                    // bitwise identical to the serial loop.
+                    store.reduce(&grad_slots[j].lock().expect("unpoisoned grad slot"));
                 }
                 if self.config.grad_clip > 0.0 {
                     let clip = self.config.grad_clip * batch.len() as f32;
-                    model.store_mut().clip_grad_norm(clip);
+                    store.clip_grad_norm(clip);
                 }
-                optimizer.step(model.store_mut(), batch.len());
+                optimizer.step(store, batch.len());
             }
             let train_loss = train_loss_total / train_idx.len().max(1) as f32;
 
-            let (val_loss, val_accuracy) = evaluate(model, inputs, labels, val_idx);
+            let (val_loss, val_accuracy) =
+                evaluate_with(executor.as_ref(), model, inputs, labels, val_idx);
             let learning_rate = optimizer.learning_rate();
             scheduler.observe(val_loss, &mut optimizer);
             best_val_loss = best_val_loss.min(val_loss);
@@ -166,8 +231,24 @@ impl Trainer {
     }
 }
 
-/// Mean validation loss and accuracy of `model` on `idx`.
+/// Mean validation loss and accuracy of `model` on `idx`, computed on the
+/// calling thread.
 pub fn evaluate(
+    model: &Dgcnn,
+    inputs: &[GraphInput],
+    labels: &[usize],
+    idx: &[usize],
+) -> (f32, f64) {
+    evaluate_with(&SerialExecutor, model, inputs, labels, idx)
+}
+
+/// Mean validation loss and accuracy of `model` on `idx`, fanning
+/// per-sample inference across `executor`.
+///
+/// Per-sample losses are summed in index order afterwards, so the result
+/// is identical to [`evaluate`] for any executor.
+pub fn evaluate_with(
+    executor: &dyn BatchExecutor,
     model: &Dgcnn,
     inputs: &[GraphInput],
     labels: &[usize],
@@ -176,21 +257,23 @@ pub fn evaluate(
     if idx.is_empty() {
         return (0.0, 0.0);
     }
-    let mut loss_total = 0.0;
-    let mut correct = 0usize;
-    for &i in idx {
+    let per_sample: Vec<(f32, bool)> = run_indexed(executor, idx.len(), |_, j| {
+        let i = idx[j];
         let probs = model.predict(&inputs[i]);
         let p = probs[labels[i]].clamp(1e-15, 1.0);
-        loss_total -= p.ln();
         let arg = probs
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(c, _)| c)
             .unwrap_or(0);
-        if arg == labels[i] {
-            correct += 1;
-        }
+        (-p.ln(), arg == labels[i])
+    });
+    let mut loss_total = 0.0;
+    let mut correct = 0usize;
+    for &(loss, hit) in &per_sample {
+        loss_total += loss;
+        correct += usize::from(hit);
     }
     (loss_total / idx.len() as f32, correct as f64 / idx.len() as f64)
 }
@@ -198,6 +281,7 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::ThreadedExecutor;
     use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
     use magic_model::{DgcnnConfig, PoolingHead};
     use magic_tensor::Tensor;
@@ -238,6 +322,7 @@ mod tests {
             weight_decay: 1e-4,
             seed: 1,
             grad_clip: 5.0,
+            train_workers: 1,
             ..TrainConfig::default()
         });
         let train_idx: Vec<usize> = (0..16).collect();
@@ -263,6 +348,7 @@ mod tests {
             weight_decay: 0.0,
             seed: 2,
             grad_clip: 0.0,
+            train_workers: 1,
             ..TrainConfig::default()
         });
         let idx: Vec<usize> = (0..20).collect();
@@ -270,6 +356,51 @@ mod tests {
         let first = outcome.history.first().unwrap().learning_rate;
         let last = outcome.history.last().unwrap().learning_rate;
         assert!(last <= first, "lr {first} -> {last}");
+    }
+
+    /// The core determinism guarantee of the data-parallel engine: the
+    /// entire epoch history (losses, accuracies, learning rates) and the
+    /// final weights are bitwise identical for 1, 2, and 4 workers.
+    #[test]
+    fn worker_count_does_not_change_training_bitwise() {
+        use magic_autograd::first_bitwise_mismatch;
+        let (inputs, labels) = toy_data();
+        let train_idx: Vec<usize> = (0..16).collect();
+        let val_idx: Vec<usize> = (16..20).collect();
+
+        let run = |workers: usize| {
+            let config = DgcnnConfig::new(2, PoolingHead::sort_pool_weighted(8));
+            let mut model = Dgcnn::new(&config, 9);
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 4,
+                batch_size: 4,
+                learning_rate: 0.02,
+                seed: 3,
+                train_workers: workers,
+                ..TrainConfig::default()
+            });
+            let outcome = trainer.train(&mut model, &inputs, &labels, &train_idx, &val_idx);
+            (outcome, model)
+        };
+
+        let (serial_outcome, serial_model) = run(1);
+        for workers in [2, 4] {
+            let (outcome, model) = run(workers);
+            assert_eq!(
+                outcome.history, serial_outcome.history,
+                "history diverged with {workers} workers"
+            );
+            assert_eq!(outcome.best_val_loss, serial_outcome.best_val_loss);
+            for (name, value) in model.store().iter() {
+                let reference = serial_model.store();
+                let id = reference.find(name).expect("same parameter set");
+                assert_eq!(
+                    first_bitwise_mismatch(value, reference.value(id)),
+                    None,
+                    "weights for {name} diverged with {workers} workers"
+                );
+            }
+        }
     }
 
     #[test]
@@ -283,6 +414,36 @@ mod tests {
             best_val_loss: 0.4,
         };
         assert_eq!(outcome.best_epoch(), 1);
+    }
+
+    #[test]
+    fn best_epoch_breaks_ties_towards_the_first_minimum() {
+        let stats = |epoch: usize, val_loss: f32| EpochStats {
+            epoch,
+            train_loss: 1.0,
+            val_loss,
+            val_accuracy: 0.5,
+            learning_rate: 0.1,
+        };
+        let outcome = TrainOutcome {
+            history: vec![stats(0, 0.9), stats(1, 0.4), stats(2, 0.4), stats(3, 0.4)],
+            best_val_loss: 0.4,
+        };
+        assert_eq!(outcome.best_epoch(), 1);
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_serial() {
+        let (inputs, labels) = toy_data();
+        let config = DgcnnConfig::new(2, PoolingHead::sort_pool_weighted(8));
+        let model = Dgcnn::new(&config, 4);
+        let idx: Vec<usize> = (0..20).collect();
+        let serial = evaluate(&model, &inputs, &labels, &idx);
+        for workers in [2, 3, 8] {
+            let parallel =
+                evaluate_with(&ThreadedExecutor::new(workers), &model, &inputs, &labels, &idx);
+            assert_eq!(parallel, serial, "evaluate diverged with {workers} workers");
+        }
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! The [`json!`] construction macro.
+
+/// Builds a [`crate::Value`] from JSON-like syntax, mirroring the subset
+/// of `serde_json::json!` the workspace uses: object and array literals,
+/// `null`/`true`/`false`, and arbitrary Rust expressions interpolated
+/// through [`crate::ToJson`].
+///
+/// ```
+/// use magic_json::json;
+///
+/// let families = vec!["ramnit", "lollipop"];
+/// let v = json!({
+///     "corpus": "mskcfg",
+///     "families": families,
+///     "nested": { "ratio": 0.64, "grid": [3, 3] },
+/// });
+/// assert_eq!(v["nested"]["grid"][1].as_u64(), Some(3));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array_internal!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_internal!(map () $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+/// Array muncher: accumulates completed element expressions in `[...]`
+/// and peels one element (which may itself be an object/array literal)
+/// off the remaining token stream per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // Done (with or without trailing comma).
+    ([$($done:expr),*]) => { vec![$($done),*] };
+    ([$($done:expr),*],) => { vec![$($done),*] };
+    // Next element is a nested array or object literal or keyword.
+    ([$($done:expr),*] $(,)? null $($rest:tt)*) => {
+        $crate::json_array_internal!([$($done,)* $crate::json!(null)] $($rest)*)
+    };
+    ([$($done:expr),*] $(,)? true $($rest:tt)*) => {
+        $crate::json_array_internal!([$($done,)* $crate::json!(true)] $($rest)*)
+    };
+    ([$($done:expr),*] $(,)? false $($rest:tt)*) => {
+        $crate::json_array_internal!([$($done,)* $crate::json!(false)] $($rest)*)
+    };
+    ([$($done:expr),*] $(,)? [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_array_internal!([$($done,)* $crate::json!([ $($inner)* ])] $($rest)*)
+    };
+    ([$($done:expr),*] $(,)? { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_array_internal!([$($done,)* $crate::json!({ $($inner)* })] $($rest)*)
+    };
+    // Plain expression element: let the compiler take the longest expr.
+    ([$($done:expr),*] $(,)? $next:expr) => {
+        $crate::json_array_internal!([$($done,)* $crate::json!($next)])
+    };
+    ([$($done:expr),*] $(,)? $next:expr, $($rest:tt)*) => {
+        $crate::json_array_internal!([$($done,)* $crate::json!($next)] $($rest)*)
+    };
+}
+
+/// Object muncher: `(map (partial-key-tokens) rest...)`. Keys are string
+/// literals (all the workspace uses); values may be nested literals or
+/// expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // Done.
+    ($map:ident ()) => {};
+    ($map:ident (),) => {};
+    // "key": <nested literal or keyword or expression>
+    ($map:ident () $key:literal : null $($rest:tt)*) => {
+        $map.insert($key, $crate::json!(null));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident () $key:literal : true $($rest:tt)*) => {
+        $map.insert($key, $crate::json!(true));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident () $key:literal : false $($rest:tt)*) => {
+        $map.insert($key, $crate::json!(false));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident () $key:literal : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $map.insert($key, $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident () $key:literal : { $($inner:tt)* } $($rest:tt)*) => {
+        $map.insert($key, $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident () $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key, $crate::json!($value));
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+    ($map:ident () $key:literal : $value:expr) => {
+        $map.insert($key, $crate::json!($value));
+    };
+    // Leading comma between entries.
+    ($map:ident () , $($rest:tt)*) => {
+        $crate::json_object_internal!($map () $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn scalars_and_keywords() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(2 + 3), Value::Number(5.0));
+        assert_eq!(json!("s"), Value::String("s".into()));
+    }
+
+    #[test]
+    fn arrays_mix_literals_and_expressions() {
+        let n = 4usize;
+        let v = json!([1, n, [true, null], { "k": 0 }, "end"]);
+        let a = v.as_array().unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[1].as_u64(), Some(4));
+        assert_eq!(a[2][0].as_bool(), Some(true));
+        assert_eq!(a[3]["k"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn objects_nest_and_interpolate() {
+        struct P {
+            ratio: f64,
+            sizes: Vec<usize>,
+        }
+        let p = P { ratio: 0.2, sizes: vec![32, 32] };
+        let v = json!({
+            "params": {
+                "ratio": p.ratio,
+                "sizes": p.sizes,
+                "pair": [p.sizes[0], p.sizes[1]],
+            },
+            "empty": {},
+            "list": [],
+        });
+        assert_eq!(v["params"]["ratio"].as_f64(), Some(0.2));
+        assert_eq!(v["params"]["sizes"][1].as_u64(), Some(32));
+        assert_eq!(v["params"]["pair"][0].as_u64(), Some(32));
+        assert_eq!(v["empty"], Value::Object(crate::Map::new()));
+        assert_eq!(v["list"], Value::Array(vec![]));
+    }
+
+    #[test]
+    fn method_call_expressions_interpolate() {
+        let names = ["a", "b"];
+        let v = json!({
+            "items": names.iter().map(|n| json!({ "name": *n })).collect::<Vec<_>>(),
+        });
+        assert_eq!(v["items"][1]["name"].as_str(), Some("b"));
+    }
+
+    #[test]
+    fn trailing_commas_are_accepted() {
+        let v = json!({ "a": 1, });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        let v = json!([1, 2,]);
+        assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Compact and pretty JSON serialization.
+
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Serializes a value compactly (no whitespace).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Serializes a value with two-space indentation, matching the layout
+/// `serde_json::to_string_pretty` produced for the checked-in results.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    out
+}
+
+/// Formats a number the way `serde_json` does: integral values (within
+/// the exactly-representable range) print without a fraction, everything
+/// else uses Rust's shortest-roundtrip float formatting.
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no inf/NaN; `serde_json` writes null for them.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            push_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            push_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn compact_output_has_no_whitespace() {
+        let v = json!({ "a": [1, 2], "b": "x" });
+        assert_eq!(to_string(&v), r#"{"a":[1,2],"b":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_output_indents_two_spaces() {
+        let v = json!({ "a": [1] });
+        assert_eq!(to_string_pretty(&v), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn numbers_format_like_serde_json() {
+        assert_eq!(to_string(&json!(3.0)), "3");
+        assert_eq!(to_string(&json!(-7)), "-7");
+        assert_eq!(to_string(&json!(2.5)), "2.5");
+        assert_eq!(to_string(&json!(1e-4_f64)), "0.0001");
+        assert_eq!(to_string(&json!(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let v = json!("a\"b\\c\nd\u{0001}");
+        assert_eq!(to_string(&v), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn empty_containers_stay_inline_when_pretty() {
+        assert_eq!(to_string_pretty(&json!({ "a": [], "b": {} })), "{\n  \"a\": [],\n  \"b\": {}\n}");
+    }
+}

@@ -1,56 +1,73 @@
-//! Property-based tests of the evaluation metrics.
+//! Property-based tests of the evaluation metrics, driven by a seeded
+//! [`Rng64`] loop (the build is offline, so no proptest).
 
 use magic_metrics::{mean_log_loss, ConfusionMatrix, ScoreReport};
-use proptest::prelude::*;
+use magic_tensor::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// All derived scores stay in [0, 1] for arbitrary observations.
-    #[test]
-    fn scores_are_bounded(obs in prop::collection::vec((0usize..4, 0usize..4), 1..100)) {
+fn random_observations(rng: &mut Rng64, classes: usize, max_len: usize) -> Vec<(usize, usize)> {
+    let len = rng.next_range(1, max_len);
+    (0..len)
+        .map(|_| (rng.next_below(classes), rng.next_below(classes)))
+        .collect()
+}
+
+/// All derived scores stay in [0, 1] for arbitrary observations.
+#[test]
+fn scores_are_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let obs = random_observations(&mut rng, 4, 100);
         let mut cm = ConfusionMatrix::new(4);
         for (a, p) in &obs {
             cm.record(*a, *p);
         }
-        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        assert!((0.0..=1.0).contains(&cm.accuracy()));
         for c in 0..4 {
-            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
-            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
-            prop_assert!((0.0..=1.0).contains(&cm.f1(c)));
+            assert!((0.0..=1.0).contains(&cm.precision(c)));
+            assert!((0.0..=1.0).contains(&cm.recall(c)));
+            assert!((0.0..=1.0).contains(&cm.f1(c)));
             // F1 lies between min and max of precision/recall when both
             // are positive (harmonic mean property).
             let (p, r) = (cm.precision(c), cm.recall(c));
             if p > 0.0 && r > 0.0 {
-                prop_assert!(cm.f1(c) <= p.max(r) + 1e-12);
-                prop_assert!(cm.f1(c) >= p.min(r) - 1e-12);
+                assert!(cm.f1(c) <= p.max(r) + 1e-12);
+                assert!(cm.f1(c) >= p.min(r) - 1e-12);
             }
         }
-        prop_assert_eq!(cm.total(), obs.len());
+        assert_eq!(cm.total(), obs.len());
     }
+}
 
-    /// Perfect predictions maximize every score.
-    #[test]
-    fn perfect_predictions_score_one(labels in prop::collection::vec(0usize..3, 3..50)) {
+/// Perfect predictions maximize every score.
+#[test]
+fn perfect_predictions_score_one() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let len = rng.next_range(3, 50);
+        let labels: Vec<usize> = (0..len).map(|_| rng.next_below(3)).collect();
         let mut cm = ConfusionMatrix::new(3);
         for &l in &labels {
             cm.record(l, l);
         }
-        prop_assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.accuracy(), 1.0);
         for c in 0..3 {
             if cm.support(c) > 0 {
-                prop_assert_eq!(cm.f1(c), 1.0);
+                assert_eq!(cm.f1(c), 1.0);
             }
         }
     }
+}
 
-    /// Merging matrices is equivalent to recording the union of
-    /// observations.
-    #[test]
-    fn merge_equals_union(
-        obs1 in prop::collection::vec((0usize..3, 0usize..3), 1..40),
-        obs2 in prop::collection::vec((0usize..3, 0usize..3), 1..40),
-    ) {
+/// Merging matrices is equivalent to recording the union of
+/// observations.
+#[test]
+fn merge_equals_union() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let obs1 = random_observations(&mut rng, 3, 40);
+        let obs2 = random_observations(&mut rng, 3, 40);
         let mut a = ConfusionMatrix::new(3);
         for (x, y) in &obs1 {
             a.record(*x, *y);
@@ -64,13 +81,18 @@ proptest! {
         for (x, y) in obs1.iter().chain(&obs2) {
             union.record(*x, *y);
         }
-        prop_assert_eq!(a, union);
+        assert_eq!(a, union);
     }
+}
 
-    /// Log loss is minimized by the one-hot distribution on the target
-    /// and never negative.
-    #[test]
-    fn log_loss_ordering(target in 0usize..3, spread in 0.0f64..0.3) {
+/// Log loss is minimized by the one-hot distribution on the target and
+/// never negative.
+#[test]
+fn log_loss_ordering() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let target = rng.next_below(3);
+        let spread = rng.next_f64() * 0.3;
         let onehot = {
             let mut p = vec![0.0; 3];
             p[target] = 1.0;
@@ -80,22 +102,26 @@ proptest! {
         softer[target] = 1.0 - spread;
         let exact = mean_log_loss(&[onehot], &[target]);
         let soft = mean_log_loss(&[softer], &[target]);
-        prop_assert!(exact >= 0.0);
-        prop_assert!(soft >= exact);
+        assert!(exact >= 0.0);
+        assert!(soft >= exact);
     }
+}
 
-    /// Report construction never loses classes and keeps supports
-    /// consistent with the matrix.
-    #[test]
-    fn report_supports_match(obs in prop::collection::vec((0usize..5, 0usize..5), 1..60)) {
+/// Report construction never loses classes and keeps supports consistent
+/// with the matrix.
+#[test]
+fn report_supports_match() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let obs = random_observations(&mut rng, 5, 60);
         let mut cm = ConfusionMatrix::new(5);
         for (a, p) in &obs {
             cm.record(*a, *p);
         }
         let names: Vec<String> = (0..5).map(|i| format!("fam{i}")).collect();
         let report = ScoreReport::from_confusion(&cm, &names);
-        prop_assert_eq!(report.classes.len(), 5);
+        assert_eq!(report.classes.len(), 5);
         let total_support: usize = report.classes.iter().map(|c| c.support).sum();
-        prop_assert_eq!(total_support, obs.len());
+        assert_eq!(total_support, obs.len());
     }
 }

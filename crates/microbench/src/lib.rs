@@ -1,0 +1,366 @@
+#![warn(missing_docs)]
+
+//! A dependency-free micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The build environment is fully offline, so the workspace's benches
+//! cannot pull in `criterion`. This crate provides the subset of its
+//! surface the benches use — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! warm-up + sampled-median measurement loop.
+//!
+//! Beyond the Criterion facade it also exposes the measurement core
+//! directly ([`time_fn`] and [`Stats`]) so experiment binaries can embed
+//! timings in their JSON result records.
+
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Median of the per-sample means.
+    pub median_ns: f64,
+    /// Mean across all samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl Stats {
+    /// Median time per iteration in seconds.
+    pub fn median_secs(&self) -> f64 {
+        self.median_ns / 1e9
+    }
+}
+
+/// Measures `f`, returning per-iteration statistics.
+///
+/// Warm-up runs for `warm_up`, then the iteration count per sample is
+/// calibrated so each sample lasts roughly `measurement / samples`, and
+/// `samples` timed samples are collected.
+pub fn time_fn(
+    mut f: impl FnMut(),
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+) -> Stats {
+    let samples = samples.max(2);
+    // Warm-up, timing a single iteration as we go to calibrate.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warm_up {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let target_sample = measurement.as_secs_f64() / samples as f64;
+    let iters_per_sample = ((target_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut sample_means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        sample_means.push(elapsed * 1e9 / iters_per_sample as f64);
+    }
+    sample_means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median_ns = if sample_means.len() % 2 == 1 {
+        sample_means[sample_means.len() / 2]
+    } else {
+        let hi = sample_means.len() / 2;
+        (sample_means[hi - 1] + sample_means[hi]) / 2.0
+    };
+    Stats {
+        median_ns,
+        mean_ns: sample_means.iter().sum::<f64>() / sample_means.len() as f64,
+        min_ns: sample_means[0],
+        max_ns: *sample_means.last().expect("non-empty"),
+        samples: sample_means.len(),
+        iters_per_sample,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The top-level harness handle passed to each benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            // Criterion defaults to 3 s / 5 s; the benches here train
+            // networks, so keep the envelope tighter by default. The
+            // per-group sample_size() calls still scale work up or down.
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `new("forward", 64)` renders as `forward/64`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { text: format!("{}/{parameter}", function.into()) }
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring Criterion's
+/// `BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput, reported after the timing.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark closure under this group's configuration.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into_benchmark_id();
+        self.run(&label, f);
+        self
+    }
+
+    /// Runs a benchmark closure that also receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.into_benchmark_id();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let mut bencher = Bencher {
+            samples,
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            stats: None,
+        };
+        f(&mut bencher);
+        match bencher.stats {
+            Some(stats) => {
+                let mut line = format!(
+                    "{}/{label}  time: [{} {} {}]",
+                    self.name,
+                    format_ns(stats.min_ns),
+                    format_ns(stats.median_ns),
+                    format_ns(stats.max_ns),
+                );
+                if let Some(Throughput::Elements(n)) = self.throughput {
+                    let per_sec = n as f64 / stats.median_secs();
+                    line.push_str(&format!("  thrpt: {per_sec:.1} elem/s"));
+                }
+                if let Some(Throughput::Bytes(n)) = self.throughput {
+                    let per_sec = n as f64 / stats.median_secs();
+                    line.push_str(&format!("  thrpt: {:.1} MiB/s", per_sec / (1024.0 * 1024.0)));
+                }
+                println!("{line}");
+            }
+            None => println!("{}/{label}  (no measurement: iter was never called)", self.name),
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Conversion into the printable benchmark label; accepts both plain
+/// strings and [`BenchmarkId`] like Criterion does.
+pub trait IntoBenchmarkId {
+    /// Renders the label text.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs the timing
+/// loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `routine`, retaining its output so the optimizer cannot
+    /// delete the computation.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let stats = time_fn(
+            || {
+                std::hint::black_box(routine());
+            },
+            self.samples,
+            self.warm_up,
+            self.measurement,
+        );
+        self.stats = Some(stats);
+    }
+
+    /// The statistics recorded by the last [`Bencher::iter`] call.
+    pub fn last_stats(&self) -> Option<Stats> {
+        self.stats
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_fn_returns_ordered_stats() {
+        let mut counter = 0u64;
+        let stats = time_fn(
+            || counter = std::hint::black_box(counter.wrapping_add(1)),
+            5,
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+        );
+        assert_eq!(stats.samples, 5);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns <= stats.max_ns);
+        assert!(stats.min_ns > 0.0);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_and_records_stats() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+            ran = b.last_stats().is_some();
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("forward", 64).into_benchmark_id(), "forward/64");
+    }
+}

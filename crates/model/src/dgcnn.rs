@@ -132,6 +132,12 @@ impl Dgcnn {
     ///
     /// `binding` must come from `self.store().bind(tape)`. `training`
     /// enables dropout, which draws from `rng`.
+    ///
+    /// Takes `&self`, so data-parallel training shares one model across
+    /// worker threads, each with its own tape and RNG. For reproducible
+    /// dropout independent of batch composition and scheduling, callers
+    /// pass a per-sample stream from [`Rng64::for_sample`] rather than a
+    /// shared generator (see the trainer's threading model).
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -358,5 +364,35 @@ mod tests {
         config.conv_sizes = vec![128, 64, 32, 32];
         let model = Dgcnn::new(&config, 0);
         assert!(model.num_weights() > 30_000, "{} weights", model.num_weights());
+    }
+
+    /// Data-parallel training shares one model across worker threads via
+    /// `&Dgcnn`, so the model must stay Send + Sync.
+    #[test]
+    fn model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Dgcnn>();
+        assert_send_sync::<DgcnnConfig>();
+        assert_send_sync::<GraphInput>();
+    }
+
+    /// Shared-model inference from multiple threads gives the same
+    /// answer as single-threaded inference.
+    #[test]
+    fn concurrent_predictions_match_serial() {
+        let config = DgcnnConfig::new(3, PoolingHead::sort_pool_weighted(8));
+        let model = Dgcnn::new(&config, 6);
+        let inputs: Vec<GraphInput> = (0..6).map(|i| tiny_input(12, i)).collect();
+        let serial: Vec<Vec<f32>> = inputs.iter().map(|x| model.predict(x)).collect();
+        let threaded: Vec<Vec<f32>> = std::thread::scope(|scope| {
+            inputs
+                .iter()
+                .map(|x| scope.spawn(|| model.predict(x)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("prediction thread panicked"))
+                .collect()
+        });
+        assert_eq!(serial, threaded);
     }
 }

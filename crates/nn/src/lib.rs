@@ -43,5 +43,5 @@ pub use layers::{
     SortPooling, WeightedVertices,
 };
 pub use optim::{Adam, Optimizer, Sgd};
-pub use param::{Binding, ParamId, ParamStore};
+pub use param::{Binding, GradBuffer, ParamId, ParamStore};
 pub use sched::ReduceLrOnPlateau;

@@ -1,48 +1,64 @@
-//! Property-based tests of the tensor algebra.
+//! Property-based tests of the tensor algebra, driven by a seeded
+//! [`Rng64`] loop (the build is offline, so no proptest).
 
 use magic_tensor::{Rng64, Tensor};
-use proptest::prelude::*;
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-100f32..100.0, rows * cols)
-        .prop_map(move |v| Tensor::from_vec(v, [rows, cols]))
+const CASES: u64 = 128;
+
+fn random_tensor(rng: &mut Rng64, rows: usize, cols: usize) -> Tensor {
+    Tensor::rand_uniform([rows, cols], -100.0, 100.0, rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn transpose_is_involutive(t in tensor_strategy(3, 5)) {
-        prop_assert_eq!(t.transpose().transpose(), t);
+#[test]
+fn transpose_is_involutive() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let t = random_tensor(&mut rng, 3, 5);
+        assert_eq!(t.transpose().transpose(), t);
     }
+}
 
-    #[test]
-    fn matmul_transpose_identity(a in tensor_strategy(3, 4), b in tensor_strategy(4, 2)) {
+#[test]
+fn matmul_transpose_identity() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_tensor(&mut rng, 3, 4);
+        let b = random_tensor(&mut rng, 4, 2);
         // (AB)^T = B^T A^T
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
-        prop_assert!(left.approx_eq(&right, 1e-3));
+        assert!(left.approx_eq(&right, 1e-3));
     }
+}
 
-    #[test]
-    fn add_is_commutative_and_associative(
-        a in tensor_strategy(2, 3),
-        b in tensor_strategy(2, 3),
-        c in tensor_strategy(2, 3),
-    ) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert!(a.add(&b).add(&c).approx_eq(&a.add(&b.add(&c)), 1e-3));
+#[test]
+fn add_is_commutative_and_associative() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let a = random_tensor(&mut rng, 2, 3);
+        let b = random_tensor(&mut rng, 2, 3);
+        let c = random_tensor(&mut rng, 2, 3);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert!(a.add(&b).add(&c).approx_eq(&a.add(&b.add(&c)), 1e-3));
     }
+}
 
-    #[test]
-    fn relu_is_idempotent_and_nonnegative(t in tensor_strategy(4, 4)) {
+#[test]
+fn relu_is_idempotent_and_nonnegative() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let t = random_tensor(&mut rng, 4, 4);
         let r = t.relu();
-        prop_assert_eq!(r.relu(), r.clone());
-        prop_assert!(r.as_slice().iter().all(|&x| x >= 0.0));
+        assert_eq!(r.relu(), r.clone());
+        assert!(r.as_slice().iter().all(|&x| x >= 0.0));
     }
+}
 
-    #[test]
-    fn scale_rows_matches_diagonal_matmul(t in tensor_strategy(3, 4)) {
+#[test]
+fn scale_rows_matches_diagonal_matmul() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let t = random_tensor(&mut rng, 3, 4);
         // D t == scale_rows(t, diag(D)) for diagonal D.
         let factors = [0.5f32, -2.0, 3.0];
         let mut d = Tensor::zeros([3, 3]);
@@ -51,44 +67,60 @@ proptest! {
         }
         let via_matmul = d.matmul(&t);
         let via_scale = t.scale_rows(&factors);
-        prop_assert!(via_matmul.approx_eq(&via_scale, 1e-3));
+        assert!(via_matmul.approx_eq(&via_scale, 1e-3));
     }
+}
 
-    #[test]
-    fn gather_then_concat_partition_is_identity(seed in 0u64..1000) {
+#[test]
+fn gather_then_concat_partition_is_identity() {
+    for seed in 0..CASES {
         // Splitting rows into two index sets and re-gathering in order
         // reproduces the matrix.
         let mut rng = Rng64::new(seed);
         let t = Tensor::rand_uniform([6, 3], -1.0, 1.0, &mut rng);
         let top = t.gather_rows(&[0, 1, 2]);
         let bottom = t.gather_rows(&[3, 4, 5]);
-        prop_assert_eq!(Tensor::concat_rows(&[&top, &bottom]), t);
+        assert_eq!(Tensor::concat_rows(&[&top, &bottom]), t);
     }
+}
 
-    #[test]
-    fn argsort_produces_descending_keys(t in tensor_strategy(8, 3)) {
+#[test]
+fn argsort_produces_descending_keys() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let t = random_tensor(&mut rng, 8, 3);
         let order = t.argsort_rows_desc_lastcol();
         // The primary key (last column) is non-increasing along the order.
         for w in order.windows(2) {
-            prop_assert!(t.get2(w[0], 2) >= t.get2(w[1], 2));
+            assert!(t.get2(w[0], 2) >= t.get2(w[1], 2));
         }
         // And it is a permutation.
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn log_softmax_exponentiates_to_distribution(v in prop::collection::vec(-30f32..30.0, 2..12)) {
+#[test]
+fn log_softmax_exponentiates_to_distribution() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let len = rng.next_range(2, 12);
+        let v: Vec<f32> = (0..len).map(|_| rng.next_f32() * 60.0 - 30.0).collect();
         let t = Tensor::from_slice(&v);
         let exp_sum: f32 = t.log_softmax().exp().sum();
-        prop_assert!((exp_sum - 1.0).abs() < 1e-4);
+        assert!((exp_sum - 1.0).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn pad_or_truncate_is_idempotent_at_target(t in tensor_strategy(5, 2), k in 1usize..10) {
+#[test]
+fn pad_or_truncate_is_idempotent_at_target() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let t = random_tensor(&mut rng, 5, 2);
+        let k = rng.next_range(1, 10);
         let once = t.pad_or_truncate_rows(k);
         let twice = once.pad_or_truncate_rows(k);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, full test suite, and a warning-free
+# clippy pass. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> CI OK"

@@ -1,38 +1,52 @@
-//! Property-based tests (proptest) on the substrates' core invariants.
+//! Property-based tests on the substrates' core invariants, driven by
+//! seeded [`Rng64`] loops (the build is offline, so no proptest).
 
 use magic_asm::{parse_listing, CfgBuilder};
 use magic_graph::Acfg;
 use magic_tensor::{Rng64, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The parser never panics on arbitrary input, only errors.
-    #[test]
-    fn parser_total_on_arbitrary_text(text in ".{0,400}") {
+/// The parser never panics on arbitrary input, only errors.
+#[test]
+fn parser_total_on_arbitrary_text() {
+    const POOL: &[char] = &[
+        'a', 'Q', '7', ' ', '\t', '\n', '\r', ':', '.', ',', ';', '_', '[', ']', '(', ')', '+',
+        '*', '#', '"', '\'', '\\', '/', '|', '!', '?', '=', '<', '>', '\u{0}', '\u{7}', 'ß',
+        'Ω', '語', '🦀',
+    ];
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let len = rng.next_below(401);
+        let text: String = (0..len).map(|_| POOL[rng.next_below(POOL.len())]).collect();
         let _ = parse_listing(&text);
     }
+}
 
-    /// The parser is total on address-prefixed garbage too.
-    #[test]
-    fn parser_total_on_addressed_garbage(
-        addr in 0u64..0xFFFF_FFFF,
-        body in "[ -~]{0,60}",
-    ) {
+/// The parser is total on address-prefixed garbage too.
+#[test]
+fn parser_total_on_addressed_garbage() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let addr = rng.next_u64() % 0xFFFF_FFFF;
+        let len = rng.next_below(61);
+        // Printable ASCII body, like proptest's `[ -~]` class.
+        let body: String = (0..len)
+            .map(|_| (b' ' + rng.next_below(95) as u8) as char)
+            .collect();
         let line = format!(".text:{addr:08X} {body}\n");
         let _ = parse_listing(&line);
     }
+}
 
-    /// CFG structural invariants hold for every random jump program:
-    /// every instruction lands in exactly one block, edges are in range,
-    /// and block start addresses are unique.
-    #[test]
-    fn cfg_invariants_on_random_jump_programs(
-        seed in 0u64..10_000,
-        len in 3usize..40,
-    ) {
+/// CFG structural invariants hold for every random jump program: every
+/// instruction lands in exactly one block, edges are in range, and block
+/// start addresses are unique.
+#[test]
+fn cfg_invariants_on_random_jump_programs() {
+    for seed in 0..CASES {
         let mut rng = Rng64::new(seed);
+        let len = rng.next_range(3, 40);
         let mut listing = String::new();
         for i in 0..len {
             let addr = 0x1000 + i * 2;
@@ -56,83 +70,99 @@ proptest! {
 
         // Every instruction appears exactly once across blocks.
         let placed: usize = cfg.blocks().iter().map(|b| b.len()).sum();
-        prop_assert_eq!(placed, program.len());
+        assert_eq!(placed, program.len());
 
         // Edge endpoints are valid vertices.
         for (u, v) in cfg.edges() {
-            prop_assert!(u < cfg.block_count() && v < cfg.block_count());
+            assert!(u < cfg.block_count() && v < cfg.block_count());
         }
 
         // Block start addresses are unique and each block is non-empty.
         let mut starts: Vec<u64> = cfg.blocks().iter().map(|b| b.start_addr).collect();
         starts.sort_unstable();
         starts.dedup();
-        prop_assert_eq!(starts.len(), cfg.block_count());
+        assert_eq!(starts.len(), cfg.block_count());
         // Instructions within a block are consecutive in address order.
         for block in cfg.blocks() {
             for pair in block.instructions.windows(2) {
-                prop_assert!(pair[0].addr < pair[1].addr);
+                assert!(pair[0].addr < pair[1].addr);
             }
         }
     }
+}
 
-    /// ACFG text serialization round-trips losslessly.
-    #[test]
-    fn acfg_text_roundtrip(seed in 0u64..10_000, n in 2usize..20) {
+/// ACFG text serialization round-trips losslessly.
+#[test]
+fn acfg_text_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let n = rng.next_range(2, 20);
         let acfg = magic_integration::random_acfg(n, seed);
         let text = acfg.to_text();
         let back = Acfg::from_text(&text).unwrap();
-        prop_assert_eq!(back.vertex_count(), acfg.vertex_count());
-        prop_assert_eq!(back.edge_count(), acfg.edge_count());
-        prop_assert!(back.attributes().approx_eq(acfg.attributes(), 1e-4));
+        assert_eq!(back.vertex_count(), acfg.vertex_count());
+        assert_eq!(back.edge_count(), acfg.edge_count());
+        assert!(back.attributes().approx_eq(acfg.attributes(), 1e-4));
     }
+}
 
-    /// Softmax of any finite tensor is a probability distribution.
-    #[test]
-    fn softmax_is_always_a_distribution(values in prop::collection::vec(-50f32..50.0, 1..20)) {
+/// Softmax of any finite tensor is a probability distribution.
+#[test]
+fn softmax_is_always_a_distribution() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let len = rng.next_range(1, 20);
+        let values: Vec<f32> = (0..len).map(|_| rng.next_f32() * 100.0 - 50.0).collect();
         let t = Tensor::from_slice(&values);
         let s = t.softmax();
-        prop_assert!(s.all_finite());
-        prop_assert!((s.sum() - 1.0).abs() < 1e-4);
-        prop_assert!(s.as_slice().iter().all(|&p| p >= 0.0));
+        assert!(s.all_finite());
+        assert!((s.sum() - 1.0).abs() < 1e-4);
+        assert!(s.as_slice().iter().all(|&p| p >= 0.0));
     }
+}
 
-    /// Matmul distributes over addition: A(B + C) = AB + AC.
-    #[test]
-    fn matmul_distributes(seed in 0u64..10_000) {
+/// Matmul distributes over addition: A(B + C) = AB + AC.
+#[test]
+fn matmul_distributes() {
+    for seed in 0..CASES {
         let mut rng = Rng64::new(seed);
         let a = Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([4, 2], -1.0, 1.0, &mut rng);
         let c = Tensor::rand_uniform([4, 2], -1.0, 1.0, &mut rng);
         let left = a.matmul(&b.add(&c));
         let right = a.matmul(&b).add(&a.matmul(&c));
-        prop_assert!(left.approx_eq(&right, 1e-4));
+        assert!(left.approx_eq(&right, 1e-4));
     }
+}
 
-    /// The stratified splitter always partitions, for any label multiset.
-    #[test]
-    fn kfold_partitions_any_labeling(
-        labels in prop::collection::vec(0usize..4, 10..60),
-        seed in 0u64..1000,
-    ) {
+/// The stratified splitter always partitions, for any label multiset.
+#[test]
+fn kfold_partitions_any_labeling() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let len = rng.next_range(10, 60);
+        let labels: Vec<usize> = (0..len).map(|_| rng.next_below(4)).collect();
         let folds = magic_data::stratified_kfold(&labels, 5, seed);
         let mut seen = vec![0usize; labels.len()];
         for fold in &folds {
             for &i in &fold.validation {
                 seen[i] += 1;
             }
-            let mut all: Vec<usize> = fold.train.iter().chain(&fold.validation).copied().collect();
+            let mut all: Vec<usize> =
+                fold.train.iter().chain(&fold.validation).copied().collect();
             all.sort_unstable();
-            prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+            assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
         }
-        prop_assert!(seen.iter().all(|&c| c == 1));
+        assert!(seen.iter().all(|&c| c == 1));
     }
+}
 
-    /// Gradient check on a random small MLP through the tape: analytic
-    /// gradients match finite differences.
-    #[test]
-    fn tape_gradients_match_finite_differences(seed in 0u64..500) {
-        use magic_autograd::{finite_difference_gradient, max_grad_error, Tape};
+/// Gradient check on a random small MLP through the tape: analytic
+/// gradients match finite differences.
+#[test]
+fn tape_gradients_match_finite_differences() {
+    use magic_autograd::{finite_difference_gradient, max_grad_error, Tape};
+    for seed in 0..CASES {
         let mut rng = Rng64::new(seed);
         let x0 = Tensor::rand_uniform([2, 3], -1.0, 1.0, &mut rng);
         let w = Tensor::rand_uniform([3, 2], -1.0, 1.0, &mut rng);
@@ -154,6 +184,6 @@ proptest! {
             let (tape, _, loss) = run(t, false);
             tape.value(loss).item()
         });
-        prop_assert!(max_grad_error(&analytic, &numeric) < 2e-2);
+        assert!(max_grad_error(&analytic, &numeric) < 2e-2);
     }
 }
