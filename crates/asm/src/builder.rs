@@ -147,6 +147,7 @@ impl<'a> CfgBuilder<'a> {
 
     /// Runs the second pass (Algorithm 2) and returns the CFG.
     pub fn build(&self) -> Cfg {
+        let _span = magic_obs::span(magic_obs::stage::CFG_BUILD);
         let mut blocks: Vec<BasicBlock> = Vec::new();
         let mut by_addr: HashMap<u64, usize> = HashMap::new();
         let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
@@ -186,6 +187,8 @@ impl<'a> CfgBuilder<'a> {
             curr_block = Some(next_block);
         }
 
+        magic_obs::counter(magic_obs::stage::C_CFG_BLOCKS, blocks.len() as f64);
+        magic_obs::counter(magic_obs::stage::C_CFG_EDGES, edges.len() as f64);
         Cfg { blocks, edges }
     }
 }

@@ -60,6 +60,7 @@ const NON_MNEMONICS: &[&str] = &[
 /// silently skipped, mirroring how MAGIC tolerates IDA's imperfect
 /// disassembly (Section V-A).
 pub fn parse_listing(text: &str) -> Result<Program, ParseError> {
+    let _span = magic_obs::span(magic_obs::stage::ASM_PARSE);
     let mut program = Program::new();
     let mut pending: Option<(u64, String, Vec<String>)> = None;
 
@@ -93,6 +94,7 @@ pub fn parse_listing(text: &str) -> Result<Program, ParseError> {
     if let Some((paddr, pm, pops)) = pending {
         program.insert(Instruction::new(paddr, 2, pm, pops));
     }
+    magic_obs::counter(magic_obs::stage::C_ASM_INSTRUCTIONS, program.len() as f64);
     Ok(program)
 }
 

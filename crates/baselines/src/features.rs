@@ -5,10 +5,10 @@ use magic_graph::{Acfg, GraphStats, NUM_ATTRIBUTES};
 /// Feature extraction for the baseline classifiers.
 ///
 /// `basic` aggregates each Table I attribute over the graph (sum, mean,
-/// max) plus structural statistics — the kind of features [11] and [14]
+/// max) plus structural statistics — the kind of features \[11\] and \[14\]
 /// hand-craft. `rich` further appends per-attribute 6-bucket histograms
 /// and pairwise ratios, a stand-in for the 1800+-feature pipeline of
-/// [13].
+/// \[13\].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeatureVector {
     /// Aggregates + structure (about 45 dimensions).

@@ -3,14 +3,14 @@
 //! Baseline malware classifiers for the Table IV and Fig. 11 comparisons.
 //!
 //! The paper compares MAGIC against handcrafted-feature systems:
-//! XGBoost with heavy feature engineering [13], random forests [11][14],
-//! an autoencoder + XGBoost hybrid [9], the Strand gene-sequence
-//! classifier [15] and the ESVC chained SVM ensemble [8]. This crate
+//! XGBoost with heavy feature engineering \[13\], random forests \[11\]\[14\],
+//! an autoencoder + XGBoost hybrid \[9\], the Strand gene-sequence
+//! classifier \[15\] and the ESVC chained SVM ensemble \[8\]. This crate
 //! provides from-scratch members of each algorithmic class, all consuming
 //! features engineered from ACFGs:
 //!
 //! * [`FeatureVector`] — aggregate ACFG statistics (`basic`) and a richer
-//!   histogram expansion (`rich`, standing in for [13]'s 1800+ features).
+//!   histogram expansion (`rich`, standing in for \[13\]'s 1800+ features).
 //! * [`DecisionTree`] / [`RandomForest`] — CART with Gini splits, bagged.
 //! * [`GradientBoosting`] — multiclass softmax GBM over regression trees
 //!   (the XGBoost stand-in).

@@ -1,7 +1,7 @@
 //! Extension experiment: MAGIC as a *detector* (benign vs malware).
 //!
-//! The paper's Section V-C notes that detection-oriented works ([39],
-//! [12]) report two-class metrics on a benign+malware mix and are
+//! The paper's Section V-C notes that detection-oriented works (\[39\],
+//! \[12\]) report two-class metrics on a benign+malware mix and are
 //! therefore not comparable with the family-classification tables — but
 //! also that "benign software can be treated as a special family". The
 //! YANCFG corpus contains a Benign class, so this binary evaluates

@@ -1,10 +1,10 @@
 //! Fig. 11: per-family F1 improvement of MAGIC over the ESVC SVM
-//! ensemble [8] on the YANCFG corpus.
+//! ensemble \[8\] on the YANCFG corpus.
 //!
 //! Shape targets: MAGIC wins on most families with the largest absolute
 //! gains (≥ 0.2 in the paper) on Bagle/Koobface/Ldpinch/Lmir; Rbot is the
 //! one family where ESVC is visibly ahead; Benign is excluded from the
-//! comparison (unreported in [8]).
+//! comparison (unreported in \[8\]).
 
 use magic_bench::experiments::{best_params, run_cv, Corpus};
 use magic_bench::results::write_result;

@@ -1,7 +1,10 @@
 //! Subcommand implementations.
 
+use std::sync::Arc;
+
 use crate::checkpoint_file::{deserialize_model, serialize_model, ModelHeader};
 use magic::pipeline::{extract_acfg, MagicPipeline};
+use magic_obs::{report::TraceSummary, JsonlRecorder};
 use magic::trainer::{Trainer, TrainConfig};
 use magic::tuning::{HeadKind, HyperParams};
 use magic_data::stratified_kfold;
@@ -10,18 +13,48 @@ use magic_model::{Dgcnn, GraphInput};
 use magic_synth::{MskcfgGenerator, YancfgGenerator, MSKCFG_FAMILIES, YANCFG_FAMILIES};
 
 /// Parses the argument list and runs the matching subcommand.
+///
+/// Two global flags are stripped before subcommand dispatch:
+/// `--log-level <off|error|info|debug|trace>` sets the stderr verbosity,
+/// and `--trace <path>` (on every subcommand except `report`, where it
+/// names the input) installs a [`JsonlRecorder`] streaming telemetry to
+/// `<path>` for the duration of the command.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
-    match args.first().map(String::as_str) {
+    let mut args = args.to_vec();
+    if let Some(level) = take_flag(&mut args, "--log-level") {
+        magic_obs::set_log_level(level.parse::<magic_obs::Level>()?);
+    }
+    // `report` *reads* a trace; everything else may *write* one.
+    let tracing_run = args.first().map(String::as_str) != Some("report");
+    let trace_path = if tracing_run { take_flag(&mut args, "--trace") } else { None };
+    if let Some(path) = &trace_path {
+        let recorder = JsonlRecorder::create(path)
+            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        magic_obs::install(Arc::new(recorder));
+        magic_obs::meta(format!("magic {}", args.join(" ")));
+    }
+
+    let result = match args.first().map(String::as_str) {
         Some("extract") => cmd_extract(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+
+    if let Some(path) = &trace_path {
+        magic_obs::uninstall(); // flushes the trace file
+        magic_obs::log(
+            magic_obs::Level::Info,
+            format!("trace written to {path} (aggregate with `magic report --trace {path}`)"),
+        );
     }
+    result
 }
 
 const USAGE: &str = "\
@@ -33,7 +66,15 @@ USAGE:
                 [--train-workers N] --out <model.magic>
                 (--train-workers 0 = auto; results are identical for any N)
     magic predict --model <model.magic> <listing.asm>...
-    magic info --model <model.magic>";
+    magic info --model <model.magic>
+    magic report --trace <trace.jsonl>
+
+GLOBAL OPTIONS:
+    --trace <path>       stream a magic-trace/1 JSONL telemetry trace to
+                         <path> (convention: results/logs/trace-<run>.jsonl);
+                         aggregate it with `magic report --trace <path>`
+    --log-level <level>  stderr verbosity: off|error|info|debug|trace
+                         (default info; debug adds per-epoch statistics)";
 
 /// Pulls `--flag value` out of an argument list, returning the remainder.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -70,9 +111,12 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     }
     let acfg = extract_acfg(&text).map_err(|e| e.to_string())?;
     let stats = GraphStats::of(&acfg);
-    eprintln!(
-        "{} blocks, {} edges, density {:.3}",
-        stats.vertices, stats.edges, stats.density
+    magic_obs::log(
+        magic_obs::Level::Info,
+        format!(
+            "{} blocks, {} edges, density {:.3}",
+            stats.vertices, stats.edges, stats.density
+        ),
     );
     print!("{}", acfg.to_text());
     Ok(())
@@ -103,7 +147,14 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let (inputs, labels, families): (Vec<GraphInput>, Vec<usize>, Vec<String>) =
         match corpus.as_str() {
             "mskcfg" => {
-                let samples = MskcfgGenerator::new(seed, scale).generate();
+                let samples = {
+                    let _span = magic_obs::span(magic_obs::stage::CORPUS_GENERATE);
+                    MskcfgGenerator::new(seed, scale).generate()
+                };
+                let _span = magic_obs::span_fields(
+                    magic_obs::stage::CORPUS_EXTRACT,
+                    &[("listings", samples.len() as f64)],
+                );
                 let mut inputs = Vec::with_capacity(samples.len());
                 for s in &samples {
                     let acfg = extract_acfg(&s.listing).map_err(|e| e.to_string())?;
@@ -113,14 +164,24 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
                 (inputs, labels, MSKCFG_FAMILIES.iter().map(|s| s.to_string()).collect())
             }
             "yancfg" => {
-                let samples = YancfgGenerator::new(seed, scale).generate();
+                let samples = {
+                    let _span = magic_obs::span(magic_obs::stage::CORPUS_GENERATE);
+                    YancfgGenerator::new(seed, scale).generate()
+                };
+                let _span = magic_obs::span_fields(
+                    magic_obs::stage::CORPUS_EXTRACT,
+                    &[("listings", samples.len() as f64)],
+                );
                 let inputs = samples.iter().map(|s| GraphInput::from_acfg(&s.acfg)).collect();
                 let labels = samples.iter().map(|s| s.label).collect();
                 (inputs, labels, YANCFG_FAMILIES.iter().map(|s| s.to_string()).collect())
             }
             other => return Err(format!("unknown corpus {other:?} (mskcfg|yancfg)")),
         };
-    eprintln!("corpus: {} samples, {} families", inputs.len(), families.len());
+    magic_obs::log(
+        magic_obs::Level::Info,
+        format!("corpus: {} samples, {} families", inputs.len(), families.len()),
+    );
 
     // The Table II best architecture for the chosen corpus.
     let mut params = HyperParams::paper_default();
@@ -150,23 +211,41 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         train_workers,
         ..TrainConfig::default()
     });
-    eprintln!(
-        "training {} weights for {epochs} epochs on {} worker(s)...",
-        model.num_weights(),
-        magic::resolve_workers(train_workers)
+    magic_obs::log(
+        magic_obs::Level::Info,
+        format!(
+            "training {} weights for {epochs} epochs on {} worker(s)...",
+            model.num_weights(),
+            magic::resolve_workers(train_workers)
+        ),
     );
     let outcome = trainer.train(&mut model, &inputs, &labels, &split.train, &split.validation);
     let last = outcome.history.last().ok_or("no epochs ran")?;
-    eprintln!(
-        "done: val loss {:.4}, val accuracy {:.1}%",
-        last.val_loss,
-        last.val_accuracy * 100.0
+    magic_obs::log(
+        magic_obs::Level::Info,
+        format!(
+            "done: val loss {:.4}, val accuracy {:.1}%",
+            last.val_loss,
+            last.val_accuracy * 100.0
+        ),
     );
 
     let header = ModelHeader { corpus, families, params, graph_sizes };
     std::fs::write(&out, serialize_model(&header, &model))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
-    eprintln!("model written to {out}");
+    magic_obs::log(magic_obs::Level::Info, format!("model written to {out}"));
+    Ok(())
+}
+
+/// Aggregates a `magic-trace/1` JSONL file into per-stage timing,
+/// counter, and histogram tables.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let path = take_flag(&mut args, "--trace").ok_or("report requires --trace <trace.jsonl>")?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = TraceSummary::from_lines(text.lines()).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", summary.render());
     Ok(())
 }
 
@@ -267,6 +346,92 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(cmd_train(&args).unwrap_err().contains("unknown corpus"));
+    }
+
+    #[test]
+    fn dispatch_rejects_bad_log_level() {
+        let args: Vec<String> =
+            ["--log-level", "loud", "help"].iter().map(|s| s.to_string()).collect();
+        assert!(dispatch(&args).unwrap_err().contains("unknown log level"));
+    }
+
+    #[test]
+    fn report_requires_a_trace_argument() {
+        assert!(dispatch(&["report".to_string()])
+            .unwrap_err()
+            .contains("report requires --trace"));
+    }
+
+    #[test]
+    fn report_rejects_missing_and_malformed_files() {
+        let missing: Vec<String> =
+            ["report", "--trace", "/nonexistent/t.jsonl"].iter().map(|s| s.to_string()).collect();
+        assert!(dispatch(&missing).unwrap_err().contains("cannot read"));
+
+        let dir = std::env::temp_dir().join("magic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        let args: Vec<String> = ["report", "--trace", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(dispatch(&args).unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn report_aggregates_a_valid_trace() {
+        use magic_obs::Event;
+        let dir = std::env::temp_dir().join("magic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("valid.jsonl");
+        let events = [
+            Event::Meta { command: "magic train".into() },
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                stage: "train.run".into(),
+                ts_us: 0,
+                fields: vec![],
+            },
+            Event::SpanEnd { id: 1, stage: "train.run".into(), ts_us: 80, dur_us: 80 },
+        ];
+        let text: String = events.iter().map(|e| e.to_jsonl_line() + "\n").collect();
+        std::fs::write(&path, text).unwrap();
+        let args: Vec<String> = ["report", "--trace", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(dispatch(&args).is_ok());
+    }
+
+    #[test]
+    fn extract_with_trace_writes_a_parseable_jsonl_file() {
+        let dir = std::env::temp_dir().join("magic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let listing = dir.join("traced.asm");
+        std::fs::write(
+            &listing,
+            ".text:00401000    xor eax, eax\n.text:00401002    retn\n",
+        )
+        .unwrap();
+        let trace = dir.join("extract-trace.jsonl");
+        let args: Vec<String> = [
+            "extract",
+            listing.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        dispatch(&args).unwrap();
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let summary = magic_obs::report::TraceSummary::from_lines(text.lines()).unwrap();
+        assert!(summary.events >= 4, "meta + extraction spans, got {}", summary.events);
+        assert!(summary.stages.iter().any(|s| s.stage == magic_obs::stage::EXTRACT_ACFG));
+        assert!(summary.command.as_deref().unwrap_or("").starts_with("magic extract"));
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! magic train --corpus mskcfg|yancfg [--scale S] [--epochs N] --out model.magic
 //! magic predict --model model.magic <listing.asm>...
 //! magic info --model model.magic             show checkpoint metadata
+//! magic report --trace trace.jsonl           aggregate a telemetry trace
 //! ```
+//!
+//! All subcommands accept `--trace <path>` (stream a `magic-trace/1`
+//! JSONL telemetry trace, see `docs/OBSERVABILITY.md`) and
+//! `--log-level <off|error|info|debug|trace>`.
 
 mod checkpoint_file;
 mod commands;
@@ -18,7 +23,7 @@ fn main() -> ExitCode {
     match commands::dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            magic_obs::log(magic_obs::Level::Error, format!("error: {e}"));
             ExitCode::FAILURE
         }
     }

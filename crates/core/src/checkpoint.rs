@@ -45,6 +45,7 @@ impl Error for CheckpointError {}
 /// reading them back through an `f64` parse and narrowing restores the
 /// exact bits (covered by the roundtrip test in `magic-json`).
 pub fn save_weights(model: &Dgcnn) -> String {
+    let _span = magic_obs::span(magic_obs::stage::CHECKPOINT_SAVE);
     let mut out = String::new();
     for (name, tensor) in model.store().iter() {
         out.push_str("{\"name\":");
@@ -98,6 +99,7 @@ fn parse_record(line: &str) -> Result<ParamRecord, CheckpointError> {
 /// Returns [`CheckpointError`] on malformed input, unknown parameter
 /// names or shape mismatches.
 pub fn load_weights(model: &mut Dgcnn, text: &str) -> Result<(), CheckpointError> {
+    let _span = magic_obs::span(magic_obs::stage::CHECKPOINT_LOAD);
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let record = parse_record(line)?;
         let id = model

@@ -15,6 +15,19 @@
 //! afterwards — see [`run_indexed`] and the gradient reduction in
 //! `trainer.rs`, which is bitwise-identical for any worker count because
 //! float additions happen in sample order regardless of scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use magic::executor::{executor_for, run_indexed};
+//!
+//! // `0` = auto-detect, `1` = serial, `n` = that many threads.
+//! let executor = executor_for(2);
+//! // Results come back in index order regardless of which lane ran
+//! // which job, so reductions over them are deterministic.
+//! let squares = run_indexed(executor.as_ref(), 5, |_worker, i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

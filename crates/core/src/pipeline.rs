@@ -49,6 +49,7 @@ impl From<ParseError> for PipelineError {
 /// Returns [`PipelineError`] if the listing cannot be parsed or holds no
 /// instructions.
 pub fn extract_acfg(listing: &str) -> Result<Acfg, PipelineError> {
+    let _span = magic_obs::span(magic_obs::stage::EXTRACT_ACFG);
     let program = parse_listing(listing)?;
     if program.is_empty() {
         return Err(PipelineError::EmptyProgram);
@@ -115,6 +116,7 @@ impl MagicPipeline {
     ///
     /// Returns [`PipelineError`] if extraction fails.
     pub fn classify_listing(&self, listing: &str) -> Result<(&str, f32), PipelineError> {
+        let _span = magic_obs::span(magic_obs::stage::PREDICT);
         let acfg = extract_acfg(listing)?;
         Ok(self.classify_acfg(&acfg))
     }

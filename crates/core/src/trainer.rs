@@ -12,7 +12,9 @@
 //! [`Rng64::for_sample`] streams rather than a shared generator, training
 //! is bitwise identical for any `train_workers` value.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use magic_autograd::Tape;
 use magic_data::batches;
@@ -177,13 +179,35 @@ impl Trainer {
         let mut history = Vec::with_capacity(self.config.epochs);
         let mut best_val_loss = f32::INFINITY;
 
+        let _train_span = magic_obs::span_fields(
+            magic_obs::stage::TRAIN,
+            &[
+                ("epochs", self.config.epochs as f64),
+                ("train_samples", train_idx.len() as f64),
+                ("workers", executor.workers() as f64),
+            ],
+        );
+
         let mut order: Vec<usize> = train_idx.to_vec();
         for epoch in 0..self.config.epochs {
+            // Telemetry is observational only: timers are read but never
+            // feed back into the numerics, so a traced run stays bitwise
+            // identical to an untraced one.
+            let traced = magic_obs::is_enabled();
+            let _epoch_span =
+                magic_obs::span_fields(magic_obs::stage::TRAIN_EPOCH, &[("epoch", epoch as f64)]);
+            let worker_busy: Vec<AtomicU64> =
+                (0..executor.workers()).map(|_| AtomicU64::new(0)).collect();
+            let mut fanout_us = 0u64;
+            let mut update_us = 0u64;
+
             rng.shuffle(&mut order);
             let mut train_loss_total = 0.0;
             for batch in batches(&order, self.config.batch_size) {
                 let store = model.store();
+                let fanout_start = traced.then(Instant::now);
                 let losses: Vec<f32> = run_indexed(executor.as_ref(), batch.len(), |worker, j| {
+                    let busy_start = traced.then(Instant::now);
                     let i = batch[j];
                     let mut tape = tapes[worker].lock().expect("unpoisoned tape");
                     tape.reset();
@@ -201,9 +225,17 @@ impl Trainer {
                     let mut buffer = grad_slots[j].lock().expect("unpoisoned grad slot");
                     buffer.zero();
                     buffer.accumulate(&tape, &binding);
+                    if let Some(start) = busy_start {
+                        worker_busy[worker]
+                            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    }
                     item
                 });
+                if let Some(start) = fanout_start {
+                    fanout_us += start.elapsed().as_micros() as u64;
+                }
 
+                let update_start = traced.then(Instant::now);
                 let store = model.store_mut();
                 store.zero_grads();
                 for (j, loss) in losses.iter().enumerate() {
@@ -217,6 +249,9 @@ impl Trainer {
                     store.clip_grad_norm(clip);
                 }
                 optimizer.step(store, batch.len());
+                if let Some(start) = update_start {
+                    update_us += start.elapsed().as_micros() as u64;
+                }
             }
             let train_loss = train_loss_total / train_idx.len().max(1) as f32;
 
@@ -225,6 +260,38 @@ impl Trainer {
             let learning_rate = optimizer.learning_rate();
             scheduler.observe(val_loss, &mut optimizer);
             best_val_loss = best_val_loss.min(val_loss);
+
+            if traced {
+                let epoch_field = ("epoch", epoch as f64);
+                for (worker, busy) in worker_busy.iter().enumerate() {
+                    magic_obs::histogram_fields(
+                        magic_obs::stage::H_WORKER_BUSY_US,
+                        busy.load(Ordering::Relaxed) as f64,
+                        &[("worker", worker as f64), epoch_field],
+                    );
+                }
+                magic_obs::histogram_fields(
+                    magic_obs::stage::H_EPOCH_FANOUT_US,
+                    fanout_us as f64,
+                    &[epoch_field],
+                );
+                magic_obs::histogram_fields(
+                    magic_obs::stage::H_EPOCH_UPDATE_US,
+                    update_us as f64,
+                    &[epoch_field],
+                );
+                magic_obs::counter(magic_obs::stage::C_TRAIN_SAMPLES, order.len() as f64);
+            }
+            if magic_obs::log_enabled(magic_obs::Level::Debug) {
+                magic_obs::log(
+                    magic_obs::Level::Debug,
+                    format!(
+                        "epoch {epoch}: train loss {train_loss:.4}, val loss {val_loss:.4}, \
+                         val accuracy {:.1}%, lr {learning_rate:.2e}",
+                        val_accuracy * 100.0
+                    ),
+                );
+            }
             history.push(EpochStats { epoch, train_loss, val_loss, val_accuracy, learning_rate });
         }
         TrainOutcome { history, best_val_loss }
@@ -257,6 +324,8 @@ pub fn evaluate_with(
     if idx.is_empty() {
         return (0.0, 0.0);
     }
+    let _span =
+        magic_obs::span_fields(magic_obs::stage::EVALUATE, &[("samples", idx.len() as f64)]);
     let per_sample: Vec<(f32, bool)> = run_indexed(executor, idx.len(), |_, j| {
         let i = idx[j];
         let probs = model.predict(&inputs[i]);

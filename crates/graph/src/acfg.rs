@@ -97,6 +97,7 @@ impl Acfg {
 
     /// Extracts an ACFG from a CFG by computing all Table I attributes.
     pub fn from_cfg(cfg: &Cfg) -> Self {
+        let _span = magic_obs::span(magic_obs::stage::ACFG_ATTRIBUTES);
         let n = cfg.block_count();
         let mut graph = DiGraph::new(n);
         for (u, v) in cfg.edges() {

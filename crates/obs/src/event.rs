@@ -1,0 +1,263 @@
+//! Trace events and their JSONL encoding — the versioned wire format.
+//!
+//! Every event serializes to exactly one JSON line. The field layout is a
+//! public contract, documented in `docs/OBSERVABILITY.md` and versioned
+//! through [`SCHEMA_VERSION`]: readers must ignore unknown fields and
+//! reject unknown major versions.
+
+use magic_json::{Map, Value};
+
+/// Version stamp written into every event line (the `"v"` field).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Schema identifier written into the stream's `meta` header event.
+pub const SCHEMA_NAME: &str = "magic-trace/1";
+
+/// One structured telemetry event.
+///
+/// Timestamps (`ts_us`) are microseconds since the trace epoch — the
+/// instant the first recorder of the process was installed — so event
+/// times are directly comparable within one trace file. Durations
+/// (`dur_us`) are measured with a monotonic clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Stream header, written once when a recorder is installed.
+    Meta {
+        /// The command line (or free-form description) that produced the
+        /// trace.
+        command: String,
+    },
+    /// A span opened: a named stage of the pipeline began.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// Id of the enclosing span on the *same thread*, if any. Spans
+        /// opened on worker threads have no parent.
+        parent: Option<u64>,
+        /// Stage name from the registry in [`crate::stage`].
+        stage: String,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+        /// Small numeric annotations (epoch index, sample count, …).
+        fields: Vec<(String, f64)>,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id of the matching [`Event::SpanStart`].
+        id: u64,
+        /// Stage name, repeated so single lines aggregate without a join.
+        stage: String,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+        /// Monotonic-elapsed duration of the span in microseconds.
+        dur_us: u64,
+    },
+    /// A monotonically accumulating count (instructions parsed, samples
+    /// trained, …). Aggregators sum the deltas.
+    Counter {
+        /// Counter name from the registry in [`crate::stage`].
+        name: String,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+        /// Amount to add to the running total.
+        delta: f64,
+    },
+    /// One observation of a distribution (a timing, a size). Aggregators
+    /// report count/mean/min/max over the observations.
+    Histogram {
+        /// Histogram name from the registry in [`crate::stage`].
+        name: String,
+        /// Microseconds since the trace epoch.
+        ts_us: u64,
+        /// The observed value (unit is part of the name, e.g. `_us`).
+        value: f64,
+        /// Small numeric annotations (worker lane, epoch index, …).
+        fields: Vec<(String, f64)>,
+    },
+}
+
+fn fields_to_json(fields: &[(String, f64)]) -> Value {
+    let mut map = Map::new();
+    for (k, v) in fields {
+        map.insert(k.clone(), Value::Number(*v));
+    }
+    Value::Object(map)
+}
+
+fn fields_from_json(value: &Value) -> Vec<(String, f64)> {
+    match value.as_object() {
+        Some(map) => map
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|v| (k.to_string(), v)))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+impl Event {
+    /// Encodes the event as a JSON [`Value`] following the
+    /// `magic-trace/1` schema.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("v", Value::Number(SCHEMA_VERSION as f64));
+        match self {
+            Event::Meta { command } => {
+                map.insert("t", Value::String("meta".into()));
+                map.insert("schema", Value::String(SCHEMA_NAME.into()));
+                map.insert("command", Value::String(command.clone()));
+            }
+            Event::SpanStart { id, parent, stage, ts_us, fields } => {
+                map.insert("t", Value::String("span_start".into()));
+                map.insert("id", Value::Number(*id as f64));
+                map.insert(
+                    "parent",
+                    parent.map_or(Value::Null, |p| Value::Number(p as f64)),
+                );
+                map.insert("stage", Value::String(stage.clone()));
+                map.insert("ts_us", Value::Number(*ts_us as f64));
+                if !fields.is_empty() {
+                    map.insert("fields", fields_to_json(fields));
+                }
+            }
+            Event::SpanEnd { id, stage, ts_us, dur_us } => {
+                map.insert("t", Value::String("span_end".into()));
+                map.insert("id", Value::Number(*id as f64));
+                map.insert("stage", Value::String(stage.clone()));
+                map.insert("ts_us", Value::Number(*ts_us as f64));
+                map.insert("dur_us", Value::Number(*dur_us as f64));
+            }
+            Event::Counter { name, ts_us, delta } => {
+                map.insert("t", Value::String("counter".into()));
+                map.insert("name", Value::String(name.clone()));
+                map.insert("ts_us", Value::Number(*ts_us as f64));
+                map.insert("delta", Value::Number(*delta));
+            }
+            Event::Histogram { name, ts_us, value, fields } => {
+                map.insert("t", Value::String("hist".into()));
+                map.insert("name", Value::String(name.clone()));
+                map.insert("ts_us", Value::Number(*ts_us as f64));
+                map.insert("value", Value::Number(*value));
+                if !fields.is_empty() {
+                    map.insert("fields", fields_to_json(fields));
+                }
+            }
+        }
+        Value::Object(map)
+    }
+
+    /// Serializes the event as one compact JSON line (no trailing
+    /// newline).
+    pub fn to_jsonl_line(&self) -> String {
+        magic_json::to_string(&self.to_json())
+    }
+
+    /// Decodes an event from its JSON form.
+    ///
+    /// Unknown fields are ignored (forward compatibility within a major
+    /// version); an unknown `"v"` or `"t"` is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(value: &Value) -> Result<Event, String> {
+        let version = value["v"].as_u64().ok_or("missing schema version \"v\"")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!("unsupported schema version {version}"));
+        }
+        let kind = value["t"].as_str().ok_or("missing event type \"t\"")?;
+        let ts_us = || value["ts_us"].as_u64().ok_or("missing ts_us");
+        match kind {
+            "meta" => Ok(Event::Meta {
+                command: value["command"].as_str().unwrap_or_default().to_string(),
+            }),
+            "span_start" => Ok(Event::SpanStart {
+                id: value["id"].as_u64().ok_or("missing span id")?,
+                parent: value["parent"].as_u64(),
+                stage: value["stage"].as_str().ok_or("missing stage")?.to_string(),
+                ts_us: ts_us()?,
+                fields: fields_from_json(&value["fields"]),
+            }),
+            "span_end" => Ok(Event::SpanEnd {
+                id: value["id"].as_u64().ok_or("missing span id")?,
+                stage: value["stage"].as_str().ok_or("missing stage")?.to_string(),
+                ts_us: ts_us()?,
+                dur_us: value["dur_us"].as_u64().ok_or("missing dur_us")?,
+            }),
+            "counter" => Ok(Event::Counter {
+                name: value["name"].as_str().ok_or("missing name")?.to_string(),
+                ts_us: ts_us()?,
+                delta: value["delta"].as_f64().ok_or("missing delta")?,
+            }),
+            "hist" => Ok(Event::Histogram {
+                name: value["name"].as_str().ok_or("missing name")?.to_string(),
+                ts_us: ts_us()?,
+                value: value["value"].as_f64().ok_or("missing value")?,
+                fields: fields_from_json(&value["fields"]),
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+
+    /// Parses an event from one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid JSON or a malformed event.
+    pub fn from_jsonl_line(line: &str) -> Result<Event, String> {
+        let value = magic_json::from_str(line).map_err(|e| e.to_string())?;
+        Event::from_json(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(event: Event) {
+        let line = event.to_jsonl_line();
+        assert!(!line.contains('\n'), "one event per line: {line:?}");
+        let back = Event::from_jsonl_line(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips_through_magic_json() {
+        roundtrip(Event::Meta { command: "magic train --corpus mskcfg".into() });
+        roundtrip(Event::SpanStart {
+            id: 3,
+            parent: Some(1),
+            stage: "train.epoch".into(),
+            ts_us: 1234,
+            fields: vec![("epoch".into(), 4.0)],
+        });
+        roundtrip(Event::SpanStart {
+            id: 9,
+            parent: None,
+            stage: "asm.parse".into(),
+            ts_us: 0,
+            fields: vec![],
+        });
+        roundtrip(Event::SpanEnd { id: 3, stage: "train.epoch".into(), ts_us: 99, dur_us: 42 });
+        roundtrip(Event::Counter { name: "asm.instructions".into(), ts_us: 7, delta: 450.0 });
+        roundtrip(Event::Histogram {
+            name: "train.worker_busy_us".into(),
+            ts_us: 8,
+            value: 1250.5,
+            fields: vec![("worker".into(), 1.0)],
+        });
+    }
+
+    #[test]
+    fn unknown_version_and_type_are_rejected() {
+        assert!(Event::from_jsonl_line(r#"{"v":2,"t":"meta"}"#).is_err());
+        assert!(Event::from_jsonl_line(r#"{"v":1,"t":"frob"}"#).is_err());
+        assert!(Event::from_jsonl_line("not json").is_err());
+    }
+
+    #[test]
+    fn empty_fields_are_omitted_from_the_wire() {
+        let event =
+            Event::SpanStart { id: 1, parent: None, stage: "x".into(), ts_us: 0, fields: vec![] };
+        assert!(!event.to_jsonl_line().contains("fields"));
+    }
+}

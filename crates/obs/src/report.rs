@@ -1,0 +1,402 @@
+//! Trace aggregation: fold a `magic-trace/1` JSONL stream into
+//! per-stage timing tables — the engine behind `magic report`.
+
+use crate::event::Event;
+use std::collections::HashMap;
+
+/// Aggregated timings for one span stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name (see [`crate::stage`]).
+    pub stage: String,
+    /// Closed spans observed.
+    pub count: u64,
+    /// Sum of span durations, µs.
+    pub total_us: u64,
+    /// Sum of durations minus time spent in child spans, µs — where the
+    /// time actually went.
+    pub self_us: u64,
+    /// Shortest span, µs.
+    pub min_us: u64,
+    /// Longest span, µs.
+    pub max_us: u64,
+}
+
+/// Aggregated deltas for one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterStats {
+    /// Counter name.
+    pub name: String,
+    /// Number of delta events.
+    pub count: u64,
+    /// Sum of deltas.
+    pub total: f64,
+}
+
+/// Aggregated observations for one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramStats {
+    /// Histogram name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub total: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Everything `magic report` knows about one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// The `command` from the stream's meta header, if present.
+    pub command: Option<String>,
+    /// Total events parsed.
+    pub events: u64,
+    /// Wall-clock between the first and last event timestamp, µs.
+    pub wall_us: u64,
+    /// Sum of durations of *top-level* spans (no parent), µs. On a
+    /// single-threaded trace this is at most `wall_us`; spans opened
+    /// concurrently on worker threads are also parentless and can push
+    /// it past 100% of wall.
+    pub top_level_us: u64,
+    /// Per-stage timings, largest total first.
+    pub stages: Vec<StageStats>,
+    /// Counters, by name.
+    pub counters: Vec<CounterStats>,
+    /// Histograms, by name.
+    pub histograms: Vec<HistogramStats>,
+    /// Spans that were opened but never closed (crash, or a still-open
+    /// guard when the recorder was removed).
+    pub unclosed_spans: u64,
+}
+
+impl TraceSummary {
+    /// Aggregates an iterator of JSONL lines. Blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"line N: <why>"` for the first malformed line.
+    pub fn from_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Self, String> {
+        let mut summary = TraceSummary::default();
+        let mut first_ts: Option<u64> = None;
+        let mut last_ts: u64 = 0;
+        // id -> (stage, parent)
+        let mut open: HashMap<u64, (String, Option<u64>)> = HashMap::new();
+        // (stage, parent, dur) of every closed span
+        let mut closed: Vec<(String, Option<u64>, u64)> = Vec::new();
+        // parent id -> sum of closed children durations
+        let mut child_us: HashMap<u64, u64> = HashMap::new();
+        // id -> index into `closed` (to look up own children afterwards)
+        let mut closed_by_id: HashMap<u64, usize> = HashMap::new();
+        let mut counters: HashMap<String, CounterStats> = HashMap::new();
+        let mut histograms: HashMap<String, HistogramStats> = HashMap::new();
+
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event =
+                Event::from_jsonl_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            summary.events += 1;
+            let ts = match &event {
+                Event::Meta { .. } => None,
+                Event::SpanStart { ts_us, .. }
+                | Event::SpanEnd { ts_us, .. }
+                | Event::Counter { ts_us, .. }
+                | Event::Histogram { ts_us, .. } => Some(*ts_us),
+            };
+            if let Some(ts) = ts {
+                first_ts = Some(first_ts.map_or(ts, |f| f.min(ts)));
+                last_ts = last_ts.max(ts);
+            }
+            match event {
+                Event::Meta { command } => summary.command = Some(command),
+                Event::SpanStart { id, parent, stage, .. } => {
+                    open.insert(id, (stage, parent));
+                }
+                Event::SpanEnd { id, stage, dur_us, .. } => {
+                    let (stage, parent) = open.remove(&id).unwrap_or((stage, None));
+                    if let Some(p) = parent {
+                        *child_us.entry(p).or_insert(0) += dur_us;
+                    }
+                    closed_by_id.insert(id, closed.len());
+                    closed.push((stage, parent, dur_us));
+                }
+                Event::Counter { name, delta, .. } => {
+                    let entry = counters
+                        .entry(name.clone())
+                        .or_insert(CounterStats { name, count: 0, total: 0.0 });
+                    entry.count += 1;
+                    entry.total += delta;
+                }
+                Event::Histogram { name, value, .. } => {
+                    let entry = histograms.entry(name.clone()).or_insert(HistogramStats {
+                        name,
+                        count: 0,
+                        total: 0.0,
+                        min: f64::INFINITY,
+                        max: f64::NEG_INFINITY,
+                    });
+                    entry.count += 1;
+                    entry.total += value;
+                    entry.min = entry.min.min(value);
+                    entry.max = entry.max.max(value);
+                }
+            }
+        }
+
+        summary.wall_us = last_ts.saturating_sub(first_ts.unwrap_or(0));
+        summary.unclosed_spans = open.len() as u64;
+
+        let mut stages: HashMap<String, StageStats> = HashMap::new();
+        for (id, &(ref stage, parent, dur_us)) in
+            closed_by_id.iter().map(|(id, &i)| (id, &closed[i]))
+        {
+            let children = child_us.get(id).copied().unwrap_or(0);
+            let entry = stages.entry(stage.clone()).or_insert(StageStats {
+                stage: stage.clone(),
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+                min_us: u64::MAX,
+                max_us: 0,
+            });
+            entry.count += 1;
+            entry.total_us += dur_us;
+            entry.self_us += dur_us.saturating_sub(children);
+            entry.min_us = entry.min_us.min(dur_us);
+            entry.max_us = entry.max_us.max(dur_us);
+            if parent.is_none() {
+                summary.top_level_us += dur_us;
+            }
+        }
+
+        summary.stages = stages.into_values().collect();
+        summary.stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.stage.cmp(&b.stage)));
+        summary.counters = counters.into_values().collect();
+        summary.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        summary.histograms = histograms.into_values().collect();
+        summary.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(summary)
+    }
+
+    /// Fraction of wall-clock covered by top-level spans, in `[0, …)` —
+    /// the acceptance metric for "the trace explains where time went".
+    pub fn coverage(&self) -> f64 {
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            self.top_level_us as f64 / self.wall_us as f64
+        }
+    }
+
+    /// Renders the human-readable aggregation table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(command) = &self.command {
+            out.push_str(&format!("trace of: {command}\n"));
+        }
+        out.push_str(&format!(
+            "{} events · wall {} · top-level span coverage {:.1}%\n",
+            self.events,
+            fmt_us(self.wall_us),
+            self.coverage() * 100.0
+        ));
+        if self.unclosed_spans > 0 {
+            out.push_str(&format!("warning: {} span(s) never closed\n", self.unclosed_spans));
+        }
+
+        if !self.stages.is_empty() {
+            out.push_str(&format!(
+                "\n{:<28} {:>7} {:>10} {:>10} {:>10} {:>7}\n",
+                "SPAN STAGE", "count", "total", "mean", "self", "%wall"
+            ));
+            for s in &self.stages {
+                let mean = s.total_us / s.count.max(1);
+                let pct = if self.wall_us == 0 {
+                    0.0
+                } else {
+                    100.0 * s.total_us as f64 / self.wall_us as f64
+                };
+                out.push_str(&format!(
+                    "{:<28} {:>7} {:>10} {:>10} {:>10} {:>7.1}\n",
+                    s.stage,
+                    s.count,
+                    fmt_us(s.total_us),
+                    fmt_us(mean),
+                    fmt_us(s.self_us),
+                    pct
+                ));
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str(&format!("\n{:<28} {:>14} {:>7}\n", "COUNTER", "total", "events"));
+            for c in &self.counters {
+                out.push_str(&format!("{:<28} {:>14} {:>7}\n", c.name, c.total, c.count));
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "\n{:<28} {:>7} {:>12} {:>12} {:>12}\n",
+                "HISTOGRAM", "count", "mean", "min", "max"
+            ));
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<28} {:>7} {:>12.1} {:>12.1} {:>12.1}\n",
+                    h.name,
+                    h.count,
+                    h.total / h.count.max(1) as f64,
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Formats a microsecond quantity at a human scale.
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(events: &[Event]) -> String {
+        events.iter().map(|e| e.to_jsonl_line() + "\n").collect()
+    }
+
+    fn sample_trace() -> String {
+        lines_of(&[
+            Event::Meta { command: "magic train --corpus mskcfg".into() },
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                stage: "train.run".into(),
+                ts_us: 0,
+                fields: vec![],
+            },
+            Event::SpanStart {
+                id: 2,
+                parent: Some(1),
+                stage: "train.epoch".into(),
+                ts_us: 10,
+                fields: vec![("epoch".into(), 0.0)],
+            },
+            Event::SpanEnd { id: 2, stage: "train.epoch".into(), ts_us: 60, dur_us: 50 },
+            Event::SpanStart {
+                id: 3,
+                parent: Some(1),
+                stage: "train.epoch".into(),
+                ts_us: 60,
+                fields: vec![("epoch".into(), 1.0)],
+            },
+            Event::SpanEnd { id: 3, stage: "train.epoch".into(), ts_us: 90, dur_us: 30 },
+            Event::SpanEnd { id: 1, stage: "train.run".into(), ts_us: 100, dur_us: 100 },
+            Event::Counter { name: "train.samples".into(), ts_us: 60, delta: 16.0 },
+            Event::Counter { name: "train.samples".into(), ts_us: 90, delta: 16.0 },
+            Event::Histogram {
+                name: "train.worker_busy_us".into(),
+                ts_us: 60,
+                value: 40.0,
+                fields: vec![("worker".into(), 0.0)],
+            },
+            Event::Histogram {
+                name: "train.worker_busy_us".into(),
+                ts_us: 60,
+                value: 20.0,
+                fields: vec![("worker".into(), 1.0)],
+            },
+        ])
+    }
+
+    #[test]
+    fn aggregates_stages_counters_and_histograms() {
+        let summary = TraceSummary::from_lines(sample_trace().lines()).unwrap();
+        assert_eq!(summary.events, 11);
+        assert_eq!(summary.wall_us, 100);
+        assert_eq!(summary.top_level_us, 100);
+        assert!((summary.coverage() - 1.0).abs() < 1e-9);
+        assert_eq!(summary.unclosed_spans, 0);
+        assert_eq!(summary.command.as_deref(), Some("magic train --corpus mskcfg"));
+
+        let run = summary.stages.iter().find(|s| s.stage == "train.run").unwrap();
+        assert_eq!((run.count, run.total_us), (1, 100));
+        // 100us total minus 50+30 in child epochs = 20us self time.
+        assert_eq!(run.self_us, 20);
+        let epoch = summary.stages.iter().find(|s| s.stage == "train.epoch").unwrap();
+        assert_eq!((epoch.count, epoch.total_us, epoch.min_us, epoch.max_us), (2, 80, 30, 50));
+        assert_eq!(epoch.self_us, 80);
+
+        let samples = &summary.counters[0];
+        assert_eq!((samples.name.as_str(), samples.count, samples.total), ("train.samples", 2, 32.0));
+        let busy = &summary.histograms[0];
+        assert_eq!((busy.count, busy.total, busy.min, busy.max), (2, 60.0, 20.0, 40.0));
+    }
+
+    #[test]
+    fn stages_sort_by_total_descending() {
+        let summary = TraceSummary::from_lines(sample_trace().lines()).unwrap();
+        assert_eq!(summary.stages[0].stage, "train.run");
+        assert_eq!(summary.stages[1].stage, "train.epoch");
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let summary = TraceSummary::from_lines(sample_trace().lines()).unwrap();
+        let table = summary.render();
+        assert!(table.contains("SPAN STAGE"));
+        assert!(table.contains("train.epoch"));
+        assert!(table.contains("COUNTER"));
+        assert!(table.contains("HISTOGRAM"));
+        assert!(table.contains("coverage 100.0%"));
+        assert!(!table.contains("warning"));
+    }
+
+    #[test]
+    fn unclosed_spans_are_counted_not_fatal() {
+        let text = lines_of(&[Event::SpanStart {
+            id: 1,
+            parent: None,
+            stage: "train.run".into(),
+            ts_us: 0,
+            fields: vec![],
+        }]);
+        let summary = TraceSummary::from_lines(text.lines()).unwrap();
+        assert_eq!(summary.unclosed_spans, 1);
+        assert!(summary.render().contains("warning: 1 span(s) never closed"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_their_number() {
+        let err = TraceSummary::from_lines("\n{\"v\":1,\"t\":\"nope\"}\n".lines()).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_summary() {
+        let summary = TraceSummary::from_lines("".lines()).unwrap();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.coverage(), 0.0);
+    }
+
+    #[test]
+    fn fmt_us_picks_readable_units() {
+        assert_eq!(fmt_us(950), "950us");
+        assert_eq!(fmt_us(25_000), "25.0ms");
+        assert_eq!(fmt_us(12_340_000), "12.34s");
+    }
+}

@@ -1,0 +1,85 @@
+//! The stage/metric name registry — the vocabulary of the telemetry
+//! contract.
+//!
+//! Instrumentation sites must name spans, counters, and histograms with
+//! these constants so traces from different builds aggregate under the
+//! same keys. Names are `dotted.paths` rooted at the subsystem; the
+//! unit of a numeric metric is suffixed to its name (`_us` =
+//! microseconds). The full semantics of each stage are documented in
+//! `docs/OBSERVABILITY.md`; adding a constant here is a schema change
+//! and must update that document.
+
+// ---- spans -------------------------------------------------------------
+
+/// Parse one IDA-style `.asm` listing into a `Program` (Algorithm 1's
+/// input). Child of [`EXTRACT_ACFG`].
+pub const ASM_PARSE: &str = "asm.parse";
+
+/// Build basic blocks and edges from a parsed program (Algorithm 2).
+/// Child of [`EXTRACT_ACFG`].
+pub const CFG_BUILD: &str = "asm.cfg_build";
+
+/// Attribute each basic block with the Table I feature vector.
+/// Child of [`EXTRACT_ACFG`].
+pub const ACFG_ATTRIBUTES: &str = "graph.acfg_attributes";
+
+/// End-to-end listing → attributed CFG extraction (the front half of
+/// the paper's Fig. 1).
+pub const EXTRACT_ACFG: &str = "pipeline.extract_acfg";
+
+/// Synthesize one corpus (`magic-synth` generators).
+pub const CORPUS_GENERATE: &str = "corpus.generate";
+
+/// Extract ACFGs for a whole corpus (wraps many [`EXTRACT_ACFG`]).
+pub const CORPUS_EXTRACT: &str = "corpus.extract";
+
+/// One full training run (`Trainer::train`).
+pub const TRAIN: &str = "train.run";
+
+/// One pass over the training split. Child of [`TRAIN`];
+/// fields: `epoch`.
+pub const TRAIN_EPOCH: &str = "train.epoch";
+
+/// Loss/accuracy evaluation over a validation or test split.
+/// Fields: `samples`.
+pub const EVALUATE: &str = "train.evaluate";
+
+/// Serialize model weights to the checkpoint format.
+pub const CHECKPOINT_SAVE: &str = "checkpoint.save";
+
+/// Parse checkpoint text back into model weights.
+pub const CHECKPOINT_LOAD: &str = "checkpoint.load";
+
+/// Classify one listing through a trained pipeline.
+pub const PREDICT: &str = "pipeline.predict";
+
+// ---- counters ----------------------------------------------------------
+
+/// Instructions accepted by the listing parser.
+pub const C_ASM_INSTRUCTIONS: &str = "asm.instructions";
+
+/// Basic blocks produced by the CFG builder.
+pub const C_CFG_BLOCKS: &str = "cfg.blocks";
+
+/// Edges produced by the CFG builder.
+pub const C_CFG_EDGES: &str = "cfg.edges";
+
+/// Training samples processed (one delta per epoch).
+pub const C_TRAIN_SAMPLES: &str = "train.samples";
+
+// ---- histograms --------------------------------------------------------
+
+/// Per-worker busy time over one epoch's forward/backward jobs, in
+/// microseconds. Fields: `worker`, `epoch`. The spread across workers
+/// is the load imbalance of the data-parallel executor.
+pub const H_WORKER_BUSY_US: &str = "train.worker_busy_us";
+
+/// Wall-clock the epoch spent inside mini-batch fan-out (the parallel
+/// region), in microseconds. Fields: `epoch`. Compare against
+/// [`H_WORKER_BUSY_US`] to see queueing/idle overhead.
+pub const H_EPOCH_FANOUT_US: &str = "train.fanout_us";
+
+/// Wall-clock the epoch spent in the serial gradient reduce + clip +
+/// optimizer step, in microseconds. Fields: `epoch`. This is the
+/// Amdahl bound on the PR 1 parallel speedup.
+pub const H_EPOCH_UPDATE_US: &str = "train.update_us";

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: release build, full test suite, and a warning-free
-# clippy pass. Run from the repository root.
+# Tier-1 CI gate: release build, full test suite, doctests, warning-free
+# rustdoc, and a warning-free clippy pass. Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +9,12 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test --doc -q"
+cargo test --doc -q
+
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,139 @@
+//! The telemetry non-perturbation contract: recording a trace must not
+//! change anything about a training run, and a recorded trace must be a
+//! well-formed, aggregatable `magic-trace/1` stream.
+//!
+//! These tests install process-global recorders, so they serialize on a
+//! local mutex and live in their own integration binary.
+
+use std::sync::{Arc, Mutex};
+
+use magic::pipeline::extract_acfg;
+use magic::trainer::{TrainConfig, TrainOutcome, Trainer};
+use magic_autograd::first_bitwise_mismatch;
+use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
+use magic_obs::report::TraceSummary;
+use magic_obs::{stage, Event, JsonlRecorder, NullRecorder};
+use magic_synth::codegen::CodeGenerator;
+use magic_synth::profile::FamilyProfile;
+use magic_tensor::Rng64;
+
+/// The global recorder slot is shared by every test in this binary.
+static GLOBAL_RECORDER: Mutex<()> = Mutex::new(());
+
+fn corpus() -> (Vec<GraphInput>, Vec<usize>) {
+    let mut loopy = FamilyProfile::base("Loopy");
+    loopy.loop_weight = 3.0;
+    let mut packer = FamilyProfile::base("Packer");
+    packer.decoder_weight = 3.0;
+
+    let mut rng = Rng64::new(41);
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..16 {
+        let profile = if i % 2 == 0 { &loopy } else { &packer };
+        let text = CodeGenerator::new(profile).generate(&mut rng);
+        inputs.push(GraphInput::from_acfg(&extract_acfg(&text).unwrap()));
+        labels.push(i % 2);
+    }
+    (inputs, labels)
+}
+
+fn train_once(inputs: &[GraphInput], labels: &[usize]) -> (TrainOutcome, Dgcnn) {
+    let config = DgcnnConfig::new(2, PoolingHead::sort_pool_weighted(8));
+    let mut model = Dgcnn::new(&config, 13);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 3,
+        batch_size: 4,
+        learning_rate: 0.02,
+        seed: 5,
+        train_workers: 2,
+        ..TrainConfig::default()
+    });
+    let train_idx: Vec<usize> = (0..12).collect();
+    let val_idx: Vec<usize> = (12..16).collect();
+    let outcome = trainer.train(&mut model, inputs, labels, &train_idx, &val_idx);
+    (outcome, model)
+}
+
+fn assert_same_run(a: &(TrainOutcome, Dgcnn), b: &(TrainOutcome, Dgcnn), what: &str) {
+    assert_eq!(a.0.history, b.0.history, "history diverged: {what}");
+    assert_eq!(a.0.best_val_loss, b.0.best_val_loss, "best loss diverged: {what}");
+    for (name, value) in a.1.store().iter() {
+        let id = b.1.store().find(name).expect("same parameter set");
+        assert_eq!(
+            first_bitwise_mismatch(value, b.1.store().value(id)),
+            None,
+            "weights for {name} diverged: {what}"
+        );
+    }
+}
+
+/// The headline guarantee: an uninstrumented run, a NullRecorder run,
+/// and a full JsonlRecorder run produce bitwise-identical outcomes —
+/// telemetry observes training, it never perturbs it.
+#[test]
+fn tracing_does_not_perturb_training_bitwise() {
+    let _guard = GLOBAL_RECORDER.lock().unwrap();
+    let (inputs, labels) = corpus();
+
+    magic_obs::uninstall();
+    let baseline = train_once(&inputs, &labels);
+
+    magic_obs::install(Arc::new(NullRecorder));
+    let with_null = train_once(&inputs, &labels);
+    magic_obs::uninstall();
+    assert_same_run(&baseline, &with_null, "NullRecorder vs disabled");
+
+    let dir = std::env::temp_dir().join("magic-obs-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("train-trace.jsonl");
+    magic_obs::install(Arc::new(JsonlRecorder::create(&path).unwrap()));
+    let with_jsonl = train_once(&inputs, &labels);
+    magic_obs::uninstall();
+    assert_same_run(&baseline, &with_jsonl, "JsonlRecorder vs disabled");
+}
+
+/// A trace of a real training run parses line-by-line through
+/// `magic-json`, covers the training stages, and closes every span.
+#[test]
+fn training_trace_roundtrips_and_covers_the_run() {
+    let _guard = GLOBAL_RECORDER.lock().unwrap();
+    let (inputs, labels) = corpus();
+
+    let dir = std::env::temp_dir().join("magic-obs-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("coverage-trace.jsonl");
+    magic_obs::install(Arc::new(JsonlRecorder::create(&path).unwrap()));
+    magic_obs::meta("magic-integration training_trace test");
+    let _ = train_once(&inputs, &labels);
+    magic_obs::uninstall();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    // Every line is one event that survives a parse → re-encode cycle.
+    for line in text.lines() {
+        let event = Event::from_jsonl_line(line).expect("well-formed event line");
+        assert_eq!(Event::from_jsonl_line(&event.to_jsonl_line()).unwrap(), event);
+    }
+
+    let summary = TraceSummary::from_lines(text.lines()).unwrap();
+    assert_eq!(summary.unclosed_spans, 0, "every span guard closed");
+    let stages: Vec<&str> = summary.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert!(stages.contains(&stage::TRAIN));
+    assert!(stages.contains(&stage::TRAIN_EPOCH));
+    assert!(stages.contains(&stage::EVALUATE));
+    let epochs = summary.stages.iter().find(|s| s.stage == stage::TRAIN_EPOCH).unwrap();
+    assert_eq!(epochs.count, 3, "one span per epoch");
+    // Per-worker attribution for the 2-worker run is present.
+    assert!(summary
+        .histograms
+        .iter()
+        .any(|h| h.name == stage::H_WORKER_BUSY_US && h.count >= 3));
+    assert!(summary.histograms.iter().any(|h| h.name == stage::H_EPOCH_FANOUT_US));
+    assert!(summary.histograms.iter().any(|h| h.name == stage::H_EPOCH_UPDATE_US));
+    // train.run alone explains nearly all of the traced wall-clock.
+    assert!(
+        summary.coverage() > 0.95,
+        "top-level spans cover {:.1}% of wall-clock",
+        summary.coverage() * 100.0
+    );
+}
