@@ -1,0 +1,243 @@
+//! Op-level profiling: attribute time, FLOPs, and bytes to individual
+//! tape operations.
+//!
+//! When profiling is switched on ([`crate::Tape::set_profiling`]), every
+//! forward op and every backward sweep step records one observation —
+//! `(kind, phase, shape class, self nanoseconds, flops, bytes out)` —
+//! into the tape-owned [`OpProfile`]. Tapes are per-worker-lane, so
+//! aggregation is contention-free; the trainer drains lane profiles at
+//! epoch boundaries and flushes them as `op_profile` events in the
+//! `magic-trace/2` schema.
+//!
+//! With profiling off (the default) each op costs a single branch on a
+//! plain `bool` — cheaper than the relaxed atomic load budget the
+//! observability contract allows.
+//!
+//! # FLOP accounting
+//!
+//! FLOP counts follow the standard dense-kernel conventions, documented
+//! in `docs/OBSERVABILITY.md` and unit-tested here:
+//!
+//! * [`matmul_flops`]: `2·m·k·n` for `(m,k) @ (k,n)` (one multiply + one
+//!   add per inner-product term).
+//! * [`conv1d_flops`]: `out_elems · (2·c_in·k + 1)` — the `+1` is the
+//!   bias add per output element.
+//! * [`conv2d_flops`]: `out_elems · (2·c_in·kh·kw + 1)`.
+//! * Cheap elementwise ops count one FLOP per output element;
+//!   transcendentals (`sigmoid`, `tanh`, `log_softmax`) count a few.
+//! * Data movement (`transpose`, `reshape`, `gather_rows`, pooling,
+//!   `concat_cols`, `pad_rows`) counts zero FLOPs; `bytes_out` captures
+//!   its cost instead.
+//! * Backward steps are charged `2×` the forward FLOPs of their op (the
+//!   usual two-gradient heuristic for dense kernels).
+
+use std::collections::HashMap;
+
+/// Phase label for forward execution.
+pub const PHASE_FORWARD: &str = "fwd";
+/// Phase label for the backward sweep.
+pub const PHASE_BACKWARD: &str = "bwd";
+/// Phase label for host-side (non-tape) work attributed by the trainer:
+/// parameter binding, gradient reduction, the optimizer step, evaluation.
+pub const PHASE_HOST: &str = "host";
+
+/// FLOPs of an `(m, k) @ (k, n)` matrix product.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// FLOPs of a 1-D convolution producing `(c_out, l_out)` from `c_in`
+/// input channels with kernel width `k`, bias included.
+pub fn conv1d_flops(c_out: usize, l_out: usize, c_in: usize, k: usize) -> u64 {
+    (c_out as u64) * (l_out as u64) * (2 * (c_in as u64) * (k as u64) + 1)
+}
+
+/// FLOPs of a 2-D convolution producing `(c_out, oh, ow)` from `c_in`
+/// input channels with a `kh × kw` kernel, bias included.
+pub fn conv2d_flops(c_out: usize, oh: usize, ow: usize, c_in: usize, kh: usize, kw: usize) -> u64 {
+    (c_out as u64) * (oh as u64) * (ow as u64) * (2 * (c_in as u64) * (kh as u64) * (kw as u64) + 1)
+}
+
+/// Buckets an element count into a power-of-two shape class, so ops on
+/// similar problem sizes aggregate together without exploding the row
+/// count. Bucket `b` covers `[2^(b-1), 2^b)` elements; 0 elements is
+/// bucket 0.
+pub fn shape_bucket(elems: usize) -> u8 {
+    (usize::BITS - elems.leading_zeros()) as u8
+}
+
+/// Human label for a [`shape_bucket`] value, e.g. `"≤4Ki"` for the
+/// bucket whose upper bound is 4096 elements.
+pub fn bucket_label(bucket: u8) -> String {
+    if bucket == 0 {
+        return "0".to_string();
+    }
+    let upper: u64 = 1 << bucket;
+    if upper >= 1 << 20 {
+        format!("≤{}Mi", upper >> 20)
+    } else if upper >= 1 << 10 {
+        format!("≤{}Ki", upper >> 10)
+    } else {
+        format!("≤{upper}")
+    }
+}
+
+/// Aggregation key: one profile row per (kind, phase, shape class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpKey {
+    /// Stable op kind name (see `Tape`'s op registry) or a host-side
+    /// pseudo-op name like `"grad.reduce"`.
+    pub kind: &'static str,
+    /// One of [`PHASE_FORWARD`], [`PHASE_BACKWARD`], [`PHASE_HOST`].
+    pub phase: &'static str,
+    /// [`shape_bucket`] of the op's output element count.
+    pub shape_bucket: u8,
+}
+
+/// Accumulated observations for one [`OpKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStat {
+    /// Number of op executions folded into this row.
+    pub calls: u64,
+    /// Summed self time, nanoseconds.
+    pub self_ns: u64,
+    /// Summed FLOPs.
+    pub flops: u64,
+    /// Summed output bytes.
+    pub bytes_out: u64,
+}
+
+/// Per-tape (and therefore per-thread) op-level profile.
+///
+/// Rows accumulate across samples until drained with
+/// [`OpProfile::take`]; merging profiles from several lanes is
+/// commutative, so the trainer's epoch-end reduction is order-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    rows: HashMap<OpKey, OpStat>,
+}
+
+impl OpProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        OpProfile::default()
+    }
+
+    /// Whether any observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Folds one observation into the row for `key`.
+    pub fn record(&mut self, key: OpKey, self_ns: u64, flops: u64, bytes_out: u64) {
+        let stat = self.rows.entry(key).or_default();
+        stat.calls += 1;
+        stat.self_ns += self_ns;
+        stat.flops += flops;
+        stat.bytes_out += bytes_out;
+    }
+
+    /// Folds every row of `other` into `self`.
+    pub fn merge(&mut self, other: &OpProfile) {
+        for (key, stat) in &other.rows {
+            let mine = self.rows.entry(*key).or_default();
+            mine.calls += stat.calls;
+            mine.self_ns += stat.self_ns;
+            mine.flops += stat.flops;
+            mine.bytes_out += stat.bytes_out;
+        }
+    }
+
+    /// Drains the profile, returning the accumulated rows and leaving it
+    /// empty (allocation retained).
+    pub fn take(&mut self) -> OpProfile {
+        OpProfile { rows: std::mem::take(&mut self.rows) }
+    }
+
+    /// Rows in deterministic order: self time descending, then key.
+    pub fn sorted_rows(&self) -> Vec<(OpKey, OpStat)> {
+        let mut rows: Vec<(OpKey, OpStat)> = self.rows.iter().map(|(k, s)| (*k, *s)).collect();
+        rows.sort_by(|a, b| {
+            b.1.self_ns
+                .cmp(&a.1.self_ns)
+                .then(a.0.kind.cmp(b.0.kind))
+                .then(a.0.phase.cmp(b.0.phase))
+                .then(a.0.shape_bucket.cmp(&b.0.shape_bucket))
+        });
+        rows
+    }
+
+    /// Total self time across all rows, nanoseconds.
+    pub fn total_self_ns(&self) -> u64 {
+        self.rows.values().map(|s| s.self_ns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_flops_is_two_mkn() {
+        // (3,4) @ (4,5): 3·5 outputs × 4 multiply-adds each.
+        assert_eq!(matmul_flops(3, 4, 5), 120);
+        assert_eq!(matmul_flops(1, 1, 1), 2);
+        assert_eq!(matmul_flops(0, 4, 5), 0);
+    }
+
+    #[test]
+    fn conv1d_flops_counts_kernel_and_bias() {
+        // 2 out-channels × 10 positions, 3 in-channels, kernel 5:
+        // each output element costs 2·3·5 MACs-as-flops + 1 bias add.
+        assert_eq!(conv1d_flops(2, 10, 3, 5), 2 * 10 * (2 * 3 * 5 + 1));
+    }
+
+    #[test]
+    fn conv2d_flops_counts_kernel_and_bias() {
+        // 4 out-channels on a 6×6 output, 3 in-channels, 3×3 kernel.
+        assert_eq!(conv2d_flops(4, 6, 6, 3, 3, 3), 4 * 36 * (2 * 3 * 9 + 1));
+        // 1×1 kernel degenerates to a per-pixel matmul plus bias.
+        assert_eq!(conv2d_flops(1, 2, 2, 1, 1, 1), 4 * 3);
+    }
+
+    #[test]
+    fn shape_buckets_are_powers_of_two() {
+        assert_eq!(shape_bucket(0), 0);
+        assert_eq!(shape_bucket(1), 1);
+        assert_eq!(shape_bucket(2), 2);
+        assert_eq!(shape_bucket(3), 2);
+        assert_eq!(shape_bucket(4), 3);
+        assert_eq!(shape_bucket(1023), 10);
+        assert_eq!(shape_bucket(1024), 11);
+    }
+
+    #[test]
+    fn bucket_labels_scale_units() {
+        assert_eq!(bucket_label(0), "0");
+        assert_eq!(bucket_label(3), "≤8");
+        assert_eq!(bucket_label(12), "≤4Ki");
+        assert_eq!(bucket_label(21), "≤2Mi");
+    }
+
+    #[test]
+    fn record_merge_and_take_accumulate() {
+        let key = OpKey { kind: "matmul", phase: PHASE_FORWARD, shape_bucket: 4 };
+        let mut a = OpProfile::new();
+        a.record(key, 100, 64, 40);
+        a.record(key, 50, 64, 40);
+        let mut b = OpProfile::new();
+        b.record(key, 25, 64, 40);
+        b.record(OpKey { kind: "relu", phase: PHASE_BACKWARD, shape_bucket: 4 }, 5, 16, 40);
+        a.merge(&b);
+
+        let rows = a.sorted_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, key, "largest self time first");
+        assert_eq!(rows[0].1, OpStat { calls: 3, self_ns: 175, flops: 192, bytes_out: 120 });
+        assert_eq!(a.total_self_ns(), 180);
+
+        let taken = a.take();
+        assert!(a.is_empty());
+        assert_eq!(taken.sorted_rows().len(), 2);
+    }
+}

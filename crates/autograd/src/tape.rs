@@ -1,7 +1,9 @@
 //! The recording tape: forward operations and the reverse gradient sweep.
 
 use crate::conv;
+use crate::profile::{self, OpKey, OpProfile, PHASE_BACKWARD, PHASE_FORWARD};
 use magic_tensor::{Rng64, Shape, Tensor};
+use std::time::Instant;
 
 /// Handle to a value recorded on a [`Tape`].
 ///
@@ -39,6 +41,42 @@ enum Op {
     MaxPool1d { x: Var, argmax: Vec<usize> },
 }
 
+impl Op {
+    /// Stable kind name used by the profiler and the `magic-trace/2`
+    /// `op_profile` event. These strings are part of the trace schema:
+    /// renaming one is a reader-visible change and belongs in
+    /// `docs/OBSERVABILITY.md`'s op-kind registry.
+    fn kind(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::Matmul(..) => "matmul",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::AddBias(..) => "add_bias",
+            Op::Scale(..) => "scale",
+            Op::Relu(..) => "relu",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::ScaleRows(..) => "scale_rows",
+            Op::Transpose(..) => "transpose",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::GatherRows(..) => "gather_rows",
+            Op::PadRows(..) => "pad_rows",
+            Op::Reshape(..) => "reshape",
+            Op::LogSoftmaxRows(..) => "log_softmax",
+            Op::NllLoss(..) => "nll_loss",
+            Op::Sum(..) => "sum",
+            Op::Mean(..) => "mean",
+            Op::Dropout(..) => "dropout",
+            Op::Conv1d { .. } => "conv1d",
+            Op::Conv2d { .. } => "conv2d",
+            Op::AdaptiveMaxPool2d { .. } => "adaptive_max_pool2d",
+            Op::MaxPool1d { .. } => "max_pool1d",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Node {
     value: Tensor,
@@ -69,6 +107,10 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
+    /// When set, every forward op and backward step records into
+    /// `profile`. A plain `bool` keeps the disabled path to one branch.
+    profiling: bool,
+    profile: OpProfile,
 }
 
 impl Tape {
@@ -88,9 +130,38 @@ impl Tape {
     }
 
     /// Drops all recorded nodes and gradients, keeping allocations.
+    ///
+    /// The op profile is deliberately retained: it accumulates across
+    /// samples until drained with [`Tape::take_profile`].
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.grads.clear();
+    }
+
+    /// Switches op-level profiling on or off. Off (the default), each op
+    /// costs one branch on a plain bool; on, every forward op and
+    /// backward step records `(kind, shape class, self_ns, flops,
+    /// bytes_out)` into the tape-owned [`OpProfile`].
+    ///
+    /// Profiling is observational only — it never changes what the tape
+    /// computes, so profiled and unprofiled runs are bitwise identical.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Whether op-level profiling is currently on.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// The profile accumulated so far (empty unless profiling was on).
+    pub fn profile(&self) -> &OpProfile {
+        &self.profile
+    }
+
+    /// Drains and returns the accumulated profile, leaving it empty.
+    pub fn take_profile(&mut self) -> OpProfile {
+        self.profile.take()
     }
 
     /// Prepares the tape for the next sample, keeping allocations.
@@ -107,6 +178,87 @@ impl Tape {
         self.nodes.push(Node { value, op, requires_grad });
         self.grads.push(None);
         Var(self.nodes.len() - 1)
+    }
+
+    /// Start-of-op timestamp: `Some` only when profiling, so the
+    /// disabled path never touches the clock.
+    #[inline]
+    fn prof_start(&self) -> Option<Instant> {
+        self.profiling.then(Instant::now)
+    }
+
+    /// [`Tape::push`] plus a profile observation when `started` is set.
+    /// `started` must have been taken *before* the forward kernel ran so
+    /// the elapsed time covers the computation, not just the push.
+    fn push_profiled(
+        &mut self,
+        value: Tensor,
+        op: Op,
+        requires_grad: bool,
+        started: Option<Instant>,
+    ) -> Var {
+        if let Some(t0) = started {
+            let self_ns = t0.elapsed().as_nanos() as u64;
+            let flops = self.forward_flops(&op, &value);
+            let key = OpKey {
+                kind: op.kind(),
+                phase: PHASE_FORWARD,
+                shape_bucket: profile::shape_bucket(value.len()),
+            };
+            let bytes_out = (value.len() * std::mem::size_of::<f32>()) as u64;
+            self.profile.record(key, self_ns, flops, bytes_out);
+        }
+        self.push(value, op, requires_grad)
+    }
+
+    /// FLOPs of one forward execution of `op` producing `out`. Formulas
+    /// are documented and unit-tested in [`crate::profile`]; pure data
+    /// movement counts zero.
+    fn forward_flops(&self, op: &Op, out: &Tensor) -> u64 {
+        match op {
+            Op::Leaf
+            | Op::Transpose(_)
+            | Op::ConcatCols(_)
+            | Op::GatherRows(..)
+            | Op::PadRows(_)
+            | Op::Reshape(_)
+            | Op::AdaptiveMaxPool2d { .. }
+            | Op::MaxPool1d { .. } => 0,
+            Op::Matmul(a, b) => profile::matmul_flops(
+                self.value(*a).rows(),
+                self.value(*a).cols(),
+                self.value(*b).cols(),
+            ),
+            Op::Add(..)
+            | Op::Sub(..)
+            | Op::Mul(..)
+            | Op::AddBias(..)
+            | Op::Scale(..)
+            | Op::Relu(_)
+            | Op::ScaleRows(..)
+            | Op::Dropout(..) => out.len() as u64,
+            Op::Sigmoid(_) | Op::Tanh(_) => 4 * out.len() as u64,
+            Op::LogSoftmaxRows(_) => 5 * out.len() as u64,
+            Op::Sum(a) | Op::Mean(a) => self.value(*a).len() as u64,
+            Op::NllLoss(_, targets) => targets.len() as u64,
+            Op::Conv1d { x, k, .. } => profile::conv1d_flops(
+                out.shape().dim(0),
+                out.shape().dim(1),
+                self.value(*x).shape().dim(0),
+                *k,
+            ),
+            Op::Conv2d { w, .. } => {
+                let ws = self.value(*w).shape().clone();
+                profile::conv2d_flops(
+                    out.shape().dim(0),
+                    out.shape().dim(1),
+                    out.shape().dim(2),
+                    ws.dim(1),
+                    ws.dim(2),
+                    ws.dim(3),
+                )
+            }
+        }
     }
 
     fn any_requires(&self, vars: &[Var]) -> bool {
@@ -130,34 +282,39 @@ impl Tape {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).matmul(self.value(b));
         let rg = self.any_requires(&[a, b]);
-        self.push(value, Op::Matmul(a, b), rg)
+        self.push_profiled(value, Op::Matmul(a, b), rg, t)
     }
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).add(self.value(b));
         let rg = self.any_requires(&[a, b]);
-        self.push(value, Op::Add(a, b), rg)
+        self.push_profiled(value, Op::Add(a, b), rg, t)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).sub(self.value(b));
         let rg = self.any_requires(&[a, b]);
-        self.push(value, Op::Sub(a, b), rg)
+        self.push_profiled(value, Op::Sub(a, b), rg, t)
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).mul(self.value(b));
         let rg = self.any_requires(&[a, b]);
-        self.push(value, Op::Mul(a, b), rg)
+        self.push_profiled(value, Op::Mul(a, b), rg, t)
     }
 
     /// Adds a length-`c` bias vector to every row of an `(n, c)` matrix.
     pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let t = self.prof_start();
         let m = self.value(a);
         let b = self.value(bias);
         assert_eq!(m.cols(), b.len(), "bias length must match columns");
@@ -170,85 +327,96 @@ impl Tape {
             }
         }
         let rg = self.any_requires(&[a, bias]);
-        self.push(value, Op::AddBias(a, bias), rg)
+        self.push_profiled(value, Op::AddBias(a, bias), rg, t)
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&mut self, a: Var, factor: f32) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).scale(factor);
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Scale(a, factor), rg)
+        self.push_profiled(value, Op::Scale(a, factor), rg, t)
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).relu();
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Relu(a), rg)
+        self.push_profiled(value, Op::Relu(a), rg, t)
     }
 
     /// Elementwise sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).sigmoid();
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Sigmoid(a), rg)
+        self.push_profiled(value, Op::Sigmoid(a), rg, t)
     }
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).tanh();
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Tanh(a), rg)
+        self.push_profiled(value, Op::Tanh(a), rg, t)
     }
 
     /// Scales row `i` by `factors[i]` (constant). This is the `D̂⁻¹ (·)`
     /// normalization of Eq. (1).
     pub fn scale_rows(&mut self, a: Var, factors: Vec<f32>) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).scale_rows(&factors);
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::ScaleRows(a, factors), rg)
+        self.push_profiled(value, Op::ScaleRows(a, factors), rg, t)
     }
 
     /// Matrix transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).transpose();
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Transpose(a), rg)
+        self.push_profiled(value, Op::Transpose(a), rg, t)
     }
 
     /// Horizontal concatenation, forming `Z^{1:h} = [Z_1, ..., Z_h]`.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let t = self.prof_start();
         let tensors: Vec<&Tensor> = parts.iter().map(|v| self.value(*v)).collect();
         let value = Tensor::concat_cols(&tensors);
         let rg = self.any_requires(parts);
-        self.push(value, Op::ConcatCols(parts.to_vec()), rg)
+        self.push_profiled(value, Op::ConcatCols(parts.to_vec()), rg, t)
     }
 
     /// Gathers matrix rows by (constant) indices. Gradients scatter-add
     /// back, so repeated indices accumulate.
     pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).gather_rows(&indices);
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::GatherRows(a, indices), rg)
+        self.push_profiled(value, Op::GatherRows(a, indices), rg, t)
     }
 
     /// Pads with zero rows or truncates to exactly `rows` rows
     /// (SortPooling's size unification).
     pub fn pad_or_truncate_rows(&mut self, a: Var, rows: usize) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).pad_or_truncate_rows(rows);
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::PadRows(a), rg)
+        self.push_profiled(value, Op::PadRows(a), rg, t)
     }
 
     /// Reshapes without changing data.
     pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Var {
+        let t = self.prof_start();
         let value = self.value(a).reshape(shape);
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Reshape(a), rg)
+        self.push_profiled(value, Op::Reshape(a), rg, t)
     }
 
     /// Row-wise log-softmax of an `(n, c)` matrix.
     pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let t = self.prof_start();
         let m = self.value(a);
         let mut value = Tensor::zeros(m.shape().clone());
         for i in 0..m.rows() {
@@ -256,7 +424,7 @@ impl Tape {
             value.set_row(i, row.as_slice());
         }
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::LogSoftmaxRows(a), rg)
+        self.push_profiled(value, Op::LogSoftmaxRows(a), rg, t)
     }
 
     /// Mean negative log-likelihood (Eq. 5) of row-wise log-probabilities
@@ -267,6 +435,7 @@ impl Tape {
     /// Panics if `targets.len()` differs from the row count or a target is
     /// out of range.
     pub fn nll_loss(&mut self, log_probs: Var, targets: Vec<usize>) -> Var {
+        let t = self.prof_start();
         let lp = self.value(log_probs);
         assert_eq!(lp.rows(), targets.len(), "one target per row required");
         let mut total = 0.0;
@@ -276,21 +445,23 @@ impl Tape {
         }
         let value = Tensor::scalar(total / targets.len() as f32);
         let rg = self.any_requires(&[log_probs]);
-        self.push(value, Op::NllLoss(log_probs, targets), rg)
+        self.push_profiled(value, Op::NllLoss(log_probs, targets), rg, t)
     }
 
     /// Sum of all elements (scalar output).
     pub fn sum(&mut self, a: Var) -> Var {
+        let t = self.prof_start();
         let value = Tensor::scalar(self.value(a).sum());
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Sum(a), rg)
+        self.push_profiled(value, Op::Sum(a), rg, t)
     }
 
     /// Mean of all elements (scalar output).
     pub fn mean(&mut self, a: Var) -> Var {
+        let t = self.prof_start();
         let value = Tensor::scalar(self.value(a).mean());
         let rg = self.any_requires(&[a]);
-        self.push(value, Op::Mean(a), rg)
+        self.push_profiled(value, Op::Mean(a), rg, t)
     }
 
     /// Inverted dropout: zeroes each element with probability `p` and
@@ -301,6 +472,7 @@ impl Tape {
     /// Panics unless `0 <= p < 1`.
     pub fn dropout(&mut self, a: Var, p: f32, rng: &mut Rng64) -> Var {
         assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        let t = self.prof_start();
         let keep = 1.0 - p;
         let mask: Vec<f32> = (0..self.value(a).len())
             .map(|_| if rng.next_f32() < p { 0.0 } else { 1.0 / keep })
@@ -315,12 +487,13 @@ impl Tape {
             self.value(a).shape().clone(),
         );
         let rg = self.any_requires(&[a]);
-        self.push(masked, Op::Dropout(a, mask), rg)
+        self.push_profiled(masked, Op::Dropout(a, mask), rg, t)
     }
 
     /// 1-D convolution of `(c_in, len)` by `(c_out, c_in, k)` weights with
     /// the given stride, plus a `c_out` bias.
     pub fn conv1d(&mut self, x: Var, w: Var, b: Var, stride: usize) -> Var {
+        let t = self.prof_start();
         let k = self.value(w).shape().dim(2);
         let value = conv::conv1d_forward(
             self.value(x),
@@ -330,12 +503,13 @@ impl Tape {
             stride,
         );
         let rg = self.any_requires(&[x, w, b]);
-        self.push(value, Op::Conv1d { x, w, b, k, stride }, rg)
+        self.push_profiled(value, Op::Conv1d { x, w, b, k, stride }, rg, t)
     }
 
     /// 2-D convolution of `(c_in, h, w)` by `(c_out, c_in, kh, kw)` weights
     /// with the given stride and zero padding, plus a `c_out` bias.
     pub fn conv2d(&mut self, x: Var, w: Var, b: Var, stride: usize, pad: usize) -> Var {
+        let t = self.prof_start();
         let value = conv::conv2d_forward(
             self.value(x),
             self.value(w),
@@ -344,22 +518,24 @@ impl Tape {
             pad,
         );
         let rg = self.any_requires(&[x, w, b]);
-        self.push(value, Op::Conv2d { x, w, b, stride, pad }, rg)
+        self.push_profiled(value, Op::Conv2d { x, w, b, stride, pad }, rg, t)
     }
 
     /// Adaptive max pooling of `(c, h, w)` to `(c, oh, ow)` — the paper's
     /// AMP layer (Section III-C).
     pub fn adaptive_max_pool2d(&mut self, x: Var, oh: usize, ow: usize) -> Var {
+        let t = self.prof_start();
         let (value, argmax) = conv::adaptive_max_pool2d_forward(self.value(x), oh, ow);
         let rg = self.any_requires(&[x]);
-        self.push(value, Op::AdaptiveMaxPool2d { x, argmax }, rg)
+        self.push_profiled(value, Op::AdaptiveMaxPool2d { x, argmax }, rg, t)
     }
 
     /// Non-overlapping 1-D max pooling with window `k` over `(c, len)`.
     pub fn max_pool1d(&mut self, x: Var, k: usize) -> Var {
+        let t = self.prof_start();
         let (value, argmax) = conv::max_pool1d_forward(self.value(x), k);
         let rg = self.any_requires(&[x]);
-        self.push(value, Op::MaxPool1d { x, argmax }, rg)
+        self.push_profiled(value, Op::MaxPool1d { x, argmax }, rg, t)
     }
 
     fn accumulate(&mut self, v: Var, g: Tensor) {
@@ -390,6 +566,24 @@ impl Tape {
                 continue;
             };
             let op = self.nodes[idx].op.clone();
+            // Time each backward step individually so the profiler can
+            // attribute the sweep to op kinds. Leaf steps are no-ops and
+            // would only add noise rows, so they are skipped. Backward
+            // FLOPs use the standard 2× forward heuristic (one gradient
+            // product per differentiable input of a dense kernel).
+            let t = if matches!(op, Op::Leaf) { None } else { self.prof_start() };
+            let prof_key = t.map(|_| {
+                let out = &self.nodes[idx].value;
+                (
+                    OpKey {
+                        kind: op.kind(),
+                        phase: PHASE_BACKWARD,
+                        shape_bucket: profile::shape_bucket(out.len()),
+                    },
+                    2 * self.forward_flops(&op, out),
+                    (out.len() * std::mem::size_of::<f32>()) as u64,
+                )
+            });
             match op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
@@ -620,6 +814,9 @@ impl Tape {
                     }
                 }
             }
+            if let (Some(t0), Some((key, flops, bytes))) = (t, prof_key) {
+                self.profile.record(key, t0.elapsed().as_nanos() as u64, flops, bytes);
+            }
         }
     }
 
@@ -800,6 +997,49 @@ mod tests {
         tape.backward(s);
         tape.reset();
         assert!(tape.is_empty());
+    }
+
+    #[test]
+    fn profiling_records_forward_and_backward_rows() {
+        let mut tape = Tape::new();
+        tape.set_profiling(true);
+        let a = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), true);
+        let b = tape.leaf(Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]), false);
+        let y = tape.matmul(a, b);
+        let r = tape.relu(y);
+        let s = tape.sum(r);
+        tape.backward(s);
+
+        let rows = tape.profile().sorted_rows();
+        let find = |kind: &str, phase: &str| {
+            rows.iter().find(|(k, _)| k.kind == kind && k.phase == phase).map(|(_, s)| *s)
+        };
+        let mm_fwd = find("matmul", profile::PHASE_FORWARD).expect("fwd matmul row");
+        assert_eq!(mm_fwd.calls, 1);
+        assert_eq!(mm_fwd.flops, profile::matmul_flops(2, 2, 2));
+        assert_eq!(mm_fwd.bytes_out, 16, "2x2 f32 output");
+        let mm_bwd = find("matmul", profile::PHASE_BACKWARD).expect("bwd matmul row");
+        assert_eq!(mm_bwd.flops, 2 * mm_fwd.flops, "backward charged 2x forward");
+        assert!(find("relu", profile::PHASE_FORWARD).is_some());
+        assert!(find("sum", profile::PHASE_BACKWARD).is_some());
+        assert!(find("leaf", profile::PHASE_BACKWARD).is_none(), "leaf steps not profiled");
+
+        // Profile survives reset (accumulates across samples) and drains.
+        tape.reset();
+        assert!(!tape.profile().is_empty());
+        let taken = tape.take_profile();
+        assert!(taken.sorted_rows().len() >= 5);
+        assert!(tape.profile().is_empty());
+    }
+
+    #[test]
+    fn profiling_off_records_nothing() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones([2, 2]), true);
+        let s = tape.sum(x);
+        tape.backward(s);
+        assert!(tape.profile().is_empty());
+        assert!(!tape.profiling());
     }
 
     /// The tape holds only owned tensors and plain enum data, so worker

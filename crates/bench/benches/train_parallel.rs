@@ -3,13 +3,21 @@
 //! speedup ratio in `results/BENCH_train_parallel.json`.
 //!
 //! Training is bitwise identical for every worker count, so this bench
-//! is purely about wall-clock scaling (which in turn depends on the
-//! machine's core count — the ratio is recorded alongside the detected
-//! parallelism so results from different hosts stay interpretable).
+//! is purely about wall-clock scaling. Worker counts beyond the
+//! machine's `available_parallelism` measure scheduler thrash, not the
+//! engine, so those rows are stamped `"oversubscribed": true`, get no
+//! `speedup_vs_serial` claim, and are ignored by `magic bench diff`.
+//!
+//! Environment knobs (both used by `scripts/ci.sh`):
+//!
+//! * `MAGIC_BENCH_QUICK=1` — smaller corpus and fewer samples, written
+//!   to `BENCH_train_parallel_quick.json`; sized for a CI gate, not for
+//!   quotable numbers.
+//! * `MAGIC_BENCH_INJECT_SLOWDOWN_US=<µs>` — sleeps inside the timed
+//!   region, for testing that the regression gate actually fails.
 
 use magic::trainer::{TrainConfig, Trainer};
-use magic::resolve_workers;
-use magic_bench::results::write_result;
+use magic_bench::results::{machine_info, write_result};
 use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
 use magic_json::json;
 use magic_microbench::{time_fn, Stats};
@@ -35,7 +43,20 @@ fn sample_input(n: usize, seed: u64) -> GraphInput {
     ))
 }
 
-fn epoch_stats(workers: usize, inputs: &[GraphInput], labels: &[usize]) -> Stats {
+/// Measurement budget: (samples, target per sample, hard cap per sample).
+struct Budget {
+    samples: usize,
+    target: Duration,
+    cap: Duration,
+}
+
+fn epoch_stats(
+    workers: usize,
+    inputs: &[GraphInput],
+    labels: &[usize],
+    budget: &Budget,
+    inject_us: u64,
+) -> Stats {
     let config = DgcnnConfig::new(4, PoolingHead::sort_pool_weighted(10));
     let trainer = Trainer::new(TrainConfig {
         epochs: 1,
@@ -48,13 +69,16 @@ fn epoch_stats(workers: usize, inputs: &[GraphInput], labels: &[usize]) -> Stats
     let train_idx: Vec<usize> = (0..inputs.len()).collect();
     time_fn(
         || {
+            if inject_us > 0 {
+                std::thread::sleep(Duration::from_micros(inject_us));
+            }
             let mut model = Dgcnn::new(&config, 2);
             let outcome = trainer.train(&mut model, inputs, labels, &train_idx, &[]);
             std::hint::black_box(outcome.history.len());
         },
-        10,
-        Duration::from_millis(200),
-        Duration::from_millis(1200),
+        budget.samples,
+        budget.target,
+        budget.cap,
     )
 }
 
@@ -70,33 +94,65 @@ fn stats_json(stats: &Stats) -> magic_json::Value {
 }
 
 fn main() {
-    let inputs: Vec<GraphInput> = (0..40).map(|i| sample_input(30, i)).collect();
+    // The trainer logs per-epoch progress at info level; that's stderr
+    // I/O inside the timed region, so keep the bench quiet.
+    magic_obs::set_log_level(magic_obs::Level::Error);
+    let quick = std::env::var("MAGIC_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let inject_us: u64 = std::env::var("MAGIC_BENCH_INJECT_SLOWDOWN_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let available =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let (graphs, vertices, budget) = if quick {
+        (16, 20, Budget { samples: 5, target: Duration::from_millis(60), cap: Duration::from_millis(350) })
+    } else {
+        (40, 30, Budget { samples: 10, target: Duration::from_millis(200), cap: Duration::from_millis(1200) })
+    };
+    let inputs: Vec<GraphInput> = (0..graphs).map(|i| sample_input(vertices, i as u64)).collect();
     let labels: Vec<usize> = (0..inputs.len()).map(|i| i % 4).collect();
 
-    let serial = epoch_stats(1, &inputs, &labels);
+    let serial = epoch_stats(1, &inputs, &labels, &budget, inject_us);
     println!("train epoch, 1 worker:  {:>12.0} ns/epoch", serial.median_ns);
 
     let mut runs = Vec::new();
     for workers in [2usize, 4] {
-        let stats = epoch_stats(workers, &inputs, &labels);
-        let ratio = serial.median_ns / stats.median_ns;
-        println!(
-            "train epoch, {workers} workers: {:>12.0} ns/epoch ({ratio:.2}x vs serial)",
-            stats.median_ns
-        );
-        runs.push(json!({
-            "workers": workers,
-            "stats": stats_json(&stats),
-            "speedup_vs_serial": ratio,
-        }));
+        let stats = epoch_stats(workers, &inputs, &labels, &budget, inject_us);
+        let oversubscribed = workers > available;
+        let mut run = magic_json::Map::new();
+        run.insert("workers", json!(workers));
+        run.insert("stats", stats_json(&stats));
+        if oversubscribed {
+            // More workers than cores: the ratio reflects scheduler
+            // contention, not the engine. Record the timing for
+            // completeness but make no speedup claim and keep the row
+            // out of the CI gate.
+            run.insert("oversubscribed", json!(true));
+            println!(
+                "train epoch, {workers} workers: {:>12.0} ns/epoch (oversubscribed on {available} core(s); no speedup claim)",
+                stats.median_ns
+            );
+        } else {
+            let ratio = serial.median_ns / stats.median_ns;
+            run.insert("speedup_vs_serial", json!(ratio));
+            println!(
+                "train epoch, {workers} workers: {:>12.0} ns/epoch ({ratio:.2}x vs serial)",
+                stats.median_ns
+            );
+        }
+        runs.push(magic_json::Value::Object(run));
     }
 
+    let name = if quick { "BENCH_train_parallel_quick" } else { "BENCH_train_parallel" };
     write_result(
-        "BENCH_train_parallel",
+        name,
         &json!({
             "bench": "train_parallel",
-            "available_parallelism": resolve_workers(0),
-            "corpus": { "graphs": inputs.len(), "vertices_per_graph": 30, "batch_size": 10 },
+            "quick": quick,
+            "machine_info": machine_info(),
+            "available_parallelism": available,
+            "corpus": { "graphs": graphs, "vertices_per_graph": vertices, "batch_size": 10 },
             "serial": stats_json(&serial),
             "parallel": runs,
         }),

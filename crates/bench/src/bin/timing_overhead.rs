@@ -25,6 +25,8 @@ fn mean_std(samples: &[f64]) -> (f64, f64) {
 }
 
 fn main() {
+    // Per-epoch progress logging is stderr I/O inside the timed regions.
+    magic_obs::set_log_level(magic_obs::Level::Error);
     let args = RunArgs::parse(RunArgs::quick());
     println!("=== Section V-E: execution overhead of MAGIC ===\n");
 

@@ -1,0 +1,271 @@
+//! Benchmark regression comparator: the engine behind
+//! `magic bench diff <old.json> <new.json>`.
+//!
+//! Both inputs are `results/BENCH_*.json` files as written by the bench
+//! binaries. The comparator walks each JSON tree collecting every
+//! object that carries a numeric `median_ns` field, keys it by its
+//! path through the tree (array elements are labelled by their
+//! `workers` field when present, else by index), and compares medians
+//! pairwise. Rows nested under an object marked `"oversubscribed":
+//! true` are excluded — a run with more workers than cores measures
+//! scheduler behaviour, not the code under test.
+//!
+//! A row *regresses* when `new/old > 1 + threshold`. Median-over-samples
+//! is already noise-damped by `magic-microbench`, so a single threshold
+//! (default 20%) separates jitter from a real slowdown on the same
+//! machine; cross-machine comparisons are meaningless and can be
+//! rejected via [`machine_fingerprint`].
+
+use magic_json::Value;
+
+/// One `median_ns` measurement found in a results file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Dotted path through the JSON tree, e.g. `parallel.workers=2.stats`.
+    pub path: String,
+    /// Median wall-clock for the measured operation, nanoseconds.
+    pub median_ns: f64,
+}
+
+/// A matched old/new pair for one benchmark row.
+#[derive(Debug, Clone)]
+pub struct RowDiff {
+    /// Shared row path (see [`BenchRow::path`]).
+    pub path: String,
+    /// Baseline median, nanoseconds.
+    pub old_ns: f64,
+    /// Candidate median, nanoseconds.
+    pub new_ns: f64,
+    /// `new_ns / old_ns`; > 1 means the candidate is slower.
+    pub ratio: f64,
+}
+
+/// Outcome of comparing two results files.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Rows present in both files, in old-file order.
+    pub rows: Vec<RowDiff>,
+    /// Row paths only present in the baseline (removed benchmarks).
+    pub only_old: Vec<String>,
+    /// Row paths only present in the candidate (new benchmarks).
+    pub only_new: Vec<String>,
+    /// Regression threshold the report was built with (0.2 = +20%).
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Rows whose slowdown exceeds the threshold.
+    pub fn regressions(&self) -> Vec<&RowDiff> {
+        self.rows.iter().filter(|r| r.ratio > 1.0 + self.threshold).collect()
+    }
+
+    /// Renders the comparison as an aligned terminal table plus a
+    /// one-line verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.rows.iter().map(|r| r.path.len()).max().unwrap_or(4).max(4);
+        out.push_str(&format!(
+            "{:<width$}  {:>12}  {:>12}  {:>7}\n",
+            "ROW", "OLD", "NEW", "RATIO"
+        ));
+        for row in &self.rows {
+            let flag = if row.ratio > 1.0 + self.threshold { "  REGRESSED" } else { "" };
+            out.push_str(&format!(
+                "{:<width$}  {:>12}  {:>12}  {:>6.2}x{flag}\n",
+                row.path,
+                fmt_ns(row.old_ns),
+                fmt_ns(row.new_ns),
+                row.ratio,
+            ));
+        }
+        for path in &self.only_old {
+            out.push_str(&format!("{path}: only in baseline (removed?)\n"));
+        }
+        for path in &self.only_new {
+            out.push_str(&format!("{path}: only in candidate (new row, not gated)\n"));
+        }
+        let bad = self.regressions().len();
+        if bad == 0 {
+            out.push_str(&format!(
+                "OK: {} row(s) within +{:.0}% of baseline\n",
+                self.rows.len(),
+                self.threshold * 100.0
+            ));
+        } else {
+            out.push_str(&format!(
+                "FAIL: {bad} of {} row(s) regressed beyond +{:.0}%\n",
+                self.rows.len(),
+                self.threshold * 100.0
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Collects every non-oversubscribed `median_ns` row in a results file.
+pub fn collect_rows(value: &Value) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    walk(value, String::new(), false, &mut rows);
+    rows
+}
+
+fn walk(value: &Value, path: String, oversubscribed: bool, rows: &mut Vec<BenchRow>) {
+    match value {
+        Value::Object(obj) => {
+            let oversubscribed = oversubscribed
+                || obj.get("oversubscribed").and_then(Value::as_bool).unwrap_or(false);
+            if let Some(median_ns) = obj.get("median_ns").and_then(Value::as_f64) {
+                if !oversubscribed {
+                    rows.push(BenchRow { path: path.clone(), median_ns });
+                }
+            }
+            for (key, child) in obj.iter() {
+                let child_path =
+                    if path.is_empty() { key.to_string() } else { format!("{path}.{key}") };
+                walk(child, child_path, oversubscribed, rows);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                // Label array elements by their `workers` field when
+                // present so rows stay matched if the sweep reorders.
+                let label = child
+                    .get("workers")
+                    .and_then(Value::as_u64)
+                    .map(|w| format!("workers={w}"))
+                    .unwrap_or_else(|| i.to_string());
+                let child_path =
+                    if path.is_empty() { label } else { format!("{path}.{label}") };
+                walk(child, child_path, oversubscribed, rows);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two results files row by row.
+pub fn diff(old: &Value, new: &Value, threshold: f64) -> DiffReport {
+    let old_rows = collect_rows(old);
+    let new_rows = collect_rows(new);
+    let mut rows = Vec::new();
+    let mut only_old = Vec::new();
+    for o in &old_rows {
+        match new_rows.iter().find(|n| n.path == o.path) {
+            Some(n) => rows.push(RowDiff {
+                path: o.path.clone(),
+                old_ns: o.median_ns,
+                new_ns: n.median_ns,
+                ratio: if o.median_ns > 0.0 { n.median_ns / o.median_ns } else { f64::INFINITY },
+            }),
+            None => only_old.push(o.path.clone()),
+        }
+    }
+    let only_new = new_rows
+        .iter()
+        .filter(|n| old_rows.iter().all(|o| o.path != n.path))
+        .map(|n| n.path.clone())
+        .collect();
+    DiffReport { rows, only_old, only_new, threshold }
+}
+
+/// Compact identity string for the `machine_info` stanza of a results
+/// file, or `None` if the file predates machine stamping.
+///
+/// Two files compare apples-to-apples only when their fingerprints are
+/// equal; `magic bench diff --require-same-machine` skips (rather than
+/// fails) on a mismatch so CI baselines recorded elsewhere don't gate
+/// foreign machines.
+pub fn machine_fingerprint(value: &Value) -> Option<String> {
+    let info = value.get("machine_info")?.as_object()?;
+    let field = |k: &str| {
+        info.get(k)
+            .map(|v| v.as_str().map(str::to_string).unwrap_or_else(|| magic_json::to_string(v)))
+            .unwrap_or_else(|| "?".into())
+    };
+    Some(format!(
+        "{}/{} cpus={} model={}",
+        field("os"),
+        field("arch"),
+        field("available_parallelism"),
+        field("cpu_model"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_json::json;
+
+    fn sample(serial_ns: f64, w2_ns: f64, w8_ns: f64) -> Value {
+        json!({
+            "bench": "train_parallel",
+            "serial": { "median_ns": serial_ns, "samples": 10 },
+            "parallel": [
+                { "workers": 2, "stats": { "median_ns": w2_ns } },
+                { "workers": 8, "oversubscribed": true, "stats": { "median_ns": w8_ns } },
+            ],
+        })
+    }
+
+    #[test]
+    fn collect_finds_rows_and_skips_oversubscribed() {
+        let rows = collect_rows(&sample(100.0, 60.0, 55.0));
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["serial", "parallel.workers=2.stats"]);
+        assert_eq!(rows[0].median_ns, 100.0);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let report = diff(&sample(100.0, 60.0, 55.0), &sample(110.0, 66.0, 300.0), 0.20);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.regressions().is_empty());
+        assert!(report.render().contains("OK: 2 row(s)"));
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses() {
+        let report = diff(&sample(100.0, 60.0, 55.0), &sample(130.0, 60.0, 55.0), 0.20);
+        let bad = report.regressions();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].path, "serial");
+        assert!((bad[0].ratio - 1.3).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSED"));
+        assert!(report.render().contains("FAIL: 1 of 2"));
+    }
+
+    #[test]
+    fn added_and_removed_rows_are_reported_not_gated() {
+        let old = json!({ "a": { "median_ns": 10.0 }, "b": { "median_ns": 20.0 } });
+        let new = json!({ "a": { "median_ns": 10.0 }, "c": { "median_ns": 5.0 } });
+        let report = diff(&old, &new, 0.20);
+        assert_eq!(report.only_old, vec!["b"]);
+        assert_eq!(report.only_new, vec!["c"]);
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn machine_fingerprints_compare() {
+        let stamped = json!({
+            "machine_info": {
+                "os": "linux", "arch": "x86_64",
+                "available_parallelism": 8, "cpu_model": "TestCPU",
+            },
+        });
+        let fp = machine_fingerprint(&stamped).unwrap();
+        assert_eq!(fp, "linux/x86_64 cpus=8 model=TestCPU");
+        assert_eq!(machine_fingerprint(&json!({"bench": "x"})), None);
+    }
+}

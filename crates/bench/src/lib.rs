@@ -11,6 +11,7 @@
 
 pub mod args;
 pub mod corpus;
+pub mod diff;
 pub mod experiments;
 pub mod results;
 

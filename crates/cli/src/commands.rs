@@ -4,34 +4,37 @@ use std::sync::Arc;
 
 use crate::checkpoint_file::{deserialize_model, serialize_model, ModelHeader};
 use magic::pipeline::{extract_acfg, MagicPipeline};
-use magic_obs::{report::TraceSummary, JsonlRecorder};
-use magic::trainer::{Trainer, TrainConfig};
+use magic::trainer::{TrainConfig, TrainOutcome, Trainer};
 use magic::tuning::{HeadKind, HyperParams};
 use magic_data::stratified_kfold;
 use magic_graph::GraphStats;
 use magic_model::{Dgcnn, GraphInput};
+use magic_obs::{report::TraceSummary, JsonlRecorder};
 use magic_synth::{MskcfgGenerator, YancfgGenerator, MSKCFG_FAMILIES, YANCFG_FAMILIES};
 
 /// Parses the argument list and runs the matching subcommand.
 ///
 /// Two global flags are stripped before subcommand dispatch:
 /// `--log-level <off|error|info|debug|trace>` sets the stderr verbosity,
-/// and `--trace <path>` (on every subcommand except `report`, where it
-/// names the input) installs a [`JsonlRecorder`] streaming telemetry to
-/// `<path>` for the duration of the command.
+/// and `--trace <path>` installs a [`JsonlRecorder`] streaming telemetry
+/// to `<path>` for the duration of the command. `report` *reads* a trace
+/// (the flag names its input) and `profile` manages its own recorder, so
+/// neither takes the global flag. A traced run also enables tensor
+/// memory accounting so training epochs report peak bytes.
 pub fn dispatch(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     if let Some(level) = take_flag(&mut args, "--log-level") {
         magic_obs::set_log_level(level.parse::<magic_obs::Level>()?);
     }
-    // `report` *reads* a trace; everything else may *write* one.
-    let tracing_run = args.first().map(String::as_str) != Some("report");
+    let tracing_run =
+        !matches!(args.first().map(String::as_str), Some("report") | Some("profile"));
     let trace_path = if tracing_run { take_flag(&mut args, "--trace") } else { None };
     if let Some(path) = &trace_path {
         let recorder = JsonlRecorder::create(path)
             .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
         magic_obs::install(Arc::new(recorder));
         magic_obs::meta(format!("magic {}", args.join(" ")));
+        magic_tensor::mem::enable();
     }
 
     let result = match args.first().map(String::as_str) {
@@ -39,7 +42,9 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("train") => cmd_train(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -67,14 +72,26 @@ USAGE:
                 (--train-workers 0 = auto; results are identical for any N)
     magic predict --model <model.magic> <listing.asm>...
     magic info --model <model.magic>
-    magic report --trace <trace.jsonl>
+    magic profile <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
+                [--train-workers N] [--trace <out.jsonl>]
+                (train under the op profiler; print per-op time/FLOP
+                attribution, unattributed remainder, and peak memory)
+    magic report --trace <trace.jsonl> [--flamegraph]
+                (aggregate a trace; --flamegraph emits collapsed-stack
+                lines for flamegraph.pl / inferno / speedscope)
+    magic bench diff <old.json> <new.json> [--threshold F]
+                [--require-same-machine]
+                (compare results/BENCH_*.json files; exit non-zero when
+                any row slows down more than F, default 0.20 = +20%)
 
 GLOBAL OPTIONS:
-    --trace <path>       stream a magic-trace/1 JSONL telemetry trace to
+    --trace <path>       stream a magic-trace/2 JSONL telemetry trace to
                          <path> (convention: results/logs/trace-<run>.jsonl);
-                         aggregate it with `magic report --trace <path>`
+                         aggregate it with `magic report --trace <path>`.
+                         Not taken by `report` (names its input there) or
+                         `profile` (manages its own recorder)
     --log-level <level>  stderr verbosity: off|error|info|debug|trace
-                         (default info; debug adds per-epoch statistics)";
+                         (default info; info shows per-epoch progress)";
 
 /// Pulls `--flag value` out of an argument list, returning the remainder.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -122,62 +139,87 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
-    let mut args = args.to_vec();
-    let corpus = take_flag(&mut args, "--corpus").ok_or("train requires --corpus")?;
-    let out = take_flag(&mut args, "--out").ok_or("train requires --out")?;
-    let scale: f64 = take_flag(&mut args, "--scale")
-        .map(|s| s.parse().map_err(|_| "bad --scale"))
-        .transpose()?
-        .unwrap_or(0.01);
-    let epochs: usize = take_flag(&mut args, "--epochs")
-        .map(|s| s.parse().map_err(|_| "bad --epochs"))
-        .transpose()?
-        .unwrap_or(20);
-    let seed: u64 = take_flag(&mut args, "--seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(7);
-    let train_workers: usize = take_flag(&mut args, "--train-workers")
-        .map(|s| s.parse().map_err(|_| "bad --train-workers"))
-        .transpose()?
-        .unwrap_or(0);
+/// Knobs shared by `train` and `profile`, parsed with identical
+/// defaults from either argument list.
+struct TrainKnobs {
+    scale: f64,
+    epochs: usize,
+    seed: u64,
+    train_workers: usize,
+}
 
-    // Build the corpus.
-    let (inputs, labels, families): (Vec<GraphInput>, Vec<usize>, Vec<String>) =
-        match corpus.as_str() {
-            "mskcfg" => {
-                let samples = {
-                    let _span = magic_obs::span(magic_obs::stage::CORPUS_GENERATE);
-                    MskcfgGenerator::new(seed, scale).generate()
-                };
-                let _span = magic_obs::span_fields(
-                    magic_obs::stage::CORPUS_EXTRACT,
-                    &[("listings", samples.len() as f64)],
-                );
-                let mut inputs = Vec::with_capacity(samples.len());
-                for s in &samples {
-                    let acfg = extract_acfg(&s.listing).map_err(|e| e.to_string())?;
-                    inputs.push(GraphInput::from_acfg(&acfg));
-                }
-                let labels = samples.iter().map(|s| s.label).collect();
-                (inputs, labels, MSKCFG_FAMILIES.iter().map(|s| s.to_string()).collect())
+impl TrainKnobs {
+    fn parse(args: &mut Vec<String>, default_epochs: usize) -> Result<Self, String> {
+        Ok(TrainKnobs {
+            scale: take_flag(args, "--scale")
+                .map(|s| s.parse().map_err(|_| "bad --scale"))
+                .transpose()?
+                .unwrap_or(0.01),
+            epochs: take_flag(args, "--epochs")
+                .map(|s| s.parse().map_err(|_| "bad --epochs"))
+                .transpose()?
+                .unwrap_or(default_epochs),
+            seed: take_flag(args, "--seed")
+                .map(|s| s.parse().map_err(|_| "bad --seed"))
+                .transpose()?
+                .unwrap_or(7),
+            train_workers: take_flag(args, "--train-workers")
+                .map(|s| s.parse().map_err(|_| "bad --train-workers"))
+                .transpose()?
+                .unwrap_or(0),
+        })
+    }
+}
+
+/// Model inputs, labels, and family names of a generated corpus.
+type CorpusData = (Vec<GraphInput>, Vec<usize>, Vec<String>);
+
+/// Generates a synthetic corpus and runs it through the real extraction
+/// pipeline, yielding model inputs, labels, and family names.
+fn build_corpus(corpus: &str, seed: u64, scale: f64) -> Result<CorpusData, String> {
+    match corpus {
+        "mskcfg" => {
+            let samples = {
+                let _span = magic_obs::span(magic_obs::stage::CORPUS_GENERATE);
+                MskcfgGenerator::new(seed, scale).generate()
+            };
+            let _span = magic_obs::span_fields(
+                magic_obs::stage::CORPUS_EXTRACT,
+                &[("listings", samples.len() as f64)],
+            );
+            let mut inputs = Vec::with_capacity(samples.len());
+            for s in &samples {
+                let acfg = extract_acfg(&s.listing).map_err(|e| e.to_string())?;
+                inputs.push(GraphInput::from_acfg(&acfg));
             }
-            "yancfg" => {
-                let samples = {
-                    let _span = magic_obs::span(magic_obs::stage::CORPUS_GENERATE);
-                    YancfgGenerator::new(seed, scale).generate()
-                };
-                let _span = magic_obs::span_fields(
-                    magic_obs::stage::CORPUS_EXTRACT,
-                    &[("listings", samples.len() as f64)],
-                );
-                let inputs = samples.iter().map(|s| GraphInput::from_acfg(&s.acfg)).collect();
-                let labels = samples.iter().map(|s| s.label).collect();
-                (inputs, labels, YANCFG_FAMILIES.iter().map(|s| s.to_string()).collect())
-            }
-            other => return Err(format!("unknown corpus {other:?} (mskcfg|yancfg)")),
-        };
+            let labels = samples.iter().map(|s| s.label).collect();
+            Ok((inputs, labels, MSKCFG_FAMILIES.iter().map(|s| s.to_string()).collect()))
+        }
+        "yancfg" => {
+            let samples = {
+                let _span = magic_obs::span(magic_obs::stage::CORPUS_GENERATE);
+                YancfgGenerator::new(seed, scale).generate()
+            };
+            let _span = magic_obs::span_fields(
+                magic_obs::stage::CORPUS_EXTRACT,
+                &[("listings", samples.len() as f64)],
+            );
+            let inputs = samples.iter().map(|s| GraphInput::from_acfg(&s.acfg)).collect();
+            let labels = samples.iter().map(|s| s.label).collect();
+            Ok((inputs, labels, YANCFG_FAMILIES.iter().map(|s| s.to_string()).collect()))
+        }
+        other => Err(format!("unknown corpus {other:?} (mskcfg|yancfg)")),
+    }
+}
+
+/// Builds the corpus, instantiates the Table II best architecture for
+/// it, and trains on fold 0 of a stratified 5-fold split — the common
+/// core of `magic train` and `magic profile`.
+fn run_training(
+    corpus: &str,
+    knobs: &TrainKnobs,
+) -> Result<(Dgcnn, ModelHeader, TrainOutcome), String> {
+    let (inputs, labels, families) = build_corpus(corpus, knobs.seed, knobs.scale)?;
     magic_obs::log(
         magic_obs::Level::Info,
         format!("corpus: {} samples, {} families", inputs.len(), families.len()),
@@ -197,26 +239,27 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     }
     let graph_sizes: Vec<usize> = inputs.iter().map(GraphInput::vertex_count).collect();
     let config = params.to_model_config(families.len(), &graph_sizes);
-    let mut model = Dgcnn::new(&config, seed);
+    let mut model = Dgcnn::new(&config, knobs.seed);
 
-    let folds = stratified_kfold(&labels, 5, seed);
+    let folds = stratified_kfold(&labels, 5, knobs.seed);
     let split = &folds[0];
     let trainer = Trainer::new(TrainConfig {
-        epochs,
+        epochs: knobs.epochs,
         batch_size: params.batch_size,
         weight_decay: params.weight_decay,
         learning_rate: 5e-3,
         lr_patience: 5,
-        seed,
-        train_workers,
+        seed: knobs.seed,
+        train_workers: knobs.train_workers,
         ..TrainConfig::default()
     });
     magic_obs::log(
         magic_obs::Level::Info,
         format!(
-            "training {} weights for {epochs} epochs on {} worker(s)...",
+            "training {} weights for {} epochs on {} worker(s)...",
             model.num_weights(),
-            magic::resolve_workers(train_workers)
+            knobs.epochs,
+            magic::resolve_workers(knobs.train_workers)
         ),
     );
     let outcome = trainer.train(&mut model, &inputs, &labels, &split.train, &split.validation);
@@ -229,23 +272,188 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             last.val_accuracy * 100.0
         ),
     );
+    let header = ModelHeader { corpus: corpus.to_string(), families, params, graph_sizes };
+    Ok((model, header, outcome))
+}
 
-    let header = ModelHeader { corpus, families, params, graph_sizes };
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let corpus = take_flag(&mut args, "--corpus").ok_or("train requires --corpus")?;
+    let out = take_flag(&mut args, "--out").ok_or("train requires --out")?;
+    let knobs = TrainKnobs::parse(&mut args, 20)?;
+
+    let (model, header, _outcome) = run_training(&corpus, &knobs)?;
     std::fs::write(&out, serialize_model(&header, &model))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     magic_obs::log(magic_obs::Level::Info, format!("model written to {out}"));
     Ok(())
 }
 
-/// Aggregates a `magic-trace/1` JSONL file into per-stage timing,
-/// counter, and histogram tables.
+/// Trains under the op profiler and prints where the time went: a
+/// per-op table (self time share, calls, FLOP/s), the unattributed
+/// remainder of epoch wall-clock, and peak tensor memory.
+///
+/// The command installs its own [`JsonlRecorder`] (to `--trace <path>`
+/// if given, else a deleted-afterwards temp file) and enables tensor
+/// memory accounting, so it must not run under the global `--trace`
+/// recorder — `dispatch` excludes it.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let keep_trace = take_flag(&mut args, "--trace");
+    // Profiling wants a few representative epochs, not a converged model.
+    let knobs = TrainKnobs::parse(&mut args, 3)?;
+    let corpus =
+        args.first().cloned().ok_or("profile requires a corpus (mskcfg|yancfg)")?;
+
+    let trace_path = match &keep_trace {
+        Some(path) => std::path::PathBuf::from(path),
+        None => std::env::temp_dir()
+            .join(format!("magic-profile-{}-{}.jsonl", corpus, std::process::id())),
+    };
+    let recorder = JsonlRecorder::create(&trace_path)
+        .map_err(|e| format!("cannot create trace file {}: {e}", trace_path.display()))?;
+    magic_obs::install(Arc::new(recorder));
+    magic_obs::meta(format!("magic profile {}", args.join(" ")));
+    magic_tensor::mem::enable();
+
+    let outcome = run_training(&corpus, &knobs);
+    magic_obs::uninstall(); // flushes the trace file
+    outcome?;
+
+    let text = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("cannot read back {}: {e}", trace_path.display()))?;
+    if keep_trace.is_none() {
+        std::fs::remove_file(&trace_path).ok();
+    }
+    let summary = TraceSummary::from_lines(text.lines())
+        .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    print!("{}", render_profile(&summary));
+    if let Some(path) = keep_trace {
+        magic_obs::log(
+            magic_obs::Level::Info,
+            format!("trace kept at {path} (see also `magic report --trace {path}`)"),
+        );
+    }
+    Ok(())
+}
+
+/// Renders the `magic profile` attribution view from an aggregated
+/// trace: the op table plus coverage against epoch wall-clock.
+fn render_profile(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let epochs = summary.stages.iter().find(|s| s.stage == magic_obs::stage::TRAIN_EPOCH);
+    let (epoch_count, epoch_us) = epochs.map(|s| (s.count, s.total_us)).unwrap_or((0, 0));
+    out.push_str(&format!(
+        "profiled {epoch_count} epoch(s), {:.2}s wall inside epochs\n\n",
+        epoch_us as f64 / 1e6
+    ));
+    out.push_str(&summary.render_ops());
+
+    let attributed_us = summary.ops_total_self_ns() / 1_000;
+    let other_us = epoch_us.saturating_sub(attributed_us);
+    let pct = |us: u64| {
+        if epoch_us == 0 { 0.0 } else { 100.0 * us as f64 / epoch_us as f64 }
+    };
+    out.push_str(&format!(
+        "\nattributed {:.1}% of epoch wall-clock to {} op row(s); other (unattributed): {:.1}%\n",
+        pct(attributed_us),
+        summary.ops.len(),
+        pct(other_us),
+    ));
+    if let Some(peak) =
+        summary.histograms.iter().find(|h| h.name == magic_obs::stage::H_MEM_PEAK_BYTES)
+    {
+        out.push_str(&format!(
+            "peak tensor memory: {:.1} MiB (max over {} epoch(s))\n",
+            peak.max / (1024.0 * 1024.0),
+            peak.count,
+        ));
+    }
+    out
+}
+
+/// Aggregates a `magic-trace/1` or `/2` JSONL file into per-stage
+/// timing, counter, histogram, and op-profile tables — or, with
+/// `--flamegraph`, emits collapsed-stack lines for flamegraph tooling.
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
+    let flamegraph = take_switch(&mut args, "--flamegraph");
     let path = take_flag(&mut args, "--trace").ok_or("report requires --trace <trace.jsonl>")?;
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if flamegraph {
+        let lines = magic_obs::flamegraph::collapsed_from_lines(text.lines())
+            .map_err(|e| format!("{path}: {e}"))?;
+        for line in lines {
+            println!("{line}");
+        }
+        return Ok(());
+    }
     let summary = TraceSummary::from_lines(text.lines()).map_err(|e| format!("{path}: {e}"))?;
     print!("{}", summary.render());
+    Ok(())
+}
+
+/// `magic bench <subcommand>` — currently only `diff`.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_bench_diff(&args[1..]),
+        _ => Err("bench requires a subcommand: diff <old.json> <new.json>".into()),
+    }
+}
+
+/// Compares two `results/BENCH_*.json` files and fails when any
+/// comparable row slowed down beyond the threshold. This is the CI
+/// perf-regression gate (`scripts/ci.sh` runs it against the committed
+/// baselines).
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    use magic_bench::diff;
+
+    let mut args = args.to_vec();
+    let threshold: f64 = take_flag(&mut args, "--threshold")
+        .map(|s| s.parse().map_err(|_| "bad --threshold"))
+        .transpose()?
+        .unwrap_or(0.20);
+    let require_same_machine = take_switch(&mut args, "--require-same-machine");
+    let [old_path, new_path] = args.as_slice() else {
+        return Err("bench diff requires exactly <old.json> <new.json>".into());
+    };
+    let load = |path: &str| -> Result<magic_json::Value, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        magic_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+
+    if require_same_machine {
+        let old_fp = diff::machine_fingerprint(&old);
+        let new_fp = diff::machine_fingerprint(&new);
+        if old_fp.is_none() || old_fp != new_fp {
+            // A baseline recorded on another machine (or before machine
+            // stamping) can't gate this one: skip, succeeding, so CI
+            // stays green on fresh hosts until a local baseline lands.
+            println!(
+                "skipping comparison: baseline machine {} != this machine {}",
+                old_fp.as_deref().unwrap_or("(unstamped)"),
+                new_fp.as_deref().unwrap_or("(unstamped)"),
+            );
+            return Ok(());
+        }
+    }
+
+    let report = diff::diff(&old, &new, threshold);
+    print!("{}", report.render());
+    if report.rows.is_empty() {
+        return Err(format!("no comparable median_ns rows between {old_path} and {new_path}"));
+    }
+    let regressions = report.regressions().len();
+    if regressions > 0 {
+        return Err(format!(
+            "{regressions} benchmark row(s) regressed beyond +{:.0}%",
+            threshold * 100.0
+        ));
+    }
     Ok(())
 }
 
@@ -371,12 +579,108 @@ mod tests {
         let dir = std::env::temp_dir().join("magic-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.jsonl");
-        std::fs::write(&path, "not json\n").unwrap();
+        // A garbage line followed by a valid one: mid-file damage is a
+        // hard error with a line number. (A garbage *final* line alone
+        // would be tolerated as a truncated tail.)
+        std::fs::write(&path, "not json\n{\"v\":1,\"t\":\"meta\",\"command\":\"x\"}\n").unwrap();
         let args: Vec<String> = ["report", "--trace", path.to_str().unwrap()]
             .iter()
             .map(|s| s.to_string())
             .collect();
         assert!(dispatch(&args).unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn report_flamegraph_emits_collapsed_stacks() {
+        use magic_obs::Event;
+        let dir = std::env::temp_dir().join("magic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flame.jsonl");
+        let events = [
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                stage: "train.run".into(),
+                ts_us: 0,
+                fields: vec![],
+            },
+            Event::SpanEnd { id: 1, stage: "train.run".into(), ts_us: 80, dur_us: 80 },
+        ];
+        let text: String = events.iter().map(|e| e.to_jsonl_line() + "\n").collect();
+        std::fs::write(&path, text).unwrap();
+        let args: Vec<String> = ["report", "--flamegraph", "--trace", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(dispatch(&args).is_ok());
+    }
+
+    #[test]
+    fn bench_diff_gates_on_regressions() {
+        let dir = std::env::temp_dir().join("magic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("bench-old.json");
+        let fast = dir.join("bench-fast.json");
+        let slow = dir.join("bench-slow.json");
+        std::fs::write(&old, "{\"serial\": {\"median_ns\": 100.0}}").unwrap();
+        std::fs::write(&fast, "{\"serial\": {\"median_ns\": 105.0}}").unwrap();
+        std::fs::write(&slow, "{\"serial\": {\"median_ns\": 200.0}}").unwrap();
+        let run = |new: &std::path::Path| {
+            let args: Vec<String> =
+                ["bench", "diff", old.to_str().unwrap(), new.to_str().unwrap()]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            dispatch(&args)
+        };
+        assert!(run(&fast).is_ok());
+        assert!(run(&slow).unwrap_err().contains("regressed"));
+    }
+
+    #[test]
+    fn bench_diff_requires_same_machine_skips_on_mismatch() {
+        let dir = std::env::temp_dir().join("magic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("bench-other-host.json");
+        let new = dir.join("bench-this-host.json");
+        // Baseline from another machine, candidate 10x slower: the gate
+        // must skip rather than fail.
+        std::fs::write(
+            &old,
+            "{\"machine_info\": {\"os\": \"plan9\", \"arch\": \"mips\", \
+              \"available_parallelism\": 64, \"cpu_model\": \"Imaginary\"}, \
+              \"serial\": {\"median_ns\": 10.0}}",
+        )
+        .unwrap();
+        let candidate = magic_json::json!({
+            "machine_info": magic_bench::results::machine_info(),
+            "serial": { "median_ns": 100.0 },
+        });
+        std::fs::write(&new, magic_json::to_string_pretty(&candidate)).unwrap();
+        let args: Vec<String> = [
+            "bench",
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--require-same-machine",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(dispatch(&args).is_ok());
+    }
+
+    #[test]
+    fn bench_rejects_unknown_subcommand() {
+        let args: Vec<String> = ["bench", "run"].iter().map(|s| s.to_string()).collect();
+        assert!(dispatch(&args).unwrap_err().contains("bench requires"));
+    }
+
+    #[test]
+    fn profile_requires_a_corpus() {
+        assert!(dispatch(&["profile".to_string()])
+            .unwrap_err()
+            .contains("profile requires a corpus"));
     }
 
     #[test]

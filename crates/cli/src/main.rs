@@ -6,11 +6,15 @@
 //! magic train --corpus mskcfg|yancfg [--scale S] [--epochs N] --out model.magic
 //! magic predict --model model.magic <listing.asm>...
 //! magic info --model model.magic             show checkpoint metadata
+//! magic profile mskcfg|yancfg                per-op time/FLOP attribution
 //! magic report --trace trace.jsonl           aggregate a telemetry trace
+//! magic report --trace t.jsonl --flamegraph  collapsed stacks for flamegraphs
+//! magic bench diff old.json new.json         perf-regression gate
 //! ```
 //!
-//! All subcommands accept `--trace <path>` (stream a `magic-trace/1`
-//! JSONL telemetry trace, see `docs/OBSERVABILITY.md`) and
+//! Subcommands accept `--trace <path>` (stream a `magic-trace/2`
+//! JSONL telemetry trace, see `docs/OBSERVABILITY.md`; `report` and
+//! `profile` handle the trace themselves) and
 //! `--log-level <off|error|info|debug|trace>`.
 
 mod checkpoint_file;

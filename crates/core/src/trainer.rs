@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use magic_autograd::Tape;
+use magic_autograd::{profile, OpProfile, Tape};
 use magic_data::batches;
 use magic_model::{Dgcnn, GraphInput};
 use magic_nn::{Adam, GradBuffer, Optimizer, ReduceLrOnPlateau};
@@ -188,6 +188,7 @@ impl Trainer {
             ],
         );
 
+        let run_start = Instant::now();
         let mut order: Vec<usize> = train_idx.to_vec();
         for epoch in 0..self.config.epochs {
             // Telemetry is observational only: timers are read but never
@@ -200,6 +201,22 @@ impl Trainer {
                 (0..executor.workers()).map(|_| AtomicU64::new(0)).collect();
             let mut fanout_us = 0u64;
             let mut update_us = 0u64;
+            // Host-side pseudo-op self times (ns), attributed alongside
+            // the tape ops so `magic profile` can explain the epoch's
+            // wall-clock: param binding and gradient accumulation happen
+            // inside worker jobs (atomic adds), reduce/clip/step and
+            // evaluation happen on this thread.
+            let bind_ns = AtomicU64::new(0);
+            let accum_ns = AtomicU64::new(0);
+            let mut reduce_ns = 0u64;
+            let mut clip_ns = 0u64;
+            let mut step_ns = 0u64;
+            for tape in &tapes {
+                tape.lock().expect("unpoisoned tape").set_profiling(traced);
+            }
+            if traced {
+                magic_tensor::mem::reset_peak();
+            }
 
             rng.shuffle(&mut order);
             let mut train_loss_total = 0.0;
@@ -211,7 +228,11 @@ impl Trainer {
                     let i = batch[j];
                     let mut tape = tapes[worker].lock().expect("unpoisoned tape");
                     tape.reset();
+                    let bind_start = busy_start.map(|_| Instant::now());
                     let binding = store.bind(&mut tape);
+                    if let Some(start) = bind_start {
+                        bind_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
                     // Dropout draws come from a stream keyed on
                     // (seed, epoch, sample), not on batch composition or
                     // scheduling, so every worker count sees the same
@@ -222,9 +243,13 @@ impl Trainer {
                     let loss = tape.nll_loss(lp, vec![labels[i]]);
                     let item = tape.value(loss).item();
                     tape.backward(loss);
+                    let accum_start = busy_start.map(|_| Instant::now());
                     let mut buffer = grad_slots[j].lock().expect("unpoisoned grad slot");
                     buffer.zero();
                     buffer.accumulate(&tape, &binding);
+                    if let Some(start) = accum_start {
+                        accum_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
                     if let Some(start) = busy_start {
                         worker_busy[worker]
                             .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
@@ -244,19 +269,32 @@ impl Trainer {
                     // bitwise identical to the serial loop.
                     store.reduce(&grad_slots[j].lock().expect("unpoisoned grad slot"));
                 }
+                if let Some(start) = update_start {
+                    reduce_ns += start.elapsed().as_nanos() as u64;
+                }
+                let clip_start = update_start.map(|_| Instant::now());
                 if self.config.grad_clip > 0.0 {
                     let clip = self.config.grad_clip * batch.len() as f32;
                     store.clip_grad_norm(clip);
                 }
+                if let Some(start) = clip_start {
+                    clip_ns += start.elapsed().as_nanos() as u64;
+                }
+                let step_start = update_start.map(|_| Instant::now());
                 optimizer.step(store, batch.len());
+                if let Some(start) = step_start {
+                    step_ns += start.elapsed().as_nanos() as u64;
+                }
                 if let Some(start) = update_start {
                     update_us += start.elapsed().as_micros() as u64;
                 }
             }
             let train_loss = train_loss_total / train_idx.len().max(1) as f32;
 
+            let eval_start = traced.then(Instant::now);
             let (val_loss, val_accuracy) =
                 evaluate_with(executor.as_ref(), model, inputs, labels, val_idx);
+            let eval_ns = eval_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
             let learning_rate = optimizer.learning_rate();
             scheduler.observe(val_loss, &mut optimizer);
             best_val_loss = best_val_loss.min(val_loss);
@@ -281,20 +319,143 @@ impl Trainer {
                     &[epoch_field],
                 );
                 magic_obs::counter(magic_obs::stage::C_TRAIN_SAMPLES, order.len() as f64);
+                if magic_tensor::mem::is_enabled() {
+                    magic_obs::histogram_fields(
+                        magic_obs::stage::H_MEM_PEAK_BYTES,
+                        magic_tensor::mem::stats().peak_bytes as f64,
+                        &[epoch_field],
+                    );
+                }
+                let busy_ns: u64 = worker_busy
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed).saturating_mul(1_000))
+                    .sum();
+                self.flush_op_profiles(
+                    &tapes,
+                    epoch,
+                    order.len() as u64,
+                    busy_ns,
+                    &[
+                        (magic_obs::stage::OP_HOST_BIND, order.len() as u64, bind_ns.load(Ordering::Relaxed)),
+                        (magic_obs::stage::OP_HOST_ACCUMULATE, order.len() as u64, accum_ns.load(Ordering::Relaxed)),
+                        (magic_obs::stage::OP_HOST_REDUCE, order.len() as u64, reduce_ns),
+                        (magic_obs::stage::OP_HOST_CLIP, num_batches(order.len(), self.config.batch_size), clip_ns),
+                        (magic_obs::stage::OP_HOST_STEP, num_batches(order.len(), self.config.batch_size), step_ns),
+                        (magic_obs::stage::OP_HOST_EVALUATE, 1, eval_ns),
+                    ],
+                );
             }
-            if magic_obs::log_enabled(magic_obs::Level::Debug) {
+            if magic_obs::log_enabled(magic_obs::Level::Info) {
+                // Live progress/ETA line: mean epoch time so far projects
+                // the remaining wall-clock.
+                let done = epoch + 1;
+                let elapsed = run_start.elapsed().as_secs_f64();
+                let per_epoch = elapsed / done as f64;
+                let eta = per_epoch * (self.config.epochs - done) as f64;
                 magic_obs::log(
-                    magic_obs::Level::Debug,
+                    magic_obs::Level::Info,
                     format!(
-                        "epoch {epoch}: train loss {train_loss:.4}, val loss {val_loss:.4}, \
-                         val accuracy {:.1}%, lr {learning_rate:.2e}",
-                        val_accuracy * 100.0
+                        "epoch {done}/{}: train loss {train_loss:.4}, val loss {val_loss:.4}, \
+                         val accuracy {:.1}%, lr {learning_rate:.2e} · {:.2}s/epoch · ETA {}",
+                        self.config.epochs,
+                        val_accuracy * 100.0,
+                        per_epoch,
+                        fmt_eta(eta),
                     ),
                 );
             }
             history.push(EpochStats { epoch, train_loss, val_loss, val_accuracy, learning_rate });
         }
         TrainOutcome { history, best_val_loss }
+    }
+
+    /// Drains the per-lane tape profiles, merges them, and flushes one
+    /// `op_profile` event per `(kind, phase, shape class)` row, plus one
+    /// per host-side pseudo-op with nonzero time. Called once per traced
+    /// epoch, inside the epoch span (so flamegraphs can attach the rows
+    /// to it).
+    fn flush_op_profiles(
+        &self,
+        tapes: &[Mutex<Tape>],
+        epoch: usize,
+        samples: u64,
+        worker_busy_ns: u64,
+        host_rows: &[(&str, u64, u64)],
+    ) {
+        let mut merged = OpProfile::new();
+        for tape in tapes {
+            let lane = tape.lock().expect("unpoisoned tape").take_profile();
+            merged.merge(&lane);
+        }
+        // Whatever part of worker busy time neither the tape ops nor the
+        // in-job host rows (bind, accumulate) explain is per-sample glue:
+        // tape bookkeeping, forward wiring, the backward walk. Attribute
+        // it explicitly so the profile sums to the epoch, not to ~95%.
+        let in_job_ns: u64 = host_rows
+            .iter()
+            .filter(|(kind, ..)| {
+                *kind == magic_obs::stage::OP_HOST_BIND
+                    || *kind == magic_obs::stage::OP_HOST_ACCUMULATE
+            })
+            .map(|&(_, _, ns)| ns)
+            .sum();
+        let overhead_ns =
+            worker_busy_ns.saturating_sub(merged.total_self_ns()).saturating_sub(in_job_ns);
+        let epoch_field = [("epoch", epoch as f64)];
+        for (key, stat) in merged.sorted_rows() {
+            magic_obs::op_profile(
+                key.kind,
+                key.phase,
+                &profile::bucket_label(key.shape_bucket),
+                stat.calls,
+                stat.self_ns,
+                stat.flops,
+                stat.bytes_out,
+                &epoch_field,
+            );
+        }
+        for &(kind, calls, self_ns) in host_rows {
+            if self_ns > 0 {
+                magic_obs::op_profile(
+                    kind,
+                    profile::PHASE_HOST,
+                    "-",
+                    calls,
+                    self_ns,
+                    0,
+                    0,
+                    &epoch_field,
+                );
+            }
+        }
+        if overhead_ns > 0 {
+            magic_obs::op_profile(
+                magic_obs::stage::OP_HOST_SAMPLE_OVERHEAD,
+                profile::PHASE_HOST,
+                "-",
+                samples,
+                overhead_ns,
+                0,
+                0,
+                &epoch_field,
+            );
+        }
+    }
+}
+
+/// Mini-batches an epoch of `n` samples splits into.
+fn num_batches(n: usize, batch_size: usize) -> u64 {
+    n.div_ceil(batch_size.max(1)) as u64
+}
+
+/// Formats a projected remaining duration at a human scale.
+fn fmt_eta(seconds: f64) -> String {
+    if seconds >= 3600.0 {
+        format!("{:.1}h", seconds / 3600.0)
+    } else if seconds >= 60.0 {
+        format!("{:.1}m", seconds / 60.0)
+    } else {
+        format!("{seconds:.0}s")
     }
 }
 

@@ -8,10 +8,17 @@
 use magic_json::{Map, Value};
 
 /// Version stamp written into every event line (the `"v"` field).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version 2 added the [`Event::OpProfile`] event; every v1 event is
+/// unchanged, so readers accept both versions (see
+/// [`MIN_SCHEMA_VERSION`]).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version readers still accept.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Schema identifier written into the stream's `meta` header event.
-pub const SCHEMA_NAME: &str = "magic-trace/1";
+pub const SCHEMA_NAME: &str = "magic-trace/2";
 
 /// One structured telemetry event.
 ///
@@ -72,6 +79,31 @@ pub enum Event {
         /// The observed value (unit is part of the name, e.g. `_us`).
         value: f64,
         /// Small numeric annotations (worker lane, epoch index, …).
+        fields: Vec<(String, f64)>,
+    },
+    /// Aggregated per-op profiling row (schema v2): everything the tape
+    /// profiler learned about one `(kind, phase, shape class)` cell since
+    /// the previous flush. Flushed by the trainer at epoch boundaries.
+    OpProfile {
+        /// Stable op kind name from the registry in
+        /// `docs/OBSERVABILITY.md` (e.g. `"matmul"`, or a host pseudo-op
+        /// like `"grad.reduce"`).
+        kind: String,
+        /// `"fwd"`, `"bwd"`, or `"host"`.
+        phase: String,
+        /// Power-of-two output-size bucket label (e.g. `"≤4Ki"`).
+        shape_class: String,
+        /// Microseconds since the trace epoch, at flush time.
+        ts_us: u64,
+        /// Op executions aggregated into this row.
+        calls: u64,
+        /// Summed self time, nanoseconds.
+        self_ns: u64,
+        /// Summed floating-point operations.
+        flops: u64,
+        /// Summed output bytes.
+        bytes_out: u64,
+        /// Small numeric annotations (epoch index, …).
         fields: Vec<(String, f64)>,
     },
 }
@@ -141,6 +173,30 @@ impl Event {
                     map.insert("fields", fields_to_json(fields));
                 }
             }
+            Event::OpProfile {
+                kind,
+                phase,
+                shape_class,
+                ts_us,
+                calls,
+                self_ns,
+                flops,
+                bytes_out,
+                fields,
+            } => {
+                map.insert("t", Value::String("op_profile".into()));
+                map.insert("kind", Value::String(kind.clone()));
+                map.insert("phase", Value::String(phase.clone()));
+                map.insert("shape_class", Value::String(shape_class.clone()));
+                map.insert("ts_us", Value::Number(*ts_us as f64));
+                map.insert("calls", Value::Number(*calls as f64));
+                map.insert("self_ns", Value::Number(*self_ns as f64));
+                map.insert("flops", Value::Number(*flops as f64));
+                map.insert("bytes_out", Value::Number(*bytes_out as f64));
+                if !fields.is_empty() {
+                    map.insert("fields", fields_to_json(fields));
+                }
+            }
         }
         Value::Object(map)
     }
@@ -161,7 +217,7 @@ impl Event {
     /// Returns a description of the first malformed or missing field.
     pub fn from_json(value: &Value) -> Result<Event, String> {
         let version = value["v"].as_u64().ok_or("missing schema version \"v\"")?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(format!("unsupported schema version {version}"));
         }
         let kind = value["t"].as_str().ok_or("missing event type \"t\"")?;
@@ -194,6 +250,17 @@ impl Event {
                 value: value["value"].as_f64().ok_or("missing value")?,
                 fields: fields_from_json(&value["fields"]),
             }),
+            "op_profile" => Ok(Event::OpProfile {
+                kind: value["kind"].as_str().ok_or("missing kind")?.to_string(),
+                phase: value["phase"].as_str().ok_or("missing phase")?.to_string(),
+                shape_class: value["shape_class"].as_str().unwrap_or_default().to_string(),
+                ts_us: ts_us()?,
+                calls: value["calls"].as_u64().ok_or("missing calls")?,
+                self_ns: value["self_ns"].as_u64().ok_or("missing self_ns")?,
+                flops: value["flops"].as_u64().unwrap_or(0),
+                bytes_out: value["bytes_out"].as_u64().unwrap_or(0),
+                fields: fields_from_json(&value["fields"]),
+            }),
             other => Err(format!("unknown event type {other:?}")),
         }
     }
@@ -206,6 +273,31 @@ impl Event {
     pub fn from_jsonl_line(line: &str) -> Result<Event, String> {
         let value = magic_json::from_str(line).map_err(|e| e.to_string())?;
         Event::from_json(&value)
+    }
+
+    /// Leniently parses one JSONL line for tolerant readers.
+    ///
+    /// `Ok(None)` means the line is valid JSON carrying an accepted
+    /// schema version but an event type this reader does not know — a
+    /// *newer minor addition*, safe to skip (and count) rather than
+    /// abort on.
+    ///
+    /// # Errors
+    ///
+    /// Everything else that [`Event::from_jsonl_line`] rejects: invalid
+    /// JSON, an unsupported schema version, or a known event type with
+    /// malformed fields.
+    pub fn from_jsonl_line_lenient(line: &str) -> Result<Option<Event>, String> {
+        let value = magic_json::from_str(line).map_err(|e| e.to_string())?;
+        let version = value["v"].as_u64().ok_or("missing schema version \"v\"")?;
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
+            return Err(format!("unsupported schema version {version}"));
+        }
+        match Event::from_json(&value) {
+            Ok(event) => Ok(Some(event)),
+            Err(e) if e.starts_with("unknown event type") => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -245,13 +337,36 @@ mod tests {
             value: 1250.5,
             fields: vec![("worker".into(), 1.0)],
         });
+        roundtrip(Event::OpProfile {
+            kind: "matmul".into(),
+            phase: "fwd".into(),
+            shape_class: "≤4Ki".into(),
+            ts_us: 10,
+            calls: 128,
+            self_ns: 48_000,
+            flops: 2_097_152,
+            bytes_out: 65_536,
+            fields: vec![("epoch".into(), 2.0)],
+        });
     }
 
     #[test]
     fn unknown_version_and_type_are_rejected() {
-        assert!(Event::from_jsonl_line(r#"{"v":2,"t":"meta"}"#).is_err());
+        assert!(Event::from_jsonl_line(r#"{"v":3,"t":"meta"}"#).is_err());
+        assert!(Event::from_jsonl_line(r#"{"v":0,"t":"meta"}"#).is_err());
         assert!(Event::from_jsonl_line(r#"{"v":1,"t":"frob"}"#).is_err());
         assert!(Event::from_jsonl_line("not json").is_err());
+    }
+
+    #[test]
+    fn v1_lines_still_parse() {
+        // A line exactly as a magic-trace/1 writer produced it.
+        let line = r#"{"v":1,"t":"span_end","id":3,"stage":"train.epoch","ts_us":99,"dur_us":42}"#;
+        let event = Event::from_jsonl_line(line).unwrap();
+        assert_eq!(
+            event,
+            Event::SpanEnd { id: 3, stage: "train.epoch".into(), ts_us: 99, dur_us: 42 }
+        );
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //!
 //! * [`NullRecorder`] — discards everything; with *no* recorder
 //!   installed, instrumentation costs one relaxed atomic load.
-//! * [`JsonlRecorder`] — streams `magic-trace/1` JSON lines (one event
+//! * [`JsonlRecorder`] — streams `magic-trace/2` JSON lines (one event
 //!   per line, written with `magic-json`) to a file or writer. The CLI's
 //!   `--trace <path>` flag installs this, and `magic report --trace`
-//!   aggregates the result via [`report::TraceSummary`].
+//!   aggregates the result via [`report::TraceSummary`] (readers accept
+//!   v1 and v2 traces).
 //!
 //! The event schema ([`Event`]) and stage-name registry ([`stage`]) are
 //! a versioned public contract, documented in `docs/OBSERVABILITY.md`.
@@ -48,14 +49,15 @@
 //! ```
 
 mod event;
+pub mod flamegraph;
 mod recorder;
 pub mod report;
 mod runtime;
 pub mod stage;
 
-pub use event::{Event, SCHEMA_NAME, SCHEMA_VERSION};
+pub use event::{Event, MIN_SCHEMA_VERSION, SCHEMA_NAME, SCHEMA_VERSION};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder};
 pub use runtime::{
     counter, flush, histogram, histogram_fields, install, is_enabled, log, log_enabled, log_level,
-    meta, record, set_log_level, span, span_fields, uninstall, Level, Span,
+    meta, op_profile, record, set_log_level, span, span_fields, uninstall, Level, Span,
 };

@@ -1,5 +1,6 @@
-//! Trace aggregation: fold a `magic-trace/1` JSONL stream into
-//! per-stage timing tables — the engine behind `magic report`.
+//! Trace aggregation: fold a `magic-trace/1` or `magic-trace/2` JSONL
+//! stream into per-stage timing and per-op profile tables — the engine
+//! behind `magic report` and `magic profile`.
 
 use crate::event::Event;
 use std::collections::HashMap;
@@ -48,6 +49,25 @@ pub struct HistogramStats {
     pub max: f64,
 }
 
+/// Aggregated `op_profile` rows for one `(kind, phase, shape class)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfileStats {
+    /// Op kind name (tape op or host pseudo-op).
+    pub kind: String,
+    /// `"fwd"`, `"bwd"`, or `"host"`.
+    pub phase: String,
+    /// Output-size bucket label (e.g. `"≤4Ki"`).
+    pub shape_class: String,
+    /// Op executions aggregated into this row.
+    pub calls: u64,
+    /// Summed self time, nanoseconds.
+    pub self_ns: u64,
+    /// Summed floating-point operations.
+    pub flops: u64,
+    /// Summed output bytes.
+    pub bytes_out: u64,
+}
+
 /// Everything `magic report` knows about one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
@@ -68,17 +88,33 @@ pub struct TraceSummary {
     pub counters: Vec<CounterStats>,
     /// Histograms, by name.
     pub histograms: Vec<HistogramStats>,
+    /// Per-op profile rows (schema v2), largest self time first.
+    pub ops: Vec<OpProfileStats>,
     /// Spans that were opened but never closed (crash, or a still-open
     /// guard when the recorder was removed).
     pub unclosed_spans: u64,
+    /// Lines skipped instead of aborting on: events of an unknown type
+    /// (a newer minor schema addition), plus an unparseable *final* line
+    /// (the truncated tail a killed run leaves behind). Malformed lines
+    /// anywhere else are still a hard error.
+    pub malformed_lines: u64,
 }
 
 impl TraceSummary {
     /// Aggregates an iterator of JSONL lines. Blank lines are skipped.
     ///
+    /// Two classes of damage are tolerated rather than fatal, so reports
+    /// still work on traces from killed runs and from newer writers:
+    /// events of an unknown type (valid JSON, accepted schema version)
+    /// are skipped anywhere, and the *final* non-blank line may be
+    /// unparseable (a process killed mid-write truncates it). Both are
+    /// counted in [`TraceSummary::malformed_lines`].
+    ///
     /// # Errors
     ///
-    /// Returns `"line N: <why>"` for the first malformed line.
+    /// Returns `"line N: <why>"` for the first malformed line that is
+    /// neither of the above — including any line with an unsupported
+    /// schema version, which signals a reader too old for the whole file.
     pub fn from_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Self, String> {
         let mut summary = TraceSummary::default();
         let mut first_ts: Option<u64> = None;
@@ -93,20 +129,39 @@ impl TraceSummary {
         let mut closed_by_id: HashMap<u64, usize> = HashMap::new();
         let mut counters: HashMap<String, CounterStats> = HashMap::new();
         let mut histograms: HashMap<String, HistogramStats> = HashMap::new();
+        let mut ops: HashMap<(String, String, String), OpProfileStats> = HashMap::new();
 
-        for (lineno, line) in lines.enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let event =
-                Event::from_jsonl_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        // Buffered so the truncated-tail rule can know which non-blank
+        // line is the last one.
+        let numbered: Vec<(usize, &str)> = lines
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .collect();
+        let last = numbered.len().saturating_sub(1);
+
+        for (pos, &(lineno, line)) in numbered.iter().enumerate() {
+            let event = match Event::from_jsonl_line_lenient(line) {
+                Ok(Some(event)) => event,
+                Ok(None) => {
+                    // Unknown event type from a newer writer: skip.
+                    summary.malformed_lines += 1;
+                    continue;
+                }
+                Err(_) if pos == last => {
+                    // Truncated tail of a killed run: skip.
+                    summary.malformed_lines += 1;
+                    continue;
+                }
+                Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+            };
             summary.events += 1;
             let ts = match &event {
                 Event::Meta { .. } => None,
                 Event::SpanStart { ts_us, .. }
                 | Event::SpanEnd { ts_us, .. }
                 | Event::Counter { ts_us, .. }
-                | Event::Histogram { ts_us, .. } => Some(*ts_us),
+                | Event::Histogram { ts_us, .. }
+                | Event::OpProfile { ts_us, .. } => Some(*ts_us),
             };
             if let Some(ts) = ts {
                 first_ts = Some(first_ts.map_or(ts, |f| f.min(ts)));
@@ -145,6 +200,23 @@ impl TraceSummary {
                     entry.min = entry.min.min(value);
                     entry.max = entry.max.max(value);
                 }
+                Event::OpProfile { kind, phase, shape_class, calls, self_ns, flops, bytes_out, .. } => {
+                    let entry = ops
+                        .entry((kind.clone(), phase.clone(), shape_class.clone()))
+                        .or_insert(OpProfileStats {
+                            kind,
+                            phase,
+                            shape_class,
+                            calls: 0,
+                            self_ns: 0,
+                            flops: 0,
+                            bytes_out: 0,
+                        });
+                    entry.calls += calls;
+                    entry.self_ns += self_ns;
+                    entry.flops += flops;
+                    entry.bytes_out += bytes_out;
+                }
             }
         }
 
@@ -180,7 +252,20 @@ impl TraceSummary {
         summary.counters.sort_by(|a, b| a.name.cmp(&b.name));
         summary.histograms = histograms.into_values().collect();
         summary.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        summary.ops = ops.into_values().collect();
+        summary.ops.sort_by(|a, b| {
+            b.self_ns
+                .cmp(&a.self_ns)
+                .then(a.kind.cmp(&b.kind))
+                .then(a.phase.cmp(&b.phase))
+                .then(a.shape_class.cmp(&b.shape_class))
+        });
         Ok(summary)
+    }
+
+    /// Sum of self time over all op-profile rows, nanoseconds.
+    pub fn ops_total_self_ns(&self) -> u64 {
+        self.ops.iter().map(|o| o.self_ns).sum()
     }
 
     /// Fraction of wall-clock covered by top-level spans, in `[0, …)` —
@@ -207,6 +292,12 @@ impl TraceSummary {
         ));
         if self.unclosed_spans > 0 {
             out.push_str(&format!("warning: {} span(s) never closed\n", self.unclosed_spans));
+        }
+        if self.malformed_lines > 0 {
+            out.push_str(&format!(
+                "warning: {} malformed/unknown line(s) skipped\n",
+                self.malformed_lines
+            ));
         }
 
         if !self.stages.is_empty() {
@@ -256,7 +347,75 @@ impl TraceSummary {
                 ));
             }
         }
+
+        if !self.ops.is_empty() {
+            out.push('\n');
+            out.push_str(&self.render_ops());
+        }
         out
+    }
+
+    /// Renders the per-op profile table (schema v2 `op_profile` rows):
+    /// self time, share of total op self time, call count, achieved
+    /// FLOP/s, and output bytes, largest self time first.
+    pub fn render_ops(&self) -> String {
+        let mut out = String::new();
+        let total_ns = self.ops_total_self_ns();
+        out.push_str(&format!(
+            "{:<22} {:>5} {:>8} {:>9} {:>6} {:>10} {:>10} {:>10}\n",
+            "OP", "phase", "shape", "calls", "self%", "self", "flop/s", "bytes"
+        ));
+        for o in &self.ops {
+            let pct = if total_ns == 0 {
+                0.0
+            } else {
+                100.0 * o.self_ns as f64 / total_ns as f64
+            };
+            let flops_per_s = if o.self_ns == 0 {
+                0.0
+            } else {
+                o.flops as f64 / (o.self_ns as f64 / 1e9)
+            };
+            out.push_str(&format!(
+                "{:<22} {:>5} {:>8} {:>9} {:>6.1} {:>10} {:>10} {:>10}\n",
+                o.kind,
+                o.phase,
+                o.shape_class,
+                o.calls,
+                pct,
+                fmt_us(o.self_ns / 1_000),
+                fmt_rate(flops_per_s),
+                fmt_bytes(o.bytes_out),
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a byte quantity at a human scale (`1.5GiB`, `32KiB`, …).
+fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= (1u64 << 30) as f64 {
+        format!("{:.2}GiB", b / (1u64 << 30) as f64)
+    } else if b >= (1u64 << 20) as f64 {
+        format!("{:.1}MiB", b / (1u64 << 20) as f64)
+    } else if b >= 1024.0 {
+        format!("{:.1}KiB", b / 1024.0)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Formats an ops-per-second rate at a human scale (`1.2G`, `340M`, …).
+fn fmt_rate(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2}G", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.1}M", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.1}K", per_s / 1e3)
+    } else {
+        format!("{per_s:.0}")
     }
 }
 
@@ -381,9 +540,96 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_are_reported_with_their_number() {
-        let err = TraceSummary::from_lines("\n{\"v\":1,\"t\":\"nope\"}\n".lines()).unwrap_err();
+    fn malformed_mid_file_lines_are_reported_with_their_number() {
+        // An invalid-JSON line that is NOT the last non-blank line is a
+        // hard error, reported with its 1-based line number.
+        let err = TraceSummary::from_lines("\nnot json\n{\"v\":1,\"t\":\"counter\",\"name\":\"x\",\"ts_us\":1,\"delta\":1}\n".lines())
+            .unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+        // So is an unsupported schema version, anywhere.
+        let err = TraceSummary::from_lines(
+            "{\"v\":99,\"t\":\"meta\"}\n{\"v\":1,\"t\":\"counter\",\"name\":\"x\",\"ts_us\":1,\"delta\":1}\n"
+                .lines(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unsupported schema version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_and_counted() {
+        // A killed run truncates the last line mid-write; the rest of
+        // the trace must still aggregate.
+        let mut text = sample_trace();
+        text.push_str("{\"v\":2,\"t\":\"span_en"); // no trailing newline either
+        let summary = TraceSummary::from_lines(text.lines()).unwrap();
+        assert_eq!(summary.malformed_lines, 1);
+        assert_eq!(summary.events, 11, "all intact events still counted");
+        assert_eq!(summary.wall_us, 100);
+        assert!(summary.render().contains("1 malformed/unknown line(s) skipped"));
+    }
+
+    #[test]
+    fn unknown_event_types_are_skipped_anywhere() {
+        // A newer writer may add event types; readers skip + count them
+        // even mid-file.
+        let mut lines = sample_trace();
+        let tail = lines.split_off(lines.find('\n').unwrap() + 1);
+        lines.push_str("{\"v\":2,\"t\":\"from_the_future\",\"ts_us\":5}\n");
+        lines.push_str(&tail);
+        let summary = TraceSummary::from_lines(lines.lines()).unwrap();
+        assert_eq!(summary.malformed_lines, 1);
+        assert_eq!(summary.events, 11);
+    }
+
+    #[test]
+    fn op_profile_rows_aggregate_and_render() {
+        let text = lines_of(&[
+            Event::OpProfile {
+                kind: "matmul".into(),
+                phase: "fwd".into(),
+                shape_class: "≤4Ki".into(),
+                ts_us: 1,
+                calls: 10,
+                self_ns: 30_000,
+                flops: 600_000,
+                bytes_out: 4_096,
+                fields: vec![("epoch".into(), 0.0)],
+            },
+            Event::OpProfile {
+                kind: "matmul".into(),
+                phase: "fwd".into(),
+                shape_class: "≤4Ki".into(),
+                ts_us: 2,
+                calls: 10,
+                self_ns: 30_000,
+                flops: 600_000,
+                bytes_out: 4_096,
+                fields: vec![("epoch".into(), 1.0)],
+            },
+            Event::OpProfile {
+                kind: "relu".into(),
+                phase: "bwd".into(),
+                shape_class: "≤1Ki".into(),
+                ts_us: 2,
+                calls: 10,
+                self_ns: 10_000,
+                flops: 10_240,
+                bytes_out: 1_024,
+                fields: vec![],
+            },
+        ]);
+        let summary = TraceSummary::from_lines(text.lines()).unwrap();
+        assert_eq!(summary.ops.len(), 2, "same key rows merged across epochs");
+        assert_eq!(summary.ops[0].kind, "matmul", "largest self time first");
+        assert_eq!(summary.ops[0].calls, 20);
+        assert_eq!(summary.ops[0].self_ns, 60_000);
+        assert_eq!(summary.ops_total_self_ns(), 70_000);
+
+        let table = summary.render();
+        assert!(table.contains("OP"), "{table}");
+        assert!(table.contains("matmul"));
+        let ops_table = summary.render_ops();
+        assert!(ops_table.contains("85.7"), "matmul share of self time: {ops_table}");
     }
 
     #[test]
@@ -398,5 +644,13 @@ mod tests {
         assert_eq!(fmt_us(950), "950us");
         assert_eq!(fmt_us(25_000), "25.0ms");
         assert_eq!(fmt_us(12_340_000), "12.34s");
+    }
+
+    #[test]
+    fn fmt_bytes_picks_readable_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(4_096), "4.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00GiB");
     }
 }

@@ -251,6 +251,36 @@ pub fn histogram_fields(name: &'static str, value: f64, fields: &[(&str, f64)]) 
     }
 }
 
+/// Flushes one aggregated per-op profiling row (schema v2 `op_profile`
+/// event). Called by the trainer at epoch boundaries with the drained
+/// tape profiles; `kind`/`phase`/`shape_class` follow the op-kind
+/// registry in `docs/OBSERVABILITY.md`.
+#[allow(clippy::too_many_arguments)]
+pub fn op_profile(
+    kind: &str,
+    phase: &str,
+    shape_class: &str,
+    calls: u64,
+    self_ns: u64,
+    flops: u64,
+    bytes_out: u64,
+    fields: &[(&str, f64)],
+) {
+    if is_enabled() {
+        record(&Event::OpProfile {
+            kind: kind.to_string(),
+            phase: phase.to_string(),
+            shape_class: shape_class.to_string(),
+            ts_us: now_us(),
+            calls,
+            self_ns,
+            flops,
+            bytes_out,
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

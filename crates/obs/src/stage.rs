@@ -83,3 +83,33 @@ pub const H_EPOCH_FANOUT_US: &str = "train.fanout_us";
 /// optimizer step, in microseconds. Fields: `epoch`. This is the
 /// Amdahl bound on the PR 1 parallel speedup.
 pub const H_EPOCH_UPDATE_US: &str = "train.update_us";
+
+/// High-water mark of live tensor element bytes over one epoch, as
+/// reported by `magic_tensor::mem` (peak reset at each epoch start).
+/// Fields: `epoch`. Only emitted when tensor memory accounting is
+/// enabled alongside the recorder.
+pub const H_MEM_PEAK_BYTES: &str = "train.mem_peak_bytes";
+
+// ---- op profile (schema v2) --------------------------------------------
+
+/// Host-side pseudo-op kinds used by `op_profile` events (phase
+/// `"host"`) to attribute per-epoch wall-clock that falls outside the
+/// tape: parameter binding, gradient accumulation/reduction, gradient
+/// clipping, the optimizer step, and split evaluation. Tape op kinds
+/// (`"matmul"`, `"conv2d"`, …) are defined by the autograd op registry;
+/// the full list lives in `docs/OBSERVABILITY.md`.
+pub const OP_HOST_BIND: &str = "param.bind";
+/// Per-sample gradient accumulation into batch slots (phase `"host"`).
+pub const OP_HOST_ACCUMULATE: &str = "grad.accumulate";
+/// Batch-order gradient reduction across slots (phase `"host"`).
+pub const OP_HOST_REDUCE: &str = "grad.reduce";
+/// Global gradient-norm clipping (phase `"host"`).
+pub const OP_HOST_CLIP: &str = "grad.clip";
+/// Optimizer parameter update (phase `"host"`).
+pub const OP_HOST_STEP: &str = "optimizer.step";
+/// Train/validation split evaluation (phase `"host"`).
+pub const OP_HOST_EVALUATE: &str = "evaluate";
+/// Worker busy time not attributable to any named op: tape bookkeeping,
+/// forward glue between ops, the backward walk, and the profiling
+/// timestamps themselves (phase `"host"`).
+pub const OP_HOST_SAMPLE_OVERHEAD: &str = "sample.overhead";

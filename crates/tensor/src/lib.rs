@@ -22,12 +22,14 @@
 //! ```
 
 mod linalg;
+pub mod mem;
 mod ops;
 mod reduce;
 mod rng;
 mod shape;
 mod tensor;
 
+pub use mem::MemStats;
 pub use rng::Rng64;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,5 +1,6 @@
 //! The dense tensor type: construction, element access, reshaping.
 
+use crate::mem;
 use crate::rng::Rng64;
 use crate::shape::Shape;
 use std::fmt;
@@ -21,13 +22,21 @@ use std::fmt;
 /// assert_eq!(t.shape().dims(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
 }
 
 impl Tensor {
+    /// The one construction choke point: every tensor buffer coming
+    /// alive passes through here so [`crate::mem`] accounting sees it.
+    #[inline]
+    fn tracked(data: Vec<f32>, shape: Shape) -> Self {
+        mem::on_alloc(data.len());
+        Tensor { data, shape }
+    }
+
     /// Creates a tensor from a flat buffer and a shape.
     ///
     /// # Panics
@@ -42,24 +51,19 @@ impl Tensor {
             "buffer of {} elements cannot have shape {shape}",
             data.len()
         );
-        Tensor { data, shape }
+        Tensor::tracked(data, shape)
     }
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            data: vec![value],
-            shape: Shape::scalar(),
-        }
+        Tensor::tracked(vec![value], Shape::scalar())
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        Tensor {
-            data: vec![value; shape.len()],
-            shape,
-        }
+        let data = vec![value; shape.len()];
+        Tensor::tracked(data, shape)
     }
 
     /// Creates a tensor of zeros.
@@ -108,7 +112,7 @@ impl Tensor {
         let data = (0..shape.len())
             .map(|_| lo + (hi - lo) * rng.next_f32())
             .collect();
-        Tensor { data, shape }
+        Tensor::tracked(data, shape)
     }
 
     /// Samples a tensor with elements drawn from a normal distribution.
@@ -117,7 +121,7 @@ impl Tensor {
         let data = (0..shape.len())
             .map(|_| mean + std * rng.next_normal())
             .collect();
-        Tensor { data, shape }
+        Tensor::tracked(data, shape)
     }
 
     /// The shape of this tensor.
@@ -166,8 +170,11 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns the backing buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        // The buffer leaves accounting's sight here; `Drop` then runs on
+        // an empty vector and reports a zero-byte free.
+        mem::on_free(self.data.len());
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-index.
@@ -230,10 +237,7 @@ impl Tensor {
             "cannot reshape {} elements into {shape}",
             self.len()
         );
-        Tensor {
-            data: self.data.clone(),
-            shape,
-        }
+        Tensor::tracked(self.data.clone(), shape)
     }
 
     /// Borrows row `i` of a matrix as a slice.
@@ -293,6 +297,18 @@ impl fmt::Debug for Tensor {
 impl Default for Tensor {
     fn default() -> Self {
         Tensor::scalar(0.0)
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor::tracked(self.data.clone(), self.shape.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        mem::on_free(self.data.len());
     }
 }
 

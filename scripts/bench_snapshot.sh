@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark baselines under results/ on THIS
+# machine, including the machine_info stanza that lets `magic bench diff
+# --require-same-machine` (the scripts/ci.sh perf gate) know whether a
+# comparison is apples-to-apples. Run from the repository root after a
+# deliberate performance-relevant change, and commit the updated JSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> full benchmark -> results/BENCH_train_parallel.json"
+cargo bench -q -p magic-bench --bench train_parallel
+
+echo "==> quick benchmark (CI gate baseline) -> results/BENCH_train_parallel_quick.json"
+MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench train_parallel
+
+echo "==> snapshot complete; review and commit the updated results/BENCH_*.json"

@@ -19,4 +19,23 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+# Perf-regression gate: re-measure the quick training benchmark and
+# compare against the committed baseline. The gate only fires when the
+# baseline was recorded on this same machine (cross-host timings don't
+# compare); on a fresh host it prints a skip notice and stays green
+# until `scripts/bench_snapshot.sh` commits a local baseline.
+echo "==> perf gate: quick bench vs committed baseline"
+BASELINE=results/BENCH_train_parallel_quick.json
+if [ -f "$BASELINE" ]; then
+    # Absolute path: cargo runs bench binaries from the package dir,
+    # not the workspace root.
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench train_parallel
+    ./target/release/magic bench diff \
+        "$BASELINE" target/ci-bench/BENCH_train_parallel_quick.json \
+        --threshold 0.20 --require-same-machine
+else
+    echo "no committed baseline at $BASELINE; skipping perf gate"
+fi
+
 echo "==> CI OK"
