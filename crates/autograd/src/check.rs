@@ -131,6 +131,27 @@ mod tests {
     }
 
     #[test]
+    fn grad_check_spmm_norm() {
+        use magic_tensor::CsrMatrix;
+        use std::sync::Arc;
+
+        let mut rng = Rng64::new(19);
+        let (adj, inv) = CsrMatrix::augmented_from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 1), (4, 4)],
+        );
+        let adj = Arc::new(adj);
+        let adj_t = Arc::new(adj.transpose());
+        let inv = Arc::new(inv);
+        let input = Tensor::rand_uniform([5, 3], -1.0, 1.0, &mut rng);
+        check_op(input, move |tape, x| {
+            let y = tape.spmm_norm(adj.clone(), adj_t.clone(), inv.clone(), x);
+            let sq = tape.mul(y, y);
+            tape.sum(sq)
+        });
+    }
+
+    #[test]
     fn grad_check_scale_rows_and_concat() {
         let mut rng = Rng64::new(13);
         let input = Tensor::rand_uniform([3, 2], -1.0, 1.0, &mut rng);

@@ -20,6 +20,12 @@
 //!
 //! * [`matmul_flops`]: `2·m·k·n` for `(m,k) @ (k,n)` (one multiply + one
 //!   add per inner-product term).
+//! * [`spmm_norm_flops`]: `2·nnz·c + rows·c` for the fused
+//!   `D̂⁻¹ (Â F)` — one multiply-add per nonzero per feature column plus
+//!   the row-scaling multiply. Scales with *edges*, not `rows²`. The
+//!   backward step (`spmm_norm_t`, the transpose-CSR product) has the
+//!   same nnz and is charged exactly 1× this count, not the dense 2×
+//!   heuristic.
 //! * [`conv1d_flops`]: `out_elems · (2·c_in·k + 1)` — the `+1` is the
 //!   bias add per output element.
 //! * [`conv2d_flops`]: `out_elems · (2·c_in·kh·kw + 1)`.
@@ -44,6 +50,14 @@ pub const PHASE_HOST: &str = "host";
 /// FLOPs of an `(m, k) @ (k, n)` matrix product.
 pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
     2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// FLOPs of the fused `D̂⁻¹ (Â F)` sparse propagation producing a
+/// `(rows, cols)` output from an adjacency with `nnz` stored nonzeros:
+/// one multiply + one add per nonzero per feature column, plus one
+/// row-normalization multiply per output element.
+pub fn spmm_norm_flops(nnz: usize, rows: usize, cols: usize) -> u64 {
+    2 * (nnz as u64) * (cols as u64) + (rows as u64) * (cols as u64)
 }
 
 /// FLOPs of a 1-D convolution producing `(c_out, l_out)` from `c_in`
@@ -183,6 +197,20 @@ mod tests {
         assert_eq!(matmul_flops(3, 4, 5), 120);
         assert_eq!(matmul_flops(1, 1, 1), 2);
         assert_eq!(matmul_flops(0, 4, 5), 0);
+    }
+
+    #[test]
+    fn spmm_norm_flops_scale_with_nonzeros() {
+        // 10 nonzeros into a (4, 3) output: 2·10·3 product flops plus
+        // 4·3 row-scaling multiplies.
+        assert_eq!(spmm_norm_flops(10, 4, 3), 72);
+        // An empty matrix still pays the row scaling.
+        assert_eq!(spmm_norm_flops(0, 4, 3), 12);
+        // A CFG-sparse 1024-vertex graph (nnz ≈ 2n) is ~1000× cheaper
+        // than the dense n² product at the same width.
+        let sparse = spmm_norm_flops(2 * 1024, 1024, 32);
+        let dense = matmul_flops(1024, 1024, 32);
+        assert!(dense / sparse > 250, "{dense} / {sparse}");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crate::conv;
 use crate::profile::{self, OpKey, OpProfile, PHASE_BACKWARD, PHASE_FORWARD};
-use magic_tensor::{Rng64, Shape, Tensor};
+use magic_tensor::{CsrMatrix, Rng64, Shape, Tensor};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Handle to a value recorded on a [`Tape`].
@@ -25,6 +26,15 @@ enum Op {
     Sigmoid(Var),
     Tanh(Var),
     ScaleRows(Var, Vec<f32>),
+    /// Fused `D̂⁻¹ (Â F)` of Eq. (1) over a CSR adjacency. The matrices
+    /// and scale vector are per-graph constants shared via `Arc`, so the
+    /// backward sweep's op clone stays O(1).
+    SpmmNorm {
+        adj: Arc<CsrMatrix>,
+        adj_t: Arc<CsrMatrix>,
+        inv_degree: Arc<Vec<f32>>,
+        f: Var,
+    },
     Transpose(Var),
     ConcatCols(Vec<Var>),
     GatherRows(Var, Vec<usize>),
@@ -59,6 +69,7 @@ impl Op {
             Op::Sigmoid(..) => "sigmoid",
             Op::Tanh(..) => "tanh",
             Op::ScaleRows(..) => "scale_rows",
+            Op::SpmmNorm { .. } => "spmm_norm",
             Op::Transpose(..) => "transpose",
             Op::ConcatCols(..) => "concat_cols",
             Op::GatherRows(..) => "gather_rows",
@@ -73,6 +84,17 @@ impl Op {
             Op::Conv2d { .. } => "conv2d",
             Op::AdaptiveMaxPool2d { .. } => "adaptive_max_pool2d",
             Op::MaxPool1d { .. } => "max_pool1d",
+        }
+    }
+
+    /// Profile kind for this op's backward step. Almost always the
+    /// forward kind; `spmm_norm`'s backward is a materially different
+    /// kernel (the transpose-CSR product), so it gets its own registered
+    /// pseudo-op name.
+    fn backward_kind(&self) -> &'static str {
+        match self {
+            Op::SpmmNorm { .. } => "spmm_norm_t",
+            other => other.kind(),
         }
     }
 }
@@ -229,6 +251,9 @@ impl Tape {
                 self.value(*a).cols(),
                 self.value(*b).cols(),
             ),
+            Op::SpmmNorm { adj, .. } => {
+                profile::spmm_norm_flops(adj.nnz(), out.rows(), out.cols())
+            }
             Op::Add(..)
             | Op::Sub(..)
             | Op::Mul(..)
@@ -369,6 +394,47 @@ impl Tape {
         let value = self.value(a).scale_rows(&factors);
         let rg = self.any_requires(&[a]);
         self.push_profiled(value, Op::ScaleRows(a, factors), rg, t)
+    }
+
+    /// Fused sparse graph propagation `D̂⁻¹ (Â F)` — the whole
+    /// constant-matrix half of Eq. (1) in one pass over the adjacency
+    /// nonzeros.
+    ///
+    /// * `adj` — the augmented adjacency `Â` in CSR form.
+    /// * `adj_t` — `Âᵀ`, precomputed once per graph; the backward pass
+    ///   is the transpose-CSR product `Âᵀ (D̂⁻¹ g)`.
+    /// * `inv_degree` — the diagonal of `D̂⁻¹` (one entry per vertex).
+    /// * `f` — the dense feature matrix `F = Z W`, `(n, c)`.
+    ///
+    /// Only `f` is differentiable; the graph structure is a per-sample
+    /// constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree or `adj_t` cannot be the transpose
+    /// of `adj` (shape or nnz mismatch).
+    pub fn spmm_norm(
+        &mut self,
+        adj: Arc<CsrMatrix>,
+        adj_t: Arc<CsrMatrix>,
+        inv_degree: Arc<Vec<f32>>,
+        f: Var,
+    ) -> Var {
+        let t = self.prof_start();
+        assert_eq!(
+            adj.cols(),
+            self.value(f).rows(),
+            "spmm_norm inner dimension mismatch"
+        );
+        assert_eq!(inv_degree.len(), adj.rows(), "one inverse degree per row");
+        assert_eq!(
+            (adj_t.rows(), adj_t.cols(), adj_t.nnz()),
+            (adj.cols(), adj.rows(), adj.nnz()),
+            "adj_t must be the transpose of adj"
+        );
+        let value = adj.spmm_row_scaled(&inv_degree, self.value(f));
+        let rg = self.any_requires(&[f]);
+        self.push_profiled(value, Op::SpmmNorm { adj, adj_t, inv_degree, f }, rg, t)
     }
 
     /// Matrix transpose.
@@ -574,13 +640,22 @@ impl Tape {
             let t = if matches!(op, Op::Leaf) { None } else { self.prof_start() };
             let prof_key = t.map(|_| {
                 let out = &self.nodes[idx].value;
+                // `spmm_norm` has exactly one differentiable input, and
+                // its backward (one transpose-CSR product plus the row
+                // scaling) does the same work as forward — charge 1×,
+                // not the dense 2× heuristic, so the nnz-based count
+                // stays exact.
+                let flops = match &op {
+                    Op::SpmmNorm { .. } => self.forward_flops(&op, out),
+                    _ => 2 * self.forward_flops(&op, out),
+                };
                 (
                     OpKey {
-                        kind: op.kind(),
+                        kind: op.backward_kind(),
                         phase: PHASE_BACKWARD,
                         shape_bucket: profile::shape_bucket(out.len()),
                     },
-                    2 * self.forward_flops(&op, out),
+                    flops,
                     (out.len() * std::mem::size_of::<f32>()) as u64,
                 )
             });
@@ -660,6 +735,14 @@ impl Tape {
                 Op::ScaleRows(a, factors) => {
                     if self.needs(a) {
                         self.accumulate(a, gout.scale_rows(&factors));
+                    }
+                }
+                Op::SpmmNorm { adj_t, inv_degree, f, .. } => {
+                    if self.needs(f) {
+                        // d/dF of D̂⁻¹ Â F is Âᵀ D̂⁻¹: scale the incoming
+                        // gradient rows, then one transpose-CSR product.
+                        let scaled = gout.scale_rows(&inv_degree);
+                        self.accumulate(f, adj_t.spmm(&scaled));
                     }
                 }
                 Op::Transpose(a) => {
@@ -997,6 +1080,89 @@ mod tests {
         tape.backward(s);
         tape.reset();
         assert!(tape.is_empty());
+    }
+
+    /// A small asymmetric sparse matrix plus its transpose, as the model
+    /// layer would precompute them.
+    fn paper_csr() -> (Arc<CsrMatrix>, Arc<CsrMatrix>, Arc<Vec<f32>>) {
+        let (adj, inv) = CsrMatrix::augmented_from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 1)],
+        );
+        let adj_t = adj.transpose();
+        (Arc::new(adj), Arc::new(adj_t), Arc::new(inv))
+    }
+
+    #[test]
+    fn spmm_norm_matches_dense_matmul_and_scale() {
+        let (adj, adj_t, inv) = paper_csr();
+        let x = Tensor::from_rows(&[
+            &[2.0, 1.0],
+            &[2.0, 0.0],
+            &[1.0, 3.0],
+            &[3.0, 2.0],
+            &[1.0, 5.0],
+        ]);
+
+        let mut tape = Tape::new();
+        let f = tape.leaf(x.clone(), false);
+        let y = tape.spmm_norm(adj.clone(), adj_t, inv.clone(), f);
+
+        let dense = adj.to_dense().matmul(&x).scale_rows(&inv);
+        for (a, b) in tape.value(y).as_slice().iter().zip(dense.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn spmm_norm_backward_is_transpose_product() {
+        let (adj, adj_t, inv) = paper_csr();
+        let mut tape = Tape::new();
+        let f = tape.leaf(Tensor::ones([5, 3]), true);
+        let y = tape.spmm_norm(adj.clone(), adj_t, inv.clone(), f);
+        let s = tape.sum(y);
+        tape.backward(s);
+
+        // d(sum)/dF = Âᵀ D̂⁻¹ 1 — compare against the dense computation.
+        let gout = Tensor::ones([5, 3]).scale_rows(&inv);
+        let expected = adj.to_dense().transpose().matmul(&gout);
+        for (a, b) in tape.grad(f).unwrap().as_slice().iter().zip(expected.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn spmm_norm_profiles_with_nnz_flops_and_backward_pseudo_op() {
+        let (adj, adj_t, inv) = paper_csr();
+        let mut tape = Tape::new();
+        tape.set_profiling(true);
+        let f = tape.leaf(Tensor::ones([5, 3]), true);
+        let y = tape.spmm_norm(adj.clone(), adj_t, inv, f);
+        let s = tape.sum(y);
+        tape.backward(s);
+
+        let rows = tape.profile().sorted_rows();
+        let find = |kind: &str, phase: &str| {
+            rows.iter().find(|(k, _)| k.kind == kind && k.phase == phase).map(|(_, s)| *s)
+        };
+        let fwd = find("spmm_norm", profile::PHASE_FORWARD).expect("fwd spmm_norm row");
+        assert_eq!(fwd.flops, profile::spmm_norm_flops(adj.nnz(), 5, 3));
+        let bwd = find("spmm_norm_t", profile::PHASE_BACKWARD).expect("bwd pseudo-op row");
+        assert_eq!(bwd.flops, fwd.flops, "transpose product charged exactly 1x forward");
+        assert!(
+            find("spmm_norm", profile::PHASE_BACKWARD).is_none(),
+            "backward step records only under the pseudo-op name"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "adj_t must be the transpose")]
+    fn spmm_norm_rejects_mismatched_transpose() {
+        let (adj, _, inv) = paper_csr();
+        let (other, _) = CsrMatrix::augmented_from_edges(5, [(0, 1)]);
+        let mut tape = Tape::new();
+        let f = tape.leaf(Tensor::ones([5, 3]), false);
+        tape.spmm_norm(adj, Arc::new(other), inv, f);
     }
 
     #[test]

@@ -1,61 +1,219 @@
-//! Criterion bench: the graph convolution of Eq. (1) — forward pass and
-//! full forward+backward — across graph sizes.
+//! Dense vs CSR graph convolution: sweeps the Eq. (1) hot path across
+//! vertex counts and edge densities and records the speedup of the
+//! fused `spmm_norm` CSR path over the dense `n×n` fallback in
+//! `results/BENCH_graph_conv.json`.
+//!
+//! Each cell times one full forward+backward of a `GraphConv` layer
+//! (`Z W` matmul + propagation + ReLU, then the reverse sweep). The
+//! dense formulation costs `O(n² c)` regardless of the edge count; the
+//! CSR formulation costs `O((n + e) c)`, so the ratio grows linearly in
+//! `n` at fixed average out-degree. Real CFGs sit near 1.4 out-edges
+//! per block, which is where the headline `speedup_sparse_vs_dense`
+//! numbers come from.
+//!
+//! Environment knobs (both used by `scripts/ci.sh`):
+//!
+//! * `MAGIC_BENCH_QUICK=1` — small sizes and fewer samples, written to
+//!   `BENCH_graph_conv_quick.json`; sized for a CI gate, not for
+//!   quotable numbers.
+//! * `MAGIC_BENCH_INJECT_SLOWDOWN_US=<µs>` — sleeps inside the timed
+//!   region, for testing that the regression gate actually fails.
 
-use magic_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use magic_autograd::Tape;
-use magic_graph::NUM_ATTRIBUTES;
-use magic_nn::{augment_adjacency, GraphConv, ParamStore};
-use magic_tensor::{Rng64, Tensor};
-use std::hint::black_box;
+use magic_bench::results::{machine_info, write_result};
+use magic_graph::{DiGraph, NUM_ATTRIBUTES};
+use magic_json::json;
+use magic_microbench::{time_fn, Stats};
+use magic_nn::{GraphConv, ParamStore};
+use magic_tensor::{CsrMatrix, Rng64, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
 
-fn random_graph(n: usize, rng: &mut Rng64) -> (Tensor, Vec<f32>, Tensor) {
-    let mut adj = Tensor::zeros([n, n]);
-    for u in 0..n {
-        // CFG-like sparsity: 1-2 successors.
-        adj.set2(u, (u + 1) % n, 1.0);
-        if rng.next_bool(0.4) {
-            adj.set2(u, rng.next_below(n), 1.0);
+const OUT_CHANNELS: usize = 32;
+
+/// A CFG-shaped random digraph: a spine of fallthrough edges plus
+/// random branches until the average out-degree reaches `degree`.
+fn random_graph(n: usize, degree: f64, rng: &mut Rng64) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1);
+    }
+    let extra = ((n as f64 * degree) as usize).saturating_sub(n - 1);
+    for _ in 0..extra {
+        g.add_edge(rng.next_below(n), rng.next_below(n));
+    }
+    g
+}
+
+struct Cell {
+    vertices: usize,
+    degree: f64,
+    adj: Arc<CsrMatrix>,
+    adj_t: Arc<CsrMatrix>,
+    inv_degree: Arc<Vec<f32>>,
+    attributes: Tensor,
+    store: ParamStore,
+    conv: GraphConv,
+}
+
+impl Cell {
+    fn new(vertices: usize, degree: f64) -> Self {
+        let mut rng = Rng64::new(vertices as u64 * 31 + (degree * 10.0) as u64);
+        let g = random_graph(vertices, degree, &mut rng);
+        let (csr, inv_degree) = CsrMatrix::augmented_from_edges(vertices, g.edges());
+        let adj = Arc::new(csr);
+        let adj_t = Arc::new(adj.transpose());
+        let attributes = Tensor::rand_uniform([vertices, NUM_ATTRIBUTES], 0.0, 2.0, &mut rng);
+        let mut store = ParamStore::new();
+        let conv = GraphConv::new(&mut store, "gc", NUM_ATTRIBUTES, OUT_CHANNELS, &mut rng);
+        Cell {
+            vertices,
+            degree,
+            adj,
+            adj_t,
+            inv_degree: Arc::new(inv_degree),
+            attributes,
+            store,
+            conv,
         }
     }
-    let (a_hat, inv_deg) = augment_adjacency(&adj);
-    let x = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 2.0, rng);
-    (a_hat, inv_deg, x)
-}
 
-fn bench_graph_conv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_conv");
-    group.sample_size(30);
-    for &n in &[25usize, 50, 100, 200] {
-        let mut rng = Rng64::new(n as u64);
-        let (a_hat, inv_deg, x) = random_graph(n, &mut rng);
-        let mut store = ParamStore::new();
-        let conv = GraphConv::new(&mut store, "gc", NUM_ATTRIBUTES, 32, &mut rng);
-
-        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
-            b.iter(|| {
+    fn time_sparse(&self, budget: &Budget, inject_us: u64) -> Stats {
+        time_fn(
+            || {
+                inject(inject_us);
                 let mut tape = Tape::new();
-                let binding = store.bind(&mut tape);
-                let adj = tape.leaf(a_hat.clone(), false);
-                let z = tape.leaf(x.clone(), false);
-                let out = conv.forward(&mut tape, &binding, adj, &inv_deg, z);
-                black_box(tape.value(out).sum())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("forward_backward", n), &n, |b, _| {
-            b.iter(|| {
-                let mut tape = Tape::new();
-                let binding = store.bind(&mut tape);
-                let adj = tape.leaf(a_hat.clone(), false);
-                let z = tape.leaf(x.clone(), false);
-                let out = conv.forward(&mut tape, &binding, adj, &inv_deg, z);
+                let binding = self.store.bind(&mut tape);
+                let z = tape.leaf(self.attributes.clone(), false);
+                let out = self.conv.forward_sparse(
+                    &mut tape,
+                    &binding,
+                    &self.adj,
+                    &self.adj_t,
+                    &self.inv_degree,
+                    z,
+                );
                 let loss = tape.sum(out);
                 tape.backward(loss);
-                black_box(tape.grad(binding.var(store.find("gc.weight").unwrap())).is_some())
-            });
-        });
+                std::hint::black_box(tape.grad(binding.var(self.weight_id())).is_some());
+            },
+            budget.samples,
+            budget.target,
+            budget.cap,
+        )
     }
-    group.finish();
+
+    fn time_dense(&self, budget: &Budget, inject_us: u64) -> Stats {
+        // Materialize the dense Â once, outside the timed region — the
+        // bench compares propagation kernels, not construction.
+        let a_hat = self.adj.to_dense();
+        time_fn(
+            || {
+                inject(inject_us);
+                let mut tape = Tape::new();
+                let binding = self.store.bind(&mut tape);
+                let adj = tape.leaf(a_hat.clone(), false);
+                let z = tape.leaf(self.attributes.clone(), false);
+                let out =
+                    self.conv.forward(&mut tape, &binding, adj, &self.inv_degree, z);
+                let loss = tape.sum(out);
+                tape.backward(loss);
+                std::hint::black_box(tape.grad(binding.var(self.weight_id())).is_some());
+            },
+            budget.samples,
+            budget.target,
+            budget.cap,
+        )
+    }
+
+    fn weight_id(&self) -> magic_nn::ParamId {
+        self.store.find("gc.weight").expect("layer weight")
+    }
 }
 
-criterion_group!(benches, bench_graph_conv);
-criterion_main!(benches);
+fn inject(us: u64) {
+    if us > 0 {
+        std::thread::sleep(Duration::from_micros(us));
+    }
+}
+
+/// Measurement budget: (samples, target per sample, hard cap per sample).
+struct Budget {
+    samples: usize,
+    target: Duration,
+    cap: Duration,
+}
+
+fn stats_json(stats: &Stats) -> magic_json::Value {
+    json!({
+        "median_ns": stats.median_ns,
+        "mean_ns": stats.mean_ns,
+        "min_ns": stats.min_ns,
+        "max_ns": stats.max_ns,
+        "samples": stats.samples,
+        "iters_per_sample": stats.iters_per_sample,
+    })
+}
+
+fn main() {
+    magic_obs::set_log_level(magic_obs::Level::Error);
+    let quick = std::env::var("MAGIC_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let inject_us: u64 = std::env::var("MAGIC_BENCH_INJECT_SLOWDOWN_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    // 1.4 is the median CFG out-degree (fallthrough + occasional
+    // branch); 8.0 is an adversarially dense graph where the CSR
+    // advantage narrows.
+    let (sizes, degrees, budget) = if quick {
+        (
+            vec![32usize, 64],
+            vec![1.4f64],
+            Budget { samples: 5, target: Duration::from_millis(40), cap: Duration::from_millis(250) },
+        )
+    } else {
+        (
+            vec![64usize, 256, 1024],
+            vec![1.4f64, 8.0],
+            Budget { samples: 10, target: Duration::from_millis(150), cap: Duration::from_millis(900) },
+        )
+    };
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        for &degree in &degrees {
+            let cell = Cell::new(n, degree);
+            let sparse = cell.time_sparse(&budget, inject_us);
+            let dense = cell.time_dense(&budget, inject_us);
+            let ratio = dense.median_ns / sparse.median_ns;
+            println!(
+                "n={n:>5} degree={degree:>3.1} nnz={:>6}  dense {:>12.0} ns  csr {:>12.0} ns  ({ratio:.2}x)",
+                cell.adj.nnz(),
+                dense.median_ns,
+                sparse.median_ns,
+            );
+            rows.push(json!({
+                "vertices": cell.vertices,
+                "avg_out_degree": cell.degree,
+                "nnz": cell.adj.nnz(),
+                "dense": stats_json(&dense),
+                "sparse": stats_json(&sparse),
+                "speedup_sparse_vs_dense": ratio,
+            }));
+        }
+    }
+
+    let name = if quick { "BENCH_graph_conv_quick" } else { "BENCH_graph_conv" };
+    write_result(
+        name,
+        &json!({
+            "bench": "graph_conv",
+            "quick": quick,
+            "machine_info": machine_info(),
+            "out_channels": OUT_CHANNELS,
+            "in_channels": NUM_ATTRIBUTES,
+            "sweep": rows,
+        }),
+    );
+}

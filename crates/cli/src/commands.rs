@@ -240,6 +240,16 @@ fn run_training(
     let graph_sizes: Vec<usize> = inputs.iter().map(GraphInput::vertex_count).collect();
     let config = params.to_model_config(families.len(), &graph_sizes);
     let mut model = Dgcnn::new(&config, knobs.seed);
+    // A/B escape hatch for the sparse-propagation rollout: force the
+    // dense adjacency path to reproduce before/after numbers (see
+    // EXPERIMENTS.md). Sparse CSR is the default.
+    if std::env::var("MAGIC_DENSE_PROPAGATION").map(|v| v == "1").unwrap_or(false) {
+        model.set_propagation(magic_model::Propagation::Dense);
+        magic_obs::log(
+            magic_obs::Level::Info,
+            "MAGIC_DENSE_PROPAGATION=1: using the dense adjacency path",
+        );
+    }
 
     let folds = stratified_kfold(&labels, 5, knobs.seed);
     let split = &folds[0];

@@ -126,6 +126,15 @@ impl DiGraph {
         }
     }
 
+    /// Builds the augmented adjacency `Â = A + I` in CSR form together
+    /// with the inverse augmented degree diagonal `D̂⁻¹`, directly from
+    /// the adjacency lists — the dense `n×n` matrix is never
+    /// materialized. This is the production entry point for Eq. (1)'s
+    /// sparse propagation path.
+    pub fn augmented_csr(&self) -> (magic_tensor::CsrMatrix, Vec<f32>) {
+        magic_tensor::CsrMatrix::augmented_from_edges(self.vertex_count(), self.edges())
+    }
+
     /// One round of Weisfeiler–Lehman color refinement: every vertex's new
     /// color is a hash of its current color and the sorted multiset of its
     /// successors' colors. The paper grounds SortPooling in WL colors
@@ -188,6 +197,25 @@ mod tests {
         let mut g = chain(5);
         g.add_edge(4, 0);
         assert_eq!(g.edges().count(), g.edge_count());
+    }
+
+    #[test]
+    fn augmented_csr_adds_self_loops_and_inverts_degrees() {
+        let mut g = chain(3);
+        g.add_edge(0, 2);
+        let (csr, inv_deg) = g.augmented_csr();
+        // Â = A + I: every vertex gains a self loop.
+        assert_eq!(csr.nnz(), g.edge_count() + 3);
+        let dense = csr.to_dense();
+        for i in 0..3 {
+            assert_eq!(dense.get2(i, i), 1.0, "self loop at {i}");
+        }
+        for (u, v) in g.edges() {
+            assert_eq!(dense.get2(u, v), 1.0);
+        }
+        // Vertex 0: edges to 1 and 2 plus self loop -> degree 3.
+        assert!((inv_deg[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(inv_deg[2], 1.0, "sink vertex has only its self loop");
     }
 
     #[test]

@@ -9,6 +9,22 @@ use magic_nn::{
 };
 use magic_tensor::Rng64;
 
+/// How the Eq. (1) adjacency product is computed.
+///
+/// The CSR path is the production default: per-graph cost and memory
+/// scale with edges (`O(nnz)`), and results are bitwise deterministic
+/// run-to-run and across worker counts. The dense path multiplies the
+/// materialized `n×n` `Â` and exists for the Fig. 2–3 worked-example
+/// tests, dense↔sparse parity checks, and before/after measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Propagation {
+    /// Fused `spmm_norm` over the CSR adjacency (default).
+    #[default]
+    SparseCsr,
+    /// Dense `Â` matmul fallback.
+    Dense,
+}
+
 /// Which head layers a model instantiated.
 #[derive(Debug)]
 enum HeadLayers {
@@ -43,6 +59,7 @@ pub struct Dgcnn {
     fc1: Linear,
     fc2: Linear,
     dropout: Dropout,
+    propagation: Propagation,
 }
 
 impl Dgcnn {
@@ -104,7 +121,19 @@ impl Dgcnn {
             fc1,
             fc2,
             dropout: Dropout::new(config.dropout),
+            propagation: Propagation::default(),
         }
+    }
+
+    /// Which adjacency propagation path [`Dgcnn::forward`] uses.
+    pub fn propagation(&self) -> Propagation {
+        self.propagation
+    }
+
+    /// Switches between the sparse CSR path (default) and the dense
+    /// fallback. Both compute the same function; see [`Propagation`].
+    pub fn set_propagation(&mut self, propagation: Propagation) {
+        self.propagation = propagation;
     }
 
     /// The model configuration.
@@ -147,12 +176,29 @@ impl Dgcnn {
         rng: &mut Rng64,
     ) -> Var {
         // Graph convolution stack (Eq. 1) with per-layer outputs kept.
-        let adj = tape.leaf(input.adj_hat().clone(), false);
         let mut z = tape.leaf(input.attributes().clone(), false);
         let mut per_layer = Vec::with_capacity(self.graph_convs.len());
-        for conv in &self.graph_convs {
-            z = conv.forward(tape, binding, adj, input.inv_degree(), z);
-            per_layer.push(z);
+        match self.propagation {
+            Propagation::SparseCsr => {
+                for conv in &self.graph_convs {
+                    z = conv.forward_sparse(
+                        tape,
+                        binding,
+                        input.adj_hat(),
+                        input.adj_hat_t(),
+                        input.inv_degree_arc(),
+                        z,
+                    );
+                    per_layer.push(z);
+                }
+            }
+            Propagation::Dense => {
+                let adj = tape.leaf(input.adj_hat_dense(), false);
+                for conv in &self.graph_convs {
+                    z = conv.forward(tape, binding, adj, input.inv_degree(), z);
+                    per_layer.push(z);
+                }
+            }
         }
         let z_concat = tape.concat_cols(&per_layer);
 

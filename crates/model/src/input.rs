@@ -1,24 +1,41 @@
-//! Pre-processed model input: the per-graph constant tensors of Eq. (1).
+//! Pre-processed model input: the per-graph constant matrices of Eq. (1).
 
 use magic_graph::Acfg;
-use magic_nn::augment_adjacency;
-use magic_tensor::Tensor;
+use magic_tensor::{CsrMatrix, Tensor};
+use std::sync::Arc;
 
 /// A graph prepared for DGCNN consumption: the augmented adjacency
-/// `Â = A + I`, the inverse augmented degrees `D̂⁻¹` and the (log-scaled)
-/// attribute matrix `X`.
+/// `Â = A + I` in CSR form, its precomputed transpose `Âᵀ` (the backward
+/// pass is the transpose-CSR product), the inverse augmented degrees
+/// `D̂⁻¹` and the (log-scaled) attribute matrix `X`.
 ///
 /// These are constants of the forward pass, computed once per sample and
-/// reused across epochs.
+/// reused across epochs. The adjacency is stored sparsely — `O(n + e)`
+/// rather than `O(n²)` — and shared via `Arc` so every per-sample tape
+/// references the same buffers instead of cloning them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphInput {
-    adj_hat: Tensor,
-    inv_degree: Vec<f32>,
+    adj_hat: Arc<CsrMatrix>,
+    adj_hat_t: Arc<CsrMatrix>,
+    inv_degree: Arc<Vec<f32>>,
     attributes: Tensor,
 }
 
 impl GraphInput {
-    /// Prepares an ACFG: augments the adjacency and log-scales the raw
+    fn from_csr(adj_hat: CsrMatrix, inv_degree: Vec<f32>, attributes: Tensor) -> Self {
+        assert!(adj_hat.rows() > 0, "cannot embed an empty graph");
+        assert_eq!(adj_hat.rows(), attributes.rows(), "vertex count mismatch");
+        let adj_hat_t = adj_hat.transpose();
+        GraphInput {
+            adj_hat: Arc::new(adj_hat),
+            adj_hat_t: Arc::new(adj_hat_t),
+            inv_degree: Arc::new(inv_degree),
+            attributes,
+        }
+    }
+
+    /// Prepares an ACFG: builds `Â` directly from the graph's edge lists
+    /// (the dense `n×n` is never materialized) and log-scales the raw
     /// attribute counts (heavy-tailed counts destabilize training
     /// otherwise).
     ///
@@ -27,23 +44,29 @@ impl GraphInput {
     /// Panics on an empty graph.
     pub fn from_acfg(acfg: &Acfg) -> Self {
         assert!(acfg.vertex_count() > 0, "cannot embed an empty graph");
-        let (adj_hat, inv_degree) = augment_adjacency(&acfg.adjacency_tensor());
-        GraphInput {
-            adj_hat,
-            inv_degree,
-            attributes: acfg.log_scaled_attributes(),
-        }
+        let (adj_hat, inv_degree) = acfg.graph().augmented_csr();
+        GraphInput::from_csr(adj_hat, inv_degree, acfg.log_scaled_attributes())
     }
 
     /// Builds an input from raw parts (mainly for tests and tooling).
+    /// The dense adjacency is augmented and immediately compressed.
     ///
     /// # Panics
     ///
-    /// Panics if dimensions disagree.
+    /// Panics if dimensions disagree or the graph is empty.
     pub fn from_parts(adjacency: Tensor, attributes: Tensor) -> Self {
         assert_eq!(adjacency.rows(), attributes.rows(), "vertex count mismatch");
-        let (adj_hat, inv_degree) = augment_adjacency(&adjacency);
-        GraphInput { adj_hat, inv_degree, attributes }
+        let n = adjacency.rows();
+        assert_eq!(n, adjacency.cols(), "adjacency matrix must be square");
+        let a_hat = CsrMatrix::from_dense(&adjacency.add(&Tensor::eye(n)));
+        let inv_degree = (0..n)
+            .map(|i| {
+                let (s, e) = (a_hat.row_offsets()[i], a_hat.row_offsets()[i + 1]);
+                let d: f32 = a_hat.values()[s..e].iter().sum();
+                if d > 0.0 { 1.0 / d } else { 0.0 }
+            })
+            .collect();
+        GraphInput::from_csr(a_hat, inv_degree, attributes)
     }
 
     /// Number of vertices.
@@ -51,14 +74,31 @@ impl GraphInput {
         self.adj_hat.rows()
     }
 
-    /// The augmented adjacency matrix `Â`.
-    pub fn adj_hat(&self) -> &Tensor {
+    /// The augmented adjacency `Â` in CSR form.
+    pub fn adj_hat(&self) -> &Arc<CsrMatrix> {
         &self.adj_hat
+    }
+
+    /// The precomputed transpose `Âᵀ`, consumed by the backward pass.
+    pub fn adj_hat_t(&self) -> &Arc<CsrMatrix> {
+        &self.adj_hat_t
     }
 
     /// The inverse augmented degree diagonal.
     pub fn inv_degree(&self) -> &[f32] {
         &self.inv_degree
+    }
+
+    /// The inverse degrees behind their shared handle, for tape ops that
+    /// keep a reference.
+    pub fn inv_degree_arc(&self) -> &Arc<Vec<f32>> {
+        &self.inv_degree
+    }
+
+    /// Materializes the dense `Â` — the `O(n²)` fallback used only by
+    /// the worked-example tests and the dense propagation mode.
+    pub fn adj_hat_dense(&self) -> Tensor {
+        self.adj_hat.to_dense()
     }
 
     /// The attribute matrix fed to the first convolution.
@@ -81,11 +121,44 @@ mod tests {
         let acfg = Acfg::new(g, attrs);
         let input = GraphInput::from_acfg(&acfg);
         assert_eq!(input.vertex_count(), 2);
-        // Â has self loops.
-        assert_eq!(input.adj_hat().get2(0, 0), 1.0);
-        assert_eq!(input.adj_hat().get2(0, 1), 1.0);
+        // Â has self loops, stored sparsely: 1 edge + 2 loops.
+        assert_eq!(input.adj_hat().nnz(), 3);
+        let dense = input.adj_hat_dense();
+        assert_eq!(dense.get2(0, 0), 1.0);
+        assert_eq!(dense.get2(0, 1), 1.0);
         assert_eq!(input.inv_degree(), &[0.5, 1.0]);
         assert!((input.attributes().get2(0, 8) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_precomputed_consistently() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let acfg = Acfg::new(g, Tensor::zeros([3, NUM_ATTRIBUTES]));
+        let input = GraphInput::from_acfg(&acfg);
+        assert_eq!(
+            input.adj_hat_t().to_dense(),
+            input.adj_hat_dense().transpose()
+        );
+    }
+
+    #[test]
+    fn from_parts_matches_from_acfg() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let attrs = Tensor::ones([3, NUM_ATTRIBUTES]);
+        let via_acfg = GraphInput::from_acfg(&Acfg::new(g.clone(), attrs.clone()));
+
+        let mut adjacency = Tensor::zeros([3, 3]);
+        for (u, v) in g.edges() {
+            adjacency.set2(u, v, 1.0);
+        }
+        let via_parts = GraphInput::from_parts(adjacency, via_acfg.attributes().clone());
+        assert_eq!(via_acfg.adj_hat(), via_parts.adj_hat());
+        assert_eq!(via_acfg.inv_degree(), via_parts.inv_degree());
     }
 
     #[test]

@@ -27,9 +27,11 @@ mod ops;
 mod reduce;
 mod rng;
 mod shape;
+mod sparse;
 mod tensor;
 
 pub use mem::MemStats;
 pub use rng::Rng64;
 pub use shape::Shape;
+pub use sparse::CsrMatrix;
 pub use tensor::Tensor;

@@ -5,9 +5,18 @@ use crate::tensor::Tensor;
 impl Tensor {
     /// Matrix product `self @ other`.
     ///
-    /// This is the hot operation of the reproduction: every graph
-    /// convolution layer computes `D̂⁻¹ Â Z W` via two of these products.
-    /// An ikj loop order keeps the inner accesses sequential.
+    /// This is the hot dense operation of the reproduction: every graph
+    /// convolution layer computes `Z W` through it, and the MLP head is
+    /// built on it. The kernel is a register-blocked ikj loop: the k loop
+    /// is unrolled by 4 (four `self` scalars held in registers against
+    /// four consecutive `other` rows) and the j loop runs in 4-wide tiles
+    /// with a scalar remainder, so the inner accesses stay sequential and
+    /// autovectorize.
+    ///
+    /// The accumulation order is a fixed function of the shapes alone —
+    /// no data-dependent branches (in particular no zero skipping) — so
+    /// results are bitwise reproducible run to run and independent of the
+    /// values flowing through.
     ///
     /// # Panics
     ///
@@ -21,23 +30,52 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let o = out.as_mut_slice();
+        let k4 = k / 4 * 4;
+        let n4 = n / 4 * 4;
         for i in 0..m {
-            for p in 0..k {
-                let aip = a[i * k + p];
-                if aip == 0.0 {
-                    continue;
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut o[i * n..(i + 1) * n];
+            let mut p = 0;
+            while p < k4 {
+                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                let mut j = 0;
+                while j < n4 {
+                    orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+                    orow[j + 1] +=
+                        (a0 * b0[j + 1] + a1 * b1[j + 1]) + (a2 * b2[j + 1] + a3 * b3[j + 1]);
+                    orow[j + 2] +=
+                        (a0 * b0[j + 2] + a1 * b1[j + 2]) + (a2 * b2[j + 2] + a3 * b3[j + 2]);
+                    orow[j + 3] +=
+                        (a0 * b0[j + 3] + a1 * b1[j + 3]) + (a2 * b2[j + 3] + a3 * b3[j + 3]);
+                    j += 4;
                 }
+                while j < n {
+                    orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+                    j += 1;
+                }
+                p += 4;
+            }
+            while p < k {
+                let ap = arow[p];
                 let brow = &b[p * n..(p + 1) * n];
-                let orow = &mut o[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += aip * brow[j];
+                for (oj, &bj) in orow.iter_mut().zip(brow) {
+                    *oj += ap * bj;
                 }
+                p += 1;
             }
         }
         out
     }
 
     /// Matrix–vector product, treating `v` as a column vector.
+    ///
+    /// Each row reduction goes through the chunked [`Tensor::dot`], so it
+    /// inherits its four-accumulator vectorization and fixed summation
+    /// order.
     ///
     /// # Panics
     ///
@@ -47,13 +85,7 @@ impl Tensor {
         assert_eq!(k, v.len(), "matvec dimension mismatch");
         let a = self.as_slice();
         (0..m)
-            .map(|i| {
-                a[i * k..(i + 1) * k]
-                    .iter()
-                    .zip(v)
-                    .map(|(x, y)| x * y)
-                    .sum()
-            })
+            .map(|i| Tensor::dot(&a[i * k..(i + 1) * k], v))
             .collect()
     }
 
@@ -77,11 +109,18 @@ impl Tensor {
     }
 
     /// Outer product of two vectors: `a (m) ⊗ b (n) -> (m, n)`.
+    ///
+    /// Each output row is written through a slice in one pass rather than
+    /// with per-element bounds-checked stores.
     pub fn outer(a: &[f32], b: &[f32]) -> Tensor {
-        let mut out = Tensor::zeros([a.len(), b.len()]);
-        for (i, &ai) in a.iter().enumerate() {
-            for (j, &bj) in b.iter().enumerate() {
-                out.set2(i, j, ai * bj);
+        let n = b.len();
+        let mut out = Tensor::zeros([a.len(), n]);
+        if n == 0 {
+            return out;
+        }
+        for (row, &ai) in out.as_mut_slice().chunks_exact_mut(n).zip(a) {
+            for (oj, &bj) in row.iter_mut().zip(b) {
+                *oj = ai * bj;
             }
         }
         out
@@ -93,9 +132,29 @@ impl Tensor {
     }
 
     /// Dot product of two equal-length slices.
+    ///
+    /// Accumulates into four independent partial sums over 4-wide chunks
+    /// (breaking the serial dependence so the loop autovectorizes) and
+    /// combines them pairwise with the scalar tail:
+    /// `(acc0 + acc1) + (acc2 + acc3) + tail`. The order is fixed, so the
+    /// result is bitwise reproducible.
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         assert_eq!(a.len(), b.len(), "dot length mismatch");
-        a.iter().zip(b).map(|(x, y)| x * y).sum()
+        let mut acc = [0.0f32; 4];
+        for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+            acc[0] += ca[0] * cb[0];
+            acc[1] += ca[1] * cb[1];
+            acc[2] += ca[2] * cb[2];
+            acc[3] += ca[3] * cb[3];
+        }
+        let tail: f32 = a
+            .chunks_exact(4)
+            .remainder()
+            .iter()
+            .zip(b.chunks_exact(4).remainder())
+            .map(|(x, y)| x * y)
+            .sum();
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
     }
 }
 
@@ -165,6 +224,74 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(Tensor::dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    /// Textbook ijk triple loop, kept as an independent oracle for the
+    /// blocked kernel.
+    fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f64;
+                for p in 0..k {
+                    s += f64::from(a.get2(i, p)) * f64::from(b.get2(p, j));
+                }
+                out.set2(i, j, s as f32);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_kernel_matches_reference_on_remainder_shapes() {
+        // Shapes chosen so both the k-unroll (k % 4 != 0) and the j-tile
+        // (n % 4 != 0) remainder paths run.
+        let mut rng = crate::Rng64::new(99);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 4, 4), (6, 9, 2), (2, 16, 13), (5, 3, 4)] {
+            let a = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+            let got = a.matmul(&b);
+            let want = matmul_reference(&a, &b);
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-4, "({m},{k},{n}): {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_is_bitwise_deterministic() {
+        let mut rng = crate::Rng64::new(7);
+        let a = Tensor::rand_uniform([9, 17], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([17, 11], -1.0, 1.0, &mut rng);
+        let first = a.matmul(&b);
+        for _ in 0..3 {
+            assert_eq!(first, a.matmul(&b), "accumulation order must be fixed");
+        }
+    }
+
+    #[test]
+    fn matmul_does_not_skip_zero_rows() {
+        // Zeros in A must flow through the same accumulation path as any
+        // other value (the old kernel branched on them).
+        let a = Tensor::from_rows(&[&[0.0, 0.0, 2.0, 0.0, 1.0]]);
+        let b = Tensor::from_rows(&[&[1.0], &[10.0], &[100.0], &[1000.0], &[10000.0]]);
+        assert_eq!(a.matmul(&b).as_slice(), &[10200.0]);
+    }
+
+    #[test]
+    fn dot_remainder_lengths() {
+        for len in 0..9usize {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+            let want: f32 = a.iter().map(|x| x * x).sum();
+            assert_eq!(Tensor::dot(&a, &a), want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn outer_with_empty_operands() {
+        assert_eq!(Tensor::outer(&[1.0, 2.0], &[]).shape().dims(), &[2, 0]);
+        assert_eq!(Tensor::outer(&[], &[1.0]).shape().dims(), &[0, 1]);
     }
 
     #[test]

@@ -92,33 +92,50 @@ pub fn reset() {
 /// Reports a tensor buffer of `elems` elements coming alive.
 #[inline]
 pub(crate) fn on_alloc(elems: usize) {
-    if !is_enabled() {
-        return;
-    }
-    let bytes = (elems * std::mem::size_of::<f32>()) as i64;
-    ALLOCS.fetch_add(1, Ordering::Relaxed);
-    ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
-    let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
-    PEAK.fetch_max(now, Ordering::Relaxed);
+    on_alloc_bytes(elems * std::mem::size_of::<f32>());
 }
 
 /// Reports a tensor buffer of `elems` elements going away.
 #[inline]
 pub(crate) fn on_free(elems: usize) {
+    on_free_bytes(elems * std::mem::size_of::<f32>());
+}
+
+/// Reports a raw buffer of `bytes` bytes coming alive. Sparse matrices
+/// ([`crate::CsrMatrix`]) use this directly: their index arrays are not
+/// 4-byte elements.
+#[inline]
+pub(crate) fn on_alloc_bytes(bytes: usize) {
     if !is_enabled() {
         return;
     }
-    CURRENT.fetch_sub((elems * std::mem::size_of::<f32>()) as i64, Ordering::Relaxed);
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    let now = CURRENT.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK.fetch_max(now, Ordering::Relaxed);
 }
+
+/// Reports a raw buffer of `bytes` bytes going away.
+#[inline]
+pub(crate) fn on_free_bytes(bytes: usize) {
+    if !is_enabled() {
+        return;
+    }
+    CURRENT.fetch_sub(bytes as i64, Ordering::Relaxed);
+}
+
+/// Serializes tests (across this crate) that toggle the process-global
+/// accounting state.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Tensor;
-    use std::sync::Mutex;
 
     /// Accounting state is process-global; tests must not interleave.
-    static GLOBAL: Mutex<()> = Mutex::new(());
+    use super::TEST_LOCK as GLOBAL;
 
     #[test]
     fn disabled_accounting_stays_at_zero() {

@@ -13,4 +13,10 @@ cargo bench -q -p magic-bench --bench train_parallel
 echo "==> quick benchmark (CI gate baseline) -> results/BENCH_train_parallel_quick.json"
 MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench train_parallel
 
+echo "==> full benchmark -> results/BENCH_graph_conv.json"
+cargo bench -q -p magic-bench --bench graph_conv
+
+echo "==> quick benchmark (CI gate baseline) -> results/BENCH_graph_conv_quick.json"
+MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench graph_conv
+
 echo "==> snapshot complete; review and commit the updated results/BENCH_*.json"

@@ -38,4 +38,16 @@ else
     echo "no committed baseline at $BASELINE; skipping perf gate"
 fi
 
+echo "==> perf gate: quick graph_conv bench vs committed baseline"
+GC_BASELINE=results/BENCH_graph_conv_quick.json
+if [ -f "$GC_BASELINE" ]; then
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench graph_conv
+    ./target/release/magic bench diff \
+        "$GC_BASELINE" target/ci-bench/BENCH_graph_conv_quick.json \
+        --threshold 0.20 --require-same-machine
+else
+    echo "no committed baseline at $GC_BASELINE; skipping perf gate"
+fi
+
 echo "==> CI OK"

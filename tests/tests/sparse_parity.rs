@@ -1,0 +1,172 @@
+//! Dense ↔ sparse propagation parity and determinism.
+//!
+//! The production Eq. (1) path runs over CSR (`spmm_norm`); the dense
+//! path survives as a fallback for the Figs. 2–3 worked examples. These
+//! tests pin the contract between the two: identical mathematics (up to
+//! float reassociation), and a sparse path that is bitwise reproducible
+//! run to run and invariant to the worker count.
+
+use magic::trainer::{TrainConfig, Trainer};
+use magic_autograd::{first_bitwise_mismatch, Tape};
+use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead, Propagation};
+use magic_nn::{GraphConv, ParamStore};
+use magic_tensor::{CsrMatrix, Rng64, Tensor};
+use std::sync::Arc;
+
+/// A random digraph with `n` vertices and roughly `n * degree` edges
+/// (duplicates allowed — they must collapse identically on both paths).
+fn random_digraph(n: usize, degree: f64, rng: &mut Rng64) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    let edges = (n as f64 * degree) as usize;
+    for _ in 0..edges {
+        g.add_edge(rng.next_below(n), rng.next_below(n));
+    }
+    g
+}
+
+fn random_input(n: usize, degree: f64, seed: u64) -> GraphInput {
+    let mut rng = Rng64::new(seed);
+    let g = random_digraph(n, degree, &mut rng);
+    let attrs = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 4.0, &mut rng);
+    GraphInput::from_acfg(&Acfg::new(g, attrs))
+}
+
+#[test]
+fn graph_conv_forward_parity_on_random_digraphs() {
+    // Sweep sizes and densities, including a vertex-heavy sparse graph
+    // and a dense-ish one; both formulations must agree to 1e-5.
+    for (n, degree, seed) in [(3, 0.5, 1), (16, 1.4, 2), (40, 2.0, 3), (24, 8.0, 4)] {
+        let mut rng = Rng64::new(seed);
+        let g = random_digraph(n, degree, &mut rng);
+        let x = Tensor::rand_uniform([n, 6], -1.0, 1.0, &mut rng);
+
+        let (csr, inv_degree) = CsrMatrix::augmented_from_edges(n, g.edges());
+        let adj = Arc::new(csr);
+        let adj_t = Arc::new(adj.transpose());
+        let inv = Arc::new(inv_degree.clone());
+
+        let mut store = ParamStore::new();
+        let layer = GraphConv::new(&mut store, "gc", 6, 5, &mut rng);
+        let mut tape = Tape::new();
+        let binding = store.bind(&mut tape);
+
+        let adj_dense = tape.leaf(adj.to_dense(), false);
+        let z_dense = tape.leaf(x.clone(), false);
+        let dense = layer.forward(&mut tape, &binding, adj_dense, &inv_degree, z_dense);
+
+        let z_sparse = tape.leaf(x, false);
+        let sparse = layer.forward_sparse(&mut tape, &binding, &adj, &adj_t, &inv, z_sparse);
+
+        let (d, s) = (tape.value(dense), tape.value(sparse));
+        for (i, (a, b)) in d.as_slice().iter().zip(s.as_slice()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "n={n} degree={degree} element {i}: dense {a} vs sparse {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dgcnn_predict_parity_dense_vs_sparse() {
+    let config = DgcnnConfig::new(3, PoolingHead::sort_pool_weighted(8));
+    let mut model = Dgcnn::new(&config, 42);
+    assert_eq!(model.propagation(), Propagation::SparseCsr, "sparse is the default");
+
+    for seed in 0..6 {
+        let input = random_input(12 + seed as usize * 7, 1.4 + seed as f64 * 0.8, 100 + seed);
+        let sparse = model.predict(&input);
+        model.set_propagation(Propagation::Dense);
+        let dense = model.predict(&input);
+        model.set_propagation(Propagation::SparseCsr);
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-4, "seed {seed}: sparse {a} vs dense {b}");
+        }
+    }
+}
+
+fn parity_corpus() -> (Vec<GraphInput>, Vec<usize>) {
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..16 {
+        let label = i % 2;
+        let degree = if label == 0 { 1.3 } else { 3.0 };
+        inputs.push(random_input(10 + i % 4, degree, 9000 + i as u64));
+        labels.push(label);
+    }
+    (inputs, labels)
+}
+
+fn train_with(propagation: Propagation, workers: usize) -> (Vec<f32>, Dgcnn) {
+    let (inputs, labels) = parity_corpus();
+    let train_idx: Vec<usize> = (0..12).collect();
+    let val_idx: Vec<usize> = (12..16).collect();
+    let config = DgcnnConfig::new(2, PoolingHead::sort_pool_weighted(6));
+    let mut model = Dgcnn::new(&config, 5);
+    model.set_propagation(propagation);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 4,
+        batch_size: 4,
+        learning_rate: 0.02,
+        seed: 13,
+        train_workers: workers,
+        ..TrainConfig::default()
+    });
+    let outcome = trainer.train(&mut model, &inputs, &labels, &train_idx, &val_idx);
+    let losses = outcome.history.iter().map(|e| e.train_loss).collect();
+    (losses, model)
+}
+
+#[test]
+fn seeded_training_loss_curves_match_across_propagation_modes() {
+    // Same seed, same data, same schedule: the two formulations follow
+    // the same trajectory up to float reassociation noise.
+    let (sparse_losses, _) = train_with(Propagation::SparseCsr, 1);
+    let (dense_losses, _) = train_with(Propagation::Dense, 1);
+    assert_eq!(sparse_losses.len(), dense_losses.len());
+    for (epoch, (s, d)) in sparse_losses.iter().zip(&dense_losses).enumerate() {
+        assert!(
+            (s - d).abs() < 1e-3 * (1.0 + d.abs()),
+            "epoch {epoch}: sparse loss {s} vs dense loss {d}"
+        );
+    }
+}
+
+#[test]
+fn sparse_training_is_run_to_run_deterministic() {
+    let (losses_a, model_a) = train_with(Propagation::SparseCsr, 1);
+    let (losses_b, model_b) = train_with(Propagation::SparseCsr, 1);
+    assert!(
+        losses_a.iter().zip(&losses_b).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "loss curves diverged between identical runs"
+    );
+    for (name, value) in model_a.store().iter() {
+        let id = model_b.store().find(name).expect("same parameter set");
+        assert_eq!(
+            first_bitwise_mismatch(value, model_b.store().value(id)),
+            None,
+            "weights for {name} diverged between identical runs"
+        );
+    }
+}
+
+#[test]
+fn sparse_training_is_worker_count_invariant() {
+    let (serial_losses, serial_model) = train_with(Propagation::SparseCsr, 1);
+    for workers in [2, 4] {
+        let (losses, model) = train_with(Propagation::SparseCsr, workers);
+        assert!(
+            serial_losses.iter().zip(&losses).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "loss curve diverged with {workers} workers"
+        );
+        for (name, value) in model.store().iter() {
+            let id = serial_model.store().find(name).expect("same parameter set");
+            assert_eq!(
+                first_bitwise_mismatch(value, serial_model.store().value(id)),
+                None,
+                "weights for {name} diverged with {workers} workers"
+            );
+        }
+    }
+}
