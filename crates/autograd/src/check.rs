@@ -78,9 +78,15 @@ mod tests {
     use magic_tensor::Rng64;
 
     /// Helper: checks the tape gradient of `build` (which must create a
-    /// scalar loss from a single leaf) against finite differences.
-    fn check_op(input: Tensor, build: impl Fn(&mut Tape, crate::Var) -> crate::Var) {
+    /// scalar loss from a single leaf) against finite differences, under
+    /// the given convolution lowering.
+    fn check_op_with(
+        lowering: crate::ConvLowering,
+        input: Tensor,
+        build: impl Fn(&mut Tape, crate::Var) -> crate::Var,
+    ) {
         let mut tape = Tape::new();
+        tape.set_conv_lowering(lowering);
         let x = tape.leaf(input.clone(), true);
         let loss = build(&mut tape, x);
         tape.backward(loss);
@@ -88,12 +94,26 @@ mod tests {
 
         let numeric = finite_difference_gradient(&input, 1e-2, |t| {
             let mut tape = Tape::new();
+            tape.set_conv_lowering(lowering);
             let x = tape.leaf(t.clone(), false);
             let loss = build(&mut tape, x);
             tape.value(loss).item()
         });
         let err = max_grad_error(&analytic, &numeric);
-        assert!(err < 2e-2, "gradient mismatch: {err}");
+        assert!(err < 2e-2, "gradient mismatch under {lowering:?}: {err}");
+    }
+
+    fn check_op(input: Tensor, build: impl Fn(&mut Tape, crate::Var) -> crate::Var) {
+        check_op_with(crate::ConvLowering::default(), input, build);
+    }
+
+    /// Both convolution lowerings, for ops whose kernels dispatch on it.
+    fn check_op_both_lowerings(
+        input: Tensor,
+        build: impl Fn(&mut Tape, crate::Var) -> crate::Var,
+    ) {
+        check_op_with(crate::ConvLowering::Naive, input.clone(), &build);
+        check_op_with(crate::ConvLowering::Im2colGemm, input, &build);
     }
 
     #[test]
@@ -176,12 +196,12 @@ mod tests {
     }
 
     #[test]
-    fn grad_check_conv1d() {
+    fn grad_check_conv1d_both_lowerings() {
         let mut rng = Rng64::new(15);
         let input = Tensor::rand_uniform([2, 8], -1.0, 1.0, &mut rng);
         let w = Tensor::rand_uniform([3, 2, 2], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform([3], -0.5, 0.5, &mut rng);
-        check_op(input, move |tape, x| {
+        check_op_both_lowerings(input, move |tape, x| {
             let wv = tape.leaf(w.clone(), false);
             let bv = tape.leaf(b.clone(), false);
             let y = tape.conv1d(x, wv, bv, 2);
@@ -191,30 +211,53 @@ mod tests {
     }
 
     #[test]
-    fn grad_check_conv2d_weights() {
+    fn grad_check_conv2d_input_both_lowerings() {
+        // Padded, strided conv: exercises the col2im scatter of the GEMM
+        // lowering (and the zero-skip-free naive backward).
+        let mut rng = Rng64::new(21);
+        let input = Tensor::rand_uniform([2, 5, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform([3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([3], -0.5, 0.5, &mut rng);
+        check_op_both_lowerings(input, move |tape, x| {
+            let wv = tape.leaf(w.clone(), false);
+            let bv = tape.leaf(b.clone(), false);
+            let y = tape.conv2d(x, wv, bv, 2, 1);
+            // Square instead of ReLU: smooth everywhere, so the central
+            // difference cannot straddle an activation kink.
+            let sq = tape.mul(y, y);
+            tape.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_check_conv2d_weights_both_lowerings() {
         // Differentiate w.r.t. the *weights* here to cover that path.
         let mut rng = Rng64::new(16);
         let x = Tensor::rand_uniform([1, 5, 5], -1.0, 1.0, &mut rng);
         let w0 = Tensor::rand_uniform([2, 1, 3, 3], -1.0, 1.0, &mut rng);
 
-        let mut tape = Tape::new();
-        let xv = tape.leaf(x.clone(), false);
-        let wv = tape.leaf(w0.clone(), true);
-        let b = tape.leaf(Tensor::zeros([2]), false);
-        let y = tape.conv2d(xv, wv, b, 1, 1);
-        let s = tape.sum(y);
-        tape.backward(s);
-        let analytic = tape.grad(wv).unwrap().clone();
-
-        let numeric = finite_difference_gradient(&w0, 1e-2, |w| {
+        for lowering in [crate::ConvLowering::Im2colGemm, crate::ConvLowering::Naive] {
             let mut tape = Tape::new();
+            tape.set_conv_lowering(lowering);
             let xv = tape.leaf(x.clone(), false);
-            let wv = tape.leaf(w.clone(), false);
+            let wv = tape.leaf(w0.clone(), true);
             let b = tape.leaf(Tensor::zeros([2]), false);
             let y = tape.conv2d(xv, wv, b, 1, 1);
-            tape.value(y).sum()
-        });
-        assert!(max_grad_error(&analytic, &numeric) < 2e-2);
+            let s = tape.sum(y);
+            tape.backward(s);
+            let analytic = tape.grad(wv).unwrap().clone();
+
+            let numeric = finite_difference_gradient(&w0, 1e-2, |w| {
+                let mut tape = Tape::new();
+                tape.set_conv_lowering(lowering);
+                let xv = tape.leaf(x.clone(), false);
+                let wv = tape.leaf(w.clone(), false);
+                let b = tape.leaf(Tensor::zeros([2]), false);
+                let y = tape.conv2d(xv, wv, b, 1, 1);
+                tape.value(y).sum()
+            });
+            assert!(max_grad_error(&analytic, &numeric) < 2e-2, "{lowering:?}");
+        }
     }
 
     #[test]

@@ -5,8 +5,31 @@
 //! feature maps are rank-3 `(channels, height, width)` tensors; conv
 //! weights are `(out_channels, in_channels, k)` or
 //! `(out_channels, in_channels, kh, kw)`.
+//!
+//! # Two lowerings
+//!
+//! Each convolution exists in two numerically equivalent forms selected by
+//! the tape's `ConvLowering`:
+//!
+//! - **im2col + GEMM** (default): [`im2col_1d`]/[`im2col_2d`] gather input
+//!   patches into a `(c_in·k, out)` column buffer (zero padding becomes
+//!   zero columns entries), then the whole convolution is one
+//!   register-blocked [`magic_tensor::gemm_into`] against the weight
+//!   matrix viewed as `(c_out, c_in·k)`, with the bias pre-loaded into the
+//!   output. The backward pass recomputes the columns and runs two
+//!   transpose-GEMMs — `gW = gOut · colsᵀ` ([`magic_tensor::gemm_nt_into`])
+//!   and `gCols = Wᵀ · gOut` ([`magic_tensor::gemm_tn_into`]) — followed
+//!   by a col2im scatter-add for `gX`. All scratch and output buffers come
+//!   from the caller's [`Workspace`], so steady-state training reuses them.
+//! - **naive** (`MAGIC_NAIVE_CONV=1` escape hatch): the original scalar
+//!   loops, kept for A/B timing and parity testing.
+//!
+//! Both lowerings visit every tap unconditionally (no data-dependent
+//! zero skipping) with a loop order fixed by the shapes alone, so each is
+//! individually bitwise deterministic; across lowerings they accumulate in
+//! different orders and agree to float tolerance (~1e-5), not bitwise.
 
-use magic_tensor::Tensor;
+use magic_tensor::{gemm_into, gemm_nt_into, gemm_tn_into, Tensor, Workspace};
 
 /// Output length of a 1-D convolution: `(len - k) / stride + 1`.
 ///
@@ -90,10 +113,10 @@ pub(crate) fn conv1d_backward(
     let gs = gout.as_slice();
     for o in 0..c_out {
         for t in 0..out_len {
+            // No data-dependent skip on g == 0.0: backward cost must be a
+            // function of the shapes alone (determinism/FLOP-honesty
+            // contract, DESIGN.md).
             let g = gs[o * out_len + t];
-            if g == 0.0 {
-                continue;
-            }
             gb[o] += g;
             for ci in 0..c_in {
                 for j in 0..k {
@@ -171,10 +194,8 @@ pub(crate) fn conv2d_backward(
     for o in 0..c_out {
         for oy in 0..oh {
             for ox in 0..ow {
+                // No g == 0.0 skip — see conv1d_backward.
                 let g = gs[(o * oh + oy) * ow + ox];
-                if g == 0.0 {
-                    continue;
-                }
                 gb[o] += g;
                 for ci in 0..c_in {
                     for dy in 0..kh {
@@ -200,17 +221,242 @@ pub(crate) fn conv2d_backward(
     (gx, gw, gb)
 }
 
+/// Gathers 1-D convolution patches into a `(c_in·k, out_len)` column
+/// buffer checked out of `ws`: `cols[ci·k + j, t] = x[ci, t·stride + j]`.
+///
+/// The caller owns the returned buffer and must recycle it.
+pub(crate) fn im2col_1d(x: &Tensor, k: usize, stride: usize, ws: &mut Workspace) -> Vec<f32> {
+    let c_in = x.rows();
+    let len = x.cols();
+    let out_len = conv1d_shape(len, k, stride);
+    let mut cols = ws.take(c_in * k * out_len);
+    for ci in 0..c_in {
+        let xr = x.row(ci);
+        for j in 0..k {
+            let row = &mut cols[(ci * k + j) * out_len..(ci * k + j + 1) * out_len];
+            for (t, c) in row.iter_mut().enumerate() {
+                *c = xr[t * stride + j];
+            }
+        }
+    }
+    cols
+}
+
+/// GEMM half of the im2col 1-D convolution: `out = b ⊕ W₂ @ cols` where
+/// `W₂` is the weight viewed as `(c_out, c_in·k)` and `cols` comes from
+/// [`im2col_1d`]. Returns a pooled `(c_out, out_len)` tensor.
+pub(crate) fn conv1d_forward_gemm(
+    cols: &[f32],
+    w: &Tensor,
+    b: &[f32],
+    out_len: usize,
+    ws: &mut Workspace,
+) -> Tensor {
+    let c_out = w.shape().dim(0);
+    let ck = w.shape().dim(1) * w.shape().dim(2);
+    debug_assert_eq!(cols.len(), ck * out_len);
+    let mut out = ws.take_tensor([c_out, out_len]);
+    let os = out.as_mut_slice();
+    for (o, row) in os.chunks_exact_mut(out_len).enumerate() {
+        row.fill(b[o]);
+    }
+    gemm_into(c_out, ck, out_len, w.as_slice(), cols, os);
+    out
+}
+
+/// Scatters 1-D column gradients back onto the input:
+/// `gx[ci, t·stride + j] += gcols[ci·k + j, t]`, in a fixed loop order.
+fn col2im_1d(gcols: &[f32], c_in: usize, len: usize, k: usize, stride: usize, gx: &mut [f32]) {
+    let out_len = gcols.len() / (c_in * k);
+    for ci in 0..c_in {
+        let gxr = &mut gx[ci * len..(ci + 1) * len];
+        for j in 0..k {
+            let row = &gcols[(ci * k + j) * out_len..(ci * k + j + 1) * out_len];
+            for (t, &g) in row.iter().enumerate() {
+                gxr[t * stride + j] += g;
+            }
+        }
+    }
+}
+
+/// Backward 1-D convolution on the im2col lowering. Recomputes the column
+/// buffer, then `gW = gOut · colsᵀ`, `gCols = W₂ᵀ · gOut`, and a col2im
+/// scatter for `gX`. All outputs are pooled. Returns `(gx, gw, gb)`.
+pub(crate) fn conv1d_backward_gemm(
+    x: &Tensor,
+    w: &Tensor,
+    k: usize,
+    stride: usize,
+    gout: &Tensor,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let c_in = x.rows();
+    let c_out = w.shape().dim(0);
+    let out_len = gout.cols();
+    let ck = c_in * k;
+    let cols = im2col_1d(x, k, stride, ws);
+    let mut gb = ws.take(c_out);
+    for (o, row) in gout.as_slice().chunks_exact(out_len).enumerate() {
+        gb[o] = row.iter().sum();
+    }
+    let mut gw = ws.take_tensor(w.shape().clone());
+    gemm_nt_into(c_out, out_len, ck, gout.as_slice(), &cols, gw.as_mut_slice());
+    let mut gcols = ws.take(ck * out_len);
+    gemm_tn_into(ck, c_out, out_len, w.as_slice(), gout.as_slice(), &mut gcols);
+    let mut gx = ws.take_tensor(x.shape().clone());
+    col2im_1d(&gcols, c_in, x.cols(), k, stride, gx.as_mut_slice());
+    ws.recycle(cols);
+    ws.recycle(gcols);
+    (gx, gw, gb)
+}
+
+/// Gathers 2-D convolution patches into a `(c_in·kh·kw, oh·ow)` column
+/// buffer checked out of `ws`. Taps that fall in the zero padding stay at
+/// the buffer's zero fill, so padding costs nothing extra in the GEMM.
+///
+/// The caller owns the returned buffer and must recycle it.
+pub(crate) fn im2col_2d(
+    x: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ws: &mut Workspace,
+) -> Vec<f32> {
+    let (c_in, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let (oh, ow) = conv2d_shape(h, w, kh, kw, stride, pad);
+    let mut cols = ws.take(c_in * kh * kw * oh * ow);
+    let xs = x.as_slice();
+    for ci in 0..c_in {
+        for dy in 0..kh {
+            for dx in 0..kw {
+                let row =
+                    &mut cols[((ci * kh + dy) * kw + dx) * oh * ow..][..oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * stride + dy) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let x_row = (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + dx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        row[oy * ow + ox] = xs[x_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// GEMM half of the im2col 2-D convolution. `cols` comes from
+/// [`im2col_2d`]; returns a pooled `(c_out, oh, ow)` tensor.
+pub(crate) fn conv2d_forward_gemm(
+    cols: &[f32],
+    wt: &Tensor,
+    b: &[f32],
+    oh: usize,
+    ow: usize,
+    ws: &mut Workspace,
+) -> Tensor {
+    let c_out = wt.shape().dim(0);
+    let ckk = wt.shape().dim(1) * wt.shape().dim(2) * wt.shape().dim(3);
+    debug_assert_eq!(cols.len(), ckk * oh * ow);
+    let mut out = ws.take_tensor([c_out, oh, ow]);
+    let os = out.as_mut_slice();
+    for (o, row) in os.chunks_exact_mut(oh * ow).enumerate() {
+        row.fill(b[o]);
+    }
+    gemm_into(c_out, ckk, oh * ow, wt.as_slice(), cols, os);
+    out
+}
+
+/// Scatters 2-D column gradients back onto the input, skipping taps in
+/// the zero padding, in a fixed loop order.
+#[allow(clippy::too_many_arguments)]
+fn col2im_2d(
+    gcols: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    gx: &mut [f32],
+) {
+    for ci in 0..c_in {
+        for dy in 0..kh {
+            for dx in 0..kw {
+                let row = &gcols[((ci * kh + dy) * kw + dx) * oh * ow..][..oh * ow];
+                for oy in 0..oh {
+                    let iy = (oy * stride + dy) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let x_row = (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + dx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        gx[x_row + ix as usize] += row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Backward 2-D convolution on the im2col lowering (see
+/// [`conv1d_backward_gemm`]). Returns pooled `(gx, gw, gb)`.
+pub(crate) fn conv2d_backward_gemm(
+    x: &Tensor,
+    wt: &Tensor,
+    stride: usize,
+    pad: usize,
+    gout: &Tensor,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let (c_in, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let (c_out, kh, kw) = (wt.shape().dim(0), wt.shape().dim(2), wt.shape().dim(3));
+    let (oh, ow) = (gout.shape().dim(1), gout.shape().dim(2));
+    let ckk = c_in * kh * kw;
+    let cols = im2col_2d(x, kh, kw, stride, pad, ws);
+    let mut gb = ws.take(c_out);
+    for (o, row) in gout.as_slice().chunks_exact(oh * ow).enumerate() {
+        gb[o] = row.iter().sum();
+    }
+    let mut gw = ws.take_tensor(wt.shape().clone());
+    gemm_nt_into(c_out, oh * ow, ckk, gout.as_slice(), &cols, gw.as_mut_slice());
+    let mut gcols = ws.take(ckk * oh * ow);
+    gemm_tn_into(ckk, c_out, oh * ow, wt.as_slice(), gout.as_slice(), &mut gcols);
+    let mut gx = ws.take_tensor(x.shape().clone());
+    col2im_2d(&gcols, c_in, h, w, kh, kw, stride, pad, oh, ow, gx.as_mut_slice());
+    ws.recycle(cols);
+    ws.recycle(gcols);
+    (gx, gw, gb)
+}
+
 /// Forward adaptive max pooling of a `(c, h, w)` tensor to `(c, oh, ow)`.
 /// Returns the output and, per output cell, the flat index of the winning
-/// input element (for the backward scatter).
+/// input element (for the backward scatter). Both buffers are checked out
+/// of `ws`; ties break to the *first* maximum in window scan order
+/// (`v > best`, strict), so reusing pooled buffers cannot change winners.
 pub(crate) fn adaptive_max_pool2d_forward(
     x: &Tensor,
     oh: usize,
     ow: usize,
+    ws: &mut Workspace,
 ) -> (Tensor, Vec<usize>) {
     let (c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
-    let mut out = Tensor::zeros([c, oh, ow]);
-    let mut argmax = vec![0usize; c * oh * ow];
+    let mut out = ws.take_tensor([c, oh, ow]);
+    let mut argmax = ws.take_indices(c * oh * ow);
     for ci in 0..c {
         for oy in 0..oh {
             let (y0, y1) = adaptive_window(oy, oh, h);
@@ -229,7 +475,7 @@ pub(crate) fn adaptive_max_pool2d_forward(
                     }
                 }
                 out.set(&[ci, oy, ox], best);
-                argmax[(ci * oh + oy) * ow + ox] = best_idx;
+                argmax.push(best_idx);
             }
         }
     }
@@ -238,13 +484,14 @@ pub(crate) fn adaptive_max_pool2d_forward(
 
 /// Forward 1-D max pooling of a `(c, len)` matrix with window `k` and
 /// stride `k` (non-overlapping, as in the original DGCNN head). Returns the
-/// output and per-cell argmax flat indices.
-pub(crate) fn max_pool1d_forward(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
+/// output and per-cell argmax flat indices, both checked out of `ws`;
+/// ties break to the first maximum (strict `>`).
+pub(crate) fn max_pool1d_forward(x: &Tensor, k: usize, ws: &mut Workspace) -> (Tensor, Vec<usize>) {
     let (c, len) = (x.rows(), x.cols());
     let out_len = len / k;
     assert!(out_len > 0, "pooling window {k} larger than input {len}");
-    let mut out = Tensor::zeros([c, out_len]);
-    let mut argmax = vec![0usize; c * out_len];
+    let mut out = ws.take_tensor([c, out_len]);
+    let mut argmax = ws.take_indices(c * out_len);
     for ci in 0..c {
         for t in 0..out_len {
             let mut best = f32::NEG_INFINITY;
@@ -258,7 +505,7 @@ pub(crate) fn max_pool1d_forward(x: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
                 }
             }
             out.set2(ci, t, best);
-            argmax[ci * out_len + t] = best_idx;
+            argmax.push(best_idx);
         }
     }
     (out, argmax)
@@ -344,7 +591,7 @@ mod tests {
     fn amp_forward_picks_window_maxima() {
         // Fig. 6 style: pool a 4x7 map (1 channel) into 3x3.
         let x = Tensor::from_vec((0..28).map(|v| v as f32).collect(), [1, 4, 7]);
-        let (y, argmax) = adaptive_max_pool2d_forward(&x, 3, 3);
+        let (y, argmax) = adaptive_max_pool2d_forward(&x, 3, 3, &mut Workspace::new());
         assert_eq!(y.shape().dims(), &[1, 3, 3]);
         // Bottom-right window must contain the global max (27).
         assert_eq!(y.at(&[0, 2, 2]), 27.0);
@@ -354,9 +601,168 @@ mod tests {
     #[test]
     fn maxpool1d_nonoverlapping() {
         let x = Tensor::from_rows(&[&[1.0, 5.0, 2.0, 4.0]]);
-        let (y, argmax) = max_pool1d_forward(&x, 2);
+        let (y, argmax) = max_pool1d_forward(&x, 2, &mut Workspace::new());
         assert_eq!(y.as_slice(), &[5.0, 4.0]);
         assert_eq!(argmax, vec![1, 3]);
+    }
+
+    #[test]
+    fn amp_tie_breaking_first_max_wins() {
+        // All-equal input: every window's winner must be its first cell in
+        // scan order, and pooled-buffer reuse must not change that.
+        let mut ws = Workspace::new();
+        let x = Tensor::ones([1, 4, 4]);
+        let (y, argmax) = adaptive_max_pool2d_forward(&x, 2, 2, &mut ws);
+        assert!(y.as_slice().iter().all(|&v| v == 1.0));
+        assert_eq!(argmax, vec![0, 2, 8, 10]);
+        // Recycle and pool a different tensor through the same workspace:
+        // stale winners from the first call must not leak.
+        ws.recycle_indices(argmax);
+        ws.recycle_tensor(y);
+        let x2 = Tensor::from_vec(vec![2.0; 16], [1, 4, 4]);
+        let (y2, argmax2) = adaptive_max_pool2d_forward(&x2, 2, 2, &mut ws);
+        assert!(y2.as_slice().iter().all(|&v| v == 2.0));
+        assert_eq!(argmax2, vec![0, 2, 8, 10]);
+        assert!(ws.stats().hits >= 2, "second call should reuse pooled buffers");
+    }
+
+    #[test]
+    fn maxpool1d_tie_breaking_first_max_wins() {
+        let x = Tensor::from_rows(&[&[7.0, 7.0, 7.0, 7.0]]);
+        let (y, argmax) = max_pool1d_forward(&x, 2, &mut Workspace::new());
+        assert_eq!(y.as_slice(), &[7.0, 7.0]);
+        assert_eq!(argmax, vec![0, 2]);
+    }
+
+    #[test]
+    fn conv1d_gemm_matches_naive_forward_and_backward() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(21);
+        let mut ws = Workspace::new();
+        for (c_in, len, c_out, k, stride) in
+            [(1, 5, 1, 1, 1), (2, 8, 3, 2, 2), (3, 9, 4, 3, 1), (1, 12, 16, 4, 4), (2, 7, 2, 7, 7)]
+        {
+            let x = Tensor::rand_uniform([c_in, len], -1.0, 1.0, &mut rng);
+            let w = Tensor::rand_uniform([c_out, c_in, k], -1.0, 1.0, &mut rng);
+            let b: Vec<f32> = (0..c_out).map(|i| 0.1 * i as f32 - 0.2).collect();
+            let out_len = conv1d_shape(len, k, stride);
+
+            let naive = conv1d_forward(&x, &w, &b, k, stride);
+            let cols = im2col_1d(&x, k, stride, &mut ws);
+            let gemm = conv1d_forward_gemm(&cols, &w, &b, out_len, &mut ws);
+            ws.recycle(cols);
+            assert_eq!(gemm.shape(), naive.shape());
+            for (g, n) in gemm.as_slice().iter().zip(naive.as_slice()) {
+                assert!((g - n).abs() < 1e-5, "fwd ({c_in},{len},{c_out},{k},{stride}): {g} vs {n}");
+            }
+
+            let gout = Tensor::rand_uniform(naive.shape().clone(), -1.0, 1.0, &mut rng);
+            let (ngx, ngw, ngb) = conv1d_backward(&x, &w, k, stride, &gout);
+            let (ggx, ggw, ggb) = conv1d_backward_gemm(&x, &w, k, stride, &gout, &mut ws);
+            for (g, n) in ggx.as_slice().iter().zip(ngx.as_slice()) {
+                assert!((g - n).abs() < 1e-4, "gx: {g} vs {n}");
+            }
+            for (g, n) in ggw.as_slice().iter().zip(ngw.as_slice()) {
+                assert!((g - n).abs() < 1e-4, "gw: {g} vs {n}");
+            }
+            for (g, n) in ggb.iter().zip(&ngb) {
+                assert!((g - n).abs() < 1e-4, "gb: {g} vs {n}");
+            }
+            ws.recycle_tensor(ggx);
+            ws.recycle_tensor(ggw);
+            ws.recycle(ggb);
+            ws.recycle_tensor(gemm);
+        }
+    }
+
+    #[test]
+    fn conv2d_gemm_matches_naive_forward_and_backward() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(22);
+        let mut ws = Workspace::new();
+        for (c_in, h, w_dim, c_out, kh, kw, stride, pad) in [
+            (1, 3, 3, 1, 1, 1, 1, 0),
+            (2, 5, 5, 3, 3, 3, 1, 1),
+            (1, 6, 4, 2, 3, 3, 2, 1),
+            (3, 4, 7, 2, 2, 4, 1, 0),
+            (2, 5, 5, 4, 3, 3, 2, 2),
+        ] {
+            let x = Tensor::rand_uniform([c_in, h, w_dim], -1.0, 1.0, &mut rng);
+            let wt = Tensor::rand_uniform([c_out, c_in, kh, kw], -1.0, 1.0, &mut rng);
+            let b: Vec<f32> = (0..c_out).map(|i| 0.05 * i as f32 + 0.1).collect();
+            let (oh, ow) = conv2d_shape(h, w_dim, kh, kw, stride, pad);
+
+            let naive = conv2d_forward(&x, &wt, &b, stride, pad);
+            let cols = im2col_2d(&x, kh, kw, stride, pad, &mut ws);
+            let gemm = conv2d_forward_gemm(&cols, &wt, &b, oh, ow, &mut ws);
+            ws.recycle(cols);
+            assert_eq!(gemm.shape(), naive.shape());
+            for (g, n) in gemm.as_slice().iter().zip(naive.as_slice()) {
+                assert!(
+                    (g - n).abs() < 1e-5,
+                    "fwd ({c_in},{h},{w_dim},{c_out},{kh},{kw},{stride},{pad}): {g} vs {n}"
+                );
+            }
+
+            let gout = Tensor::rand_uniform(naive.shape().clone(), -1.0, 1.0, &mut rng);
+            let (ngx, ngw, ngb) = conv2d_backward(&x, &wt, stride, pad, &gout);
+            let (ggx, ggw, ggb) = conv2d_backward_gemm(&x, &wt, stride, pad, &gout, &mut ws);
+            for (g, n) in ggx.as_slice().iter().zip(ngx.as_slice()) {
+                assert!((g - n).abs() < 1e-4, "gx: {g} vs {n}");
+            }
+            for (g, n) in ggw.as_slice().iter().zip(ngw.as_slice()) {
+                assert!((g - n).abs() < 1e-4, "gw: {g} vs {n}");
+            }
+            for (g, n) in ggb.iter().zip(&ngb) {
+                assert!((g - n).abs() < 1e-4, "gb: {g} vs {n}");
+            }
+            ws.recycle_tensor(ggx);
+            ws.recycle_tensor(ggw);
+            ws.recycle(ggb);
+            ws.recycle_tensor(gemm);
+        }
+    }
+
+    #[test]
+    fn gemm_lowering_is_bitwise_deterministic() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(33);
+        let x = Tensor::rand_uniform([2, 6, 6], -1.0, 1.0, &mut rng);
+        let wt = Tensor::rand_uniform([3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let b = vec![0.1, 0.2, 0.3];
+        let run = || {
+            // A fresh workspace and a warmed one must agree bitwise.
+            let mut ws = Workspace::new();
+            let mut last = None;
+            for _ in 0..2 {
+                let cols = im2col_2d(&x, 3, 3, 1, 1, &mut ws);
+                let out = conv2d_forward_gemm(&cols, &wt, &b, 6, 6, &mut ws);
+                ws.recycle(cols);
+                if let Some(prev) = last.take() {
+                    assert_eq!(prev, out, "warm pool changed the numbers");
+                }
+                last = Some(out);
+            }
+            last.unwrap()
+        };
+        assert_eq!(run(), run(), "runs must be bitwise identical");
+    }
+
+    #[test]
+    fn naive_backward_does_not_skip_zero_gradients() {
+        // A gout of exactly zero must flow through the same code path —
+        // gradients are zero either way, but this pins the no-skip
+        // contract by checking the all-zero case still writes zeros (not
+        // stale values) everywhere, matching the gemm path bitwise.
+        let x = Tensor::ones([1, 4]);
+        let w = Tensor::from_vec(vec![1.0, 1.0], [1, 1, 2]);
+        let gout = Tensor::zeros([1, 2]);
+        let (gx, gw, gb) = conv1d_backward(&x, &w, 2, 2, &gout);
+        let mut ws = Workspace::new();
+        let (ggx, ggw, ggb) = conv1d_backward_gemm(&x, &w, 2, 2, &gout, &mut ws);
+        assert_eq!(gx.as_slice(), ggx.as_slice());
+        assert_eq!(gw.as_slice(), ggw.as_slice());
+        assert_eq!(gb, ggb);
     }
 
     #[test]

@@ -38,4 +38,4 @@ mod tape;
 pub use check::{finite_difference_gradient, first_bitwise_mismatch, max_grad_error};
 pub use conv::{conv1d_shape, conv2d_shape};
 pub use profile::{OpKey, OpProfile, OpStat};
-pub use tape::{Tape, Var};
+pub use tape::{ConvLowering, Tape, Var};

@@ -29,6 +29,15 @@
 //! * [`conv1d_flops`]: `out_elems · (2·c_in·k + 1)` — the `+1` is the
 //!   bias add per output element.
 //! * [`conv2d_flops`]: `out_elems · (2·c_in·kh·kw + 1)`.
+//! * `conv1d.gemm` / `conv2d.gemm` (the im2col-GEMM lowerings) use the
+//!   *same* formulas — the math is identical, only the loop order
+//!   differs — so naive-vs-GEMM profiles compare like for like. The
+//!   patch gather is profiled separately as a forward-only `im2col` row
+//!   with 0 FLOPs and `bytes_out` = column-buffer size. The backward
+//!   GEMM step *recomputes* im2col internally (cheaper than keeping the
+//!   buffer alive across the tape); that recompute is charged inside the
+//!   `conv*.gemm` backward row's standard 2× heuristic, not as a second
+//!   `im2col` row.
 //! * Cheap elementwise ops count one FLOP per output element;
 //!   transcendentals (`sigmoid`, `tanh`, `log_softmax`) count a few.
 //! * Data movement (`transpose`, `reshape`, `gather_rows`, pooling,

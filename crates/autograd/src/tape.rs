@@ -2,9 +2,40 @@
 
 use crate::conv;
 use crate::profile::{self, OpKey, OpProfile, PHASE_BACKWARD, PHASE_FORWARD};
-use magic_tensor::{CsrMatrix, Rng64, Shape, Tensor};
-use std::sync::Arc;
+use magic_tensor::{CsrMatrix, Rng64, Shape, Tensor, Workspace, WorkspaceStats};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Which convolution implementation the tape dispatches to.
+///
+/// Both lowerings are individually bitwise deterministic; they accumulate
+/// in different orders, so *across* lowerings results agree to float
+/// tolerance (~1e-5), not bitwise. See `crates/autograd/src/conv.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvLowering {
+    /// im2col patch gather + one register-blocked GEMM per conv, with
+    /// workspace-pooled buffers. The default.
+    #[default]
+    Im2colGemm,
+    /// The original scalar loops. Escape hatch (`MAGIC_NAIVE_CONV=1`) for
+    /// A/B timing and parity testing.
+    Naive,
+}
+
+impl ConvLowering {
+    /// The lowering selected by the `MAGIC_NAIVE_CONV` environment
+    /// variable (`1` → [`ConvLowering::Naive`]), read once per process.
+    pub fn from_env() -> Self {
+        static CACHE: OnceLock<ConvLowering> = OnceLock::new();
+        *CACHE.get_or_init(|| {
+            if std::env::var("MAGIC_NAIVE_CONV").map(|v| v == "1").unwrap_or(false) {
+                ConvLowering::Naive
+            } else {
+                ConvLowering::Im2colGemm
+            }
+        })
+    }
+}
 
 /// Handle to a value recorded on a [`Tape`].
 ///
@@ -45,8 +76,8 @@ enum Op {
     Sum(Var),
     Mean(Var),
     Dropout(Var, Vec<f32>),
-    Conv1d { x: Var, w: Var, b: Var, k: usize, stride: usize },
-    Conv2d { x: Var, w: Var, b: Var, stride: usize, pad: usize },
+    Conv1d { x: Var, w: Var, b: Var, k: usize, stride: usize, gemm: bool },
+    Conv2d { x: Var, w: Var, b: Var, stride: usize, pad: usize, gemm: bool },
     AdaptiveMaxPool2d { x: Var, argmax: Vec<usize> },
     MaxPool1d { x: Var, argmax: Vec<usize> },
 }
@@ -80,8 +111,10 @@ impl Op {
             Op::Sum(..) => "sum",
             Op::Mean(..) => "mean",
             Op::Dropout(..) => "dropout",
-            Op::Conv1d { .. } => "conv1d",
-            Op::Conv2d { .. } => "conv2d",
+            Op::Conv1d { gemm: false, .. } => "conv1d",
+            Op::Conv1d { gemm: true, .. } => "conv1d.gemm",
+            Op::Conv2d { gemm: false, .. } => "conv2d",
+            Op::Conv2d { gemm: true, .. } => "conv2d.gemm",
             Op::AdaptiveMaxPool2d { .. } => "adaptive_max_pool2d",
             Op::MaxPool1d { .. } => "max_pool1d",
         }
@@ -133,12 +166,36 @@ pub struct Tape {
     /// `profile`. A plain `bool` keeps the disabled path to one branch.
     profiling: bool,
     profile: OpProfile,
+    /// Pooled scratch/output buffers, refilled by [`Tape::reset`]. Owned
+    /// by the tape (not thread-local) because the trainer keeps one tape
+    /// per worker lane across batches while the executor's threads are
+    /// respawned per batch.
+    workspace: Workspace,
+    conv_lowering: ConvLowering,
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape. The convolution lowering comes from
+    /// [`ConvLowering::from_env`] (im2col-GEMM unless `MAGIC_NAIVE_CONV=1`).
     pub fn new() -> Self {
-        Tape::default()
+        Tape { conv_lowering: ConvLowering::from_env(), ..Tape::default() }
+    }
+
+    /// The convolution lowering in effect for new conv ops.
+    pub fn conv_lowering(&self) -> ConvLowering {
+        self.conv_lowering
+    }
+
+    /// Overrides the convolution lowering — in-process A/B and parity
+    /// tests use this instead of the environment variable.
+    pub fn set_conv_lowering(&mut self, lowering: ConvLowering) {
+        self.conv_lowering = lowering;
+    }
+
+    /// Pool hit/miss counters of this tape's workspace. After a warm-up
+    /// sample, steady-state training should add hits but no misses.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
     }
 
     /// Number of recorded nodes.
@@ -189,11 +246,27 @@ impl Tape {
     /// Prepares the tape for the next sample, keeping allocations.
     ///
     /// This is the worker-reuse entry point: data-parallel training
-    /// keeps one tape per worker lane and resets it between samples
-    /// instead of allocating a fresh tape, so the node and gradient
-    /// vectors stay warm. Identical to [`Tape::clear`].
+    /// keeps one tape per worker lane and resets it between samples.
+    /// Unlike [`Tape::clear`] (which drops buffers), `reset` recycles
+    /// every node value, gradient, dropout mask and pooling index vector
+    /// into the tape's [`Workspace`], so the next sample's kernels are
+    /// served from the pool and steady-state training stops allocating.
+    /// The op profile is retained, as with `clear`.
     pub fn reset(&mut self) {
-        self.clear();
+        let Tape { nodes, grads, workspace, .. } = self;
+        for node in nodes.drain(..) {
+            match node.op {
+                Op::Dropout(_, mask) => workspace.recycle(mask),
+                Op::AdaptiveMaxPool2d { argmax, .. } | Op::MaxPool1d { argmax, .. } => {
+                    workspace.recycle_indices(argmax)
+                }
+                _ => {}
+            }
+            workspace.recycle_tensor(node.value);
+        }
+        for t in grads.drain(..).flatten() {
+            workspace.recycle_tensor(t);
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
@@ -540,58 +613,144 @@ impl Tape {
         assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
         let t = self.prof_start();
         let keep = 1.0 - p;
-        let mask: Vec<f32> = (0..self.value(a).len())
-            .map(|_| if rng.next_f32() < p { 0.0 } else { 1.0 / keep })
-            .collect();
-        let masked = Tensor::from_vec(
-            self.value(a)
-                .as_slice()
-                .iter()
-                .zip(&mask)
-                .map(|(&x, &m)| x * m)
-                .collect(),
-            self.value(a).shape().clone(),
-        );
+        // Mask and output come from the workspace; the RNG is drawn in
+        // the same element order as before pooling, so masks are
+        // unchanged bitwise.
+        let (masked, mask) = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            let av = &nodes[a.0].value;
+            let mut mask = workspace.take(av.len());
+            for m in mask.iter_mut() {
+                *m = if rng.next_f32() < p { 0.0 } else { 1.0 / keep };
+            }
+            let mut masked = workspace.take_tensor(av.shape().clone());
+            for ((o, &x), &m) in masked.as_mut_slice().iter_mut().zip(av.as_slice()).zip(&mask) {
+                *o = x * m;
+            }
+            (masked, mask)
+        };
         let rg = self.any_requires(&[a]);
         self.push_profiled(masked, Op::Dropout(a, mask), rg, t)
     }
 
+    /// Records the patch-gather half of a GEMM-lowered convolution as its
+    /// own forward profile row: `im2col` is pure data movement (0 FLOPs,
+    /// `bytes_out` = column buffer size), timed separately so the
+    /// `conv*.gemm` rows cover only the GEMM + bias.
+    fn record_im2col(&mut self, started: Option<Instant>, elems: usize) {
+        if let Some(t0) = started {
+            let key = OpKey {
+                kind: "im2col",
+                phase: PHASE_FORWARD,
+                shape_bucket: profile::shape_bucket(elems),
+            };
+            let bytes = (elems * std::mem::size_of::<f32>()) as u64;
+            self.profile.record(key, t0.elapsed().as_nanos() as u64, 0, bytes);
+        }
+    }
+
     /// 1-D convolution of `(c_in, len)` by `(c_out, c_in, k)` weights with
-    /// the given stride, plus a `c_out` bias.
+    /// the given stride, plus a `c_out` bias. Dispatches on the tape's
+    /// [`ConvLowering`].
     pub fn conv1d(&mut self, x: Var, w: Var, b: Var, stride: usize) -> Var {
-        let t = self.prof_start();
         let k = self.value(w).shape().dim(2);
-        let value = conv::conv1d_forward(
-            self.value(x),
-            self.value(w),
-            self.value(b).as_slice(),
-            k,
-            stride,
-        );
         let rg = self.any_requires(&[x, w, b]);
-        self.push_profiled(value, Op::Conv1d { x, w, b, k, stride }, rg, t)
+        match self.conv_lowering {
+            ConvLowering::Naive => {
+                let t = self.prof_start();
+                let value = conv::conv1d_forward(
+                    self.value(x),
+                    self.value(w),
+                    self.value(b).as_slice(),
+                    k,
+                    stride,
+                );
+                self.push_profiled(value, Op::Conv1d { x, w, b, k, stride, gemm: false }, rg, t)
+            }
+            ConvLowering::Im2colGemm => {
+                let out_len = conv::conv1d_shape(self.value(x).cols(), k, stride);
+                let t_cols = self.prof_start();
+                let cols = {
+                    let Tape { nodes, workspace, .. } = &mut *self;
+                    conv::im2col_1d(&nodes[x.0].value, k, stride, workspace)
+                };
+                self.record_im2col(t_cols, cols.len());
+                let t = self.prof_start();
+                let value = {
+                    let Tape { nodes, workspace, .. } = &mut *self;
+                    conv::conv1d_forward_gemm(
+                        &cols,
+                        &nodes[w.0].value,
+                        nodes[b.0].value.as_slice(),
+                        out_len,
+                        workspace,
+                    )
+                };
+                self.workspace.recycle(cols);
+                self.push_profiled(value, Op::Conv1d { x, w, b, k, stride, gemm: true }, rg, t)
+            }
+        }
     }
 
     /// 2-D convolution of `(c_in, h, w)` by `(c_out, c_in, kh, kw)` weights
     /// with the given stride and zero padding, plus a `c_out` bias.
+    /// Dispatches on the tape's [`ConvLowering`].
     pub fn conv2d(&mut self, x: Var, w: Var, b: Var, stride: usize, pad: usize) -> Var {
-        let t = self.prof_start();
-        let value = conv::conv2d_forward(
-            self.value(x),
-            self.value(w),
-            self.value(b).as_slice(),
-            stride,
-            pad,
-        );
         let rg = self.any_requires(&[x, w, b]);
-        self.push_profiled(value, Op::Conv2d { x, w, b, stride, pad }, rg, t)
+        match self.conv_lowering {
+            ConvLowering::Naive => {
+                let t = self.prof_start();
+                let value = conv::conv2d_forward(
+                    self.value(x),
+                    self.value(w),
+                    self.value(b).as_slice(),
+                    stride,
+                    pad,
+                );
+                self.push_profiled(value, Op::Conv2d { x, w, b, stride, pad, gemm: false }, rg, t)
+            }
+            ConvLowering::Im2colGemm => {
+                let (kh, kw) = {
+                    let ws = self.value(w).shape();
+                    (ws.dim(2), ws.dim(3))
+                };
+                let (oh, ow) = {
+                    let xs = self.value(x).shape();
+                    conv::conv2d_shape(xs.dim(1), xs.dim(2), kh, kw, stride, pad)
+                };
+                let t_cols = self.prof_start();
+                let cols = {
+                    let Tape { nodes, workspace, .. } = &mut *self;
+                    conv::im2col_2d(&nodes[x.0].value, kh, kw, stride, pad, workspace)
+                };
+                self.record_im2col(t_cols, cols.len());
+                let t = self.prof_start();
+                let value = {
+                    let Tape { nodes, workspace, .. } = &mut *self;
+                    conv::conv2d_forward_gemm(
+                        &cols,
+                        &nodes[w.0].value,
+                        nodes[b.0].value.as_slice(),
+                        oh,
+                        ow,
+                        workspace,
+                    )
+                };
+                self.workspace.recycle(cols);
+                self.push_profiled(value, Op::Conv2d { x, w, b, stride, pad, gemm: true }, rg, t)
+            }
+        }
     }
 
     /// Adaptive max pooling of `(c, h, w)` to `(c, oh, ow)` — the paper's
-    /// AMP layer (Section III-C).
+    /// AMP layer (Section III-C). Output and winner-index buffers are
+    /// pooled; ties break to the first maximum in scan order.
     pub fn adaptive_max_pool2d(&mut self, x: Var, oh: usize, ow: usize) -> Var {
         let t = self.prof_start();
-        let (value, argmax) = conv::adaptive_max_pool2d_forward(self.value(x), oh, ow);
+        let (value, argmax) = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::adaptive_max_pool2d_forward(&nodes[x.0].value, oh, ow, workspace)
+        };
         let rg = self.any_requires(&[x]);
         self.push_profiled(value, Op::AdaptiveMaxPool2d { x, argmax }, rg, t)
     }
@@ -599,14 +758,21 @@ impl Tape {
     /// Non-overlapping 1-D max pooling with window `k` over `(c, len)`.
     pub fn max_pool1d(&mut self, x: Var, k: usize) -> Var {
         let t = self.prof_start();
-        let (value, argmax) = conv::max_pool1d_forward(self.value(x), k);
+        let (value, argmax) = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::max_pool1d_forward(&nodes[x.0].value, k, workspace)
+        };
         let rg = self.any_requires(&[x]);
         self.push_profiled(value, Op::MaxPool1d { x, argmax }, rg, t)
     }
 
     fn accumulate(&mut self, v: Var, g: Tensor) {
-        match &mut self.grads[v.0] {
-            Some(existing) => existing.add_assign(&g),
+        let Tape { grads, workspace, .. } = self;
+        match &mut grads[v.0] {
+            Some(existing) => {
+                existing.add_assign(&g);
+                workspace.recycle_tensor(g);
+            }
             slot @ None => *slot = Some(g),
         }
     }
@@ -619,10 +785,18 @@ impl Tape {
     /// Panics if `loss` is not a single-element tensor.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(self.value(loss).len(), 1, "backward requires a scalar loss");
-        for g in &mut self.grads {
-            *g = None;
+        {
+            let Tape { grads, workspace, .. } = &mut *self;
+            for g in grads.iter_mut() {
+                if let Some(old) = g.take() {
+                    workspace.recycle_tensor(old);
+                }
+            }
         }
-        self.grads[loss.0] = Some(Tensor::full(self.value(loss).shape().clone(), 1.0));
+        let seed_shape = self.value(loss).shape().clone();
+        let mut seed = self.workspace.take_tensor(seed_shape);
+        seed.as_mut_slice().fill(1.0);
+        self.grads[loss.0] = Some(seed);
 
         for idx in (0..self.nodes.len()).rev() {
             if !self.nodes[idx].requires_grad {
@@ -662,13 +836,42 @@ impl Tape {
             match op {
                 Op::Leaf => {}
                 Op::Matmul(a, b) => {
-                    let av = self.value(a).clone();
-                    let bv = self.value(b).clone();
+                    // gA = gOut·Bᵀ and gB = Aᵀ·gOut via the transpose-free
+                    // kernels, accumulating into zero-filled pool buffers —
+                    // no operand clones, no materialized transposes.
+                    let (m, kk) = (self.value(a).rows(), self.value(a).cols());
+                    let n = self.value(b).cols();
                     if self.needs(a) {
-                        self.accumulate(a, gout.matmul(&bv.transpose()));
+                        let ga = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let mut ga = workspace.take_tensor([m, kk]);
+                            magic_tensor::gemm_nt_into(
+                                m,
+                                n,
+                                kk,
+                                gout.as_slice(),
+                                nodes[b.0].value.as_slice(),
+                                ga.as_mut_slice(),
+                            );
+                            ga
+                        };
+                        self.accumulate(a, ga);
                     }
                     if self.needs(b) {
-                        self.accumulate(b, av.transpose().matmul(&gout));
+                        let gb = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let mut gb = workspace.take_tensor([kk, n]);
+                            magic_tensor::gemm_tn_into(
+                                kk,
+                                m,
+                                n,
+                                nodes[a.0].value.as_slice(),
+                                gout.as_slice(),
+                                gb.as_mut_slice(),
+                            );
+                            gb
+                        };
+                        self.accumulate(b, gb);
                     }
                 }
                 Op::Add(a, b) => {
@@ -756,7 +959,7 @@ impl Tape {
                         let c = self.value(p).cols();
                         if self.needs(p) {
                             let rows = self.value(p).rows();
-                            let mut gp = Tensor::zeros([rows, c]);
+                            let mut gp = self.workspace.take_tensor([rows, c]);
                             for i in 0..rows {
                                 let src = &gout.row(i)[offset..offset + c];
                                 gp.set_row(i, src);
@@ -768,7 +971,8 @@ impl Tape {
                 }
                 Op::GatherRows(a, indices) => {
                     if self.needs(a) {
-                        let mut ga = Tensor::zeros(self.value(a).shape().clone());
+                        let shape = self.value(a).shape().clone();
+                        let mut ga = self.workspace.take_tensor(shape);
                         let cols = ga.cols();
                         for (dst, &src) in indices.iter().enumerate() {
                             for j in 0..cols {
@@ -782,7 +986,8 @@ impl Tape {
                 Op::PadRows(a) => {
                     if self.needs(a) {
                         let rows = self.value(a).rows();
-                        let mut ga = Tensor::zeros(self.value(a).shape().clone());
+                        let shape = self.value(a).shape().clone();
+                        let mut ga = self.workspace.take_tensor(shape);
                         for i in 0..rows.min(gout.rows()) {
                             ga.set_row(i, gout.row(i));
                         }
@@ -798,7 +1003,7 @@ impl Tape {
                 Op::LogSoftmaxRows(a) => {
                     if self.needs(a) {
                         let y = self.nodes[idx].value.clone();
-                        let mut ga = Tensor::zeros(y.shape().clone());
+                        let mut ga = self.workspace.take_tensor(y.shape().clone());
                         for i in 0..y.rows() {
                             let grow = gout.row(i);
                             let gsum: f32 = grow.iter().sum();
@@ -817,7 +1022,8 @@ impl Tape {
                     if self.needs(lp) {
                         let n = targets.len() as f32;
                         let g = gout.item();
-                        let mut glp = Tensor::zeros(self.value(lp).shape().clone());
+                        let shape = self.value(lp).shape().clone();
+                        let mut glp = self.workspace.take_tensor(shape);
                         for (i, &t) in targets.iter().enumerate() {
                             glp.set2(i, t, -g / n);
                         }
@@ -827,60 +1033,99 @@ impl Tape {
                 Op::Sum(a) => {
                     if self.needs(a) {
                         let g = gout.item();
-                        self.accumulate(a, Tensor::full(self.value(a).shape().clone(), g));
+                        let shape = self.value(a).shape().clone();
+                        let mut ga = self.workspace.take_tensor(shape);
+                        ga.as_mut_slice().fill(g);
+                        self.accumulate(a, ga);
                     }
                 }
                 Op::Mean(a) => {
                     if self.needs(a) {
                         let n = self.value(a).len() as f32;
                         let g = gout.item() / n;
-                        self.accumulate(a, Tensor::full(self.value(a).shape().clone(), g));
+                        let shape = self.value(a).shape().clone();
+                        let mut ga = self.workspace.take_tensor(shape);
+                        ga.as_mut_slice().fill(g);
+                        self.accumulate(a, ga);
                     }
                 }
                 Op::Dropout(a, mask) => {
                     if self.needs(a) {
-                        let gm = Tensor::from_vec(
-                            gout.as_slice()
-                                .iter()
-                                .zip(&mask)
-                                .map(|(&g, &m)| g * m)
-                                .collect(),
-                            gout.shape().clone(),
-                        );
+                        let mut gm = self.workspace.take_tensor(gout.shape().clone());
+                        for ((o, &g), &m) in
+                            gm.as_mut_slice().iter_mut().zip(gout.as_slice()).zip(&mask)
+                        {
+                            *o = g * m;
+                        }
                         self.accumulate(a, gm);
                     }
                 }
-                Op::Conv1d { x, w, b, k, stride } => {
-                    let (gx, gw, gb) =
-                        conv::conv1d_backward(self.value(x), self.value(w), k, stride, &gout);
+                Op::Conv1d { x, w, b, k, stride, gemm } => {
+                    let (gx, gw, gb) = if gemm {
+                        let Tape { nodes, workspace, .. } = &mut *self;
+                        conv::conv1d_backward_gemm(
+                            &nodes[x.0].value,
+                            &nodes[w.0].value,
+                            k,
+                            stride,
+                            &gout,
+                            workspace,
+                        )
+                    } else {
+                        conv::conv1d_backward(self.value(x), self.value(w), k, stride, &gout)
+                    };
                     if self.needs(x) {
                         self.accumulate(x, gx);
+                    } else {
+                        self.workspace.recycle_tensor(gx);
                     }
                     if self.needs(w) {
                         self.accumulate(w, gw);
+                    } else {
+                        self.workspace.recycle_tensor(gw);
                     }
                     if self.needs(b) {
                         let n = gb.len();
                         self.accumulate(b, Tensor::from_vec(gb, [n]));
+                    } else {
+                        self.workspace.recycle(gb);
                     }
                 }
-                Op::Conv2d { x, w, b, stride, pad } => {
-                    let (gx, gw, gb) =
-                        conv::conv2d_backward(self.value(x), self.value(w), stride, pad, &gout);
+                Op::Conv2d { x, w, b, stride, pad, gemm } => {
+                    let (gx, gw, gb) = if gemm {
+                        let Tape { nodes, workspace, .. } = &mut *self;
+                        conv::conv2d_backward_gemm(
+                            &nodes[x.0].value,
+                            &nodes[w.0].value,
+                            stride,
+                            pad,
+                            &gout,
+                            workspace,
+                        )
+                    } else {
+                        conv::conv2d_backward(self.value(x), self.value(w), stride, pad, &gout)
+                    };
                     if self.needs(x) {
                         self.accumulate(x, gx);
+                    } else {
+                        self.workspace.recycle_tensor(gx);
                     }
                     if self.needs(w) {
                         self.accumulate(w, gw);
+                    } else {
+                        self.workspace.recycle_tensor(gw);
                     }
                     if self.needs(b) {
                         let n = gb.len();
                         self.accumulate(b, Tensor::from_vec(gb, [n]));
+                    } else {
+                        self.workspace.recycle(gb);
                     }
                 }
                 Op::AdaptiveMaxPool2d { x, argmax } => {
                     if self.needs(x) {
-                        let mut gx = Tensor::zeros(self.value(x).shape().clone());
+                        let shape = self.value(x).shape().clone();
+                        let mut gx = self.workspace.take_tensor(shape);
                         for (cell, &src) in argmax.iter().enumerate() {
                             gx.as_mut_slice()[src] += gout.as_slice()[cell];
                         }
@@ -889,7 +1134,8 @@ impl Tape {
                 }
                 Op::MaxPool1d { x, argmax } => {
                     if self.needs(x) {
-                        let mut gx = Tensor::zeros(self.value(x).shape().clone());
+                        let shape = self.value(x).shape().clone();
+                        let mut gx = self.workspace.take_tensor(shape);
                         for (cell, &src) in argmax.iter().enumerate() {
                             gx.as_mut_slice()[src] += gout.as_slice()[cell];
                         }
@@ -1206,6 +1452,109 @@ mod tests {
         tape.backward(s);
         assert!(tape.profile().is_empty());
         assert!(!tape.profiling());
+    }
+
+    fn conv_sample(tape: &mut Tape) -> Var {
+        let x = tape.leaf(
+            Tensor::from_vec((0..2 * 8).map(|i| (i as f32 * 0.37).sin()).collect(), [2, 8]),
+            false,
+        );
+        let w = tape.leaf(
+            Tensor::from_vec((0..3 * 2 * 3).map(|i| (i as f32 * 0.19).cos()).collect(), [3, 2, 3]),
+            true,
+        );
+        let b = tape.leaf(Tensor::from_vec(vec![0.1, -0.2, 0.3], [3]), true);
+        let y = tape.conv1d(x, w, b, 1);
+        let r = tape.relu(y);
+        tape.sum(r)
+    }
+
+    #[test]
+    fn conv_lowering_dispatch_records_gemm_kinds_and_im2col_row() {
+        let mut tape = Tape::new();
+        tape.set_conv_lowering(ConvLowering::Im2colGemm);
+        tape.set_profiling(true);
+        let loss = conv_sample(&mut tape);
+        tape.backward(loss);
+
+        let rows = tape.profile().sorted_rows();
+        let find = |kind: &str, phase: &str| {
+            rows.iter().find(|(k, _)| k.kind == kind && k.phase == phase).map(|(_, s)| *s)
+        };
+        let fwd = find("conv1d.gemm", profile::PHASE_FORWARD).expect("fwd conv1d.gemm row");
+        // Same FLOP formula as the naive lowering: the math is identical.
+        assert_eq!(fwd.flops, profile::conv1d_flops(3, 6, 2, 3));
+        let bwd = find("conv1d.gemm", profile::PHASE_BACKWARD).expect("bwd conv1d.gemm row");
+        assert_eq!(bwd.flops, 2 * fwd.flops);
+        let cols = find("im2col", profile::PHASE_FORWARD).expect("im2col row");
+        assert_eq!(cols.flops, 0, "im2col is pure data movement");
+        assert_eq!(cols.bytes_out, (2 * 3 * 6 * 4) as u64);
+        assert!(find("conv1d", profile::PHASE_FORWARD).is_none(), "naive kind absent");
+    }
+
+    #[test]
+    fn naive_lowering_keeps_old_kind_and_skips_im2col_row() {
+        let mut tape = Tape::new();
+        tape.set_conv_lowering(ConvLowering::Naive);
+        tape.set_profiling(true);
+        let loss = conv_sample(&mut tape);
+        tape.backward(loss);
+
+        let rows = tape.profile().sorted_rows();
+        assert!(rows.iter().any(|(k, _)| k.kind == "conv1d"));
+        assert!(rows.iter().all(|(k, _)| k.kind != "conv1d.gemm"));
+        assert!(rows.iter().all(|(k, _)| k.kind != "im2col"));
+    }
+
+    #[test]
+    fn gemm_and_naive_lowerings_agree_through_the_tape() {
+        let mut gemm = Tape::new();
+        gemm.set_conv_lowering(ConvLowering::Im2colGemm);
+        let gl = conv_sample(&mut gemm);
+        gemm.backward(gl);
+
+        let mut naive = Tape::new();
+        naive.set_conv_lowering(ConvLowering::Naive);
+        let nl = conv_sample(&mut naive);
+        naive.backward(nl);
+
+        let dl = (gemm.value(gl).item() - naive.value(nl).item()).abs();
+        assert!(dl < 1e-4, "losses differ by {dl}");
+        // Weight leaf is Var(1) in both tapes (same construction order).
+        let gw = gemm.grad(Var(1)).unwrap();
+        let nw = naive.grad(Var(1)).unwrap();
+        for (a, b) in gw.as_slice().iter().zip(nw.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "weight grads differ: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reset_recycles_buffers_into_zero_miss_steady_state() {
+        let mut tape = Tape::new();
+        // Warm-up sample: every checkout is a miss on a cold pool.
+        let loss = conv_sample(&mut tape);
+        tape.backward(loss);
+        tape.reset();
+        let warm = tape.workspace_stats();
+        assert!(warm.misses > 0, "cold pool must miss");
+
+        // Steady state: identical shapes, so every checkout must hit.
+        for _ in 0..3 {
+            let loss = conv_sample(&mut tape);
+            tape.backward(loss);
+            tape.reset();
+        }
+        let steady = tape.workspace_stats();
+        assert_eq!(steady.misses, warm.misses, "steady-state samples must not miss the pool");
+        assert!(steady.hits > warm.hits);
+    }
+
+    #[test]
+    fn conv_lowering_env_default_is_gemm() {
+        // The suite cannot mutate the process environment safely, but the
+        // default (no MAGIC_NAIVE_CONV in the test environment) must be
+        // the GEMM lowering.
+        assert_eq!(Tape::new().conv_lowering(), ConvLowering::Im2colGemm);
     }
 
     /// The tape holds only owned tensors and plain enum data, so worker

@@ -250,6 +250,15 @@ fn run_training(
             "MAGIC_DENSE_PROPAGATION=1: using the dense adjacency path",
         );
     }
+    // Same escape hatch for the im2col-GEMM conv rollout: tapes read
+    // MAGIC_NAIVE_CONV themselves at construction, this just makes the
+    // active lowering visible in logs.
+    if magic_autograd::ConvLowering::from_env() == magic_autograd::ConvLowering::Naive {
+        magic_obs::log(
+            magic_obs::Level::Info,
+            "MAGIC_NAIVE_CONV=1: using the naive convolution kernels",
+        );
+    }
 
     let folds = stratified_kfold(&labels, 5, knobs.seed);
     let split = &folds[0];
@@ -377,6 +386,26 @@ fn render_profile(summary: &TraceSummary) -> String {
             "peak tensor memory: {:.1} MiB (max over {} epoch(s))\n",
             peak.max / (1024.0 * 1024.0),
             peak.count,
+        ));
+    }
+    let hist = |name: &str| summary.histograms.iter().find(|h| h.name == name);
+    if let Some(allocs) = hist(magic_obs::stage::H_ALLOC_COUNT) {
+        // The first epoch pays the pool warm-up; the min over epochs is
+        // what a steady-state epoch allocates.
+        out.push_str(&format!(
+            "tensor allocations: {:.0} total, {:.0} in the best epoch\n",
+            allocs.total, allocs.min,
+        ));
+    }
+    if let (Some(hits), Some(misses)) =
+        (hist(magic_obs::stage::H_POOL_HITS), hist(magic_obs::stage::H_POOL_MISSES))
+    {
+        let total = hits.total + misses.total;
+        let pct = if total > 0.0 { 100.0 * hits.total / total } else { 0.0 };
+        out.push_str(&format!(
+            "workspace pool: {:.0} hits / {:.0} misses ({pct:.1}% reuse); \
+             misses in the best epoch: {:.0}\n",
+            hits.total, misses.total, misses.min,
         ));
     }
     out

@@ -190,6 +190,11 @@ impl Trainer {
 
         let run_start = Instant::now();
         let mut order: Vec<usize> = train_idx.to_vec();
+        // Running totals behind the per-epoch allocation histograms: lane
+        // workspace stats and the global `mem` counters are cumulative, so
+        // each epoch emits the delta against the previous epoch's total.
+        let mut prev_pool = magic_tensor::WorkspaceStats::default();
+        let mut prev_allocations = magic_tensor::mem::stats().allocations;
         for epoch in 0..self.config.epochs {
             // Telemetry is observational only: timers are read but never
             // feed back into the numerics, so a traced run stays bitwise
@@ -292,8 +297,16 @@ impl Trainer {
             let train_loss = train_loss_total / train_idx.len().max(1) as f32;
 
             let eval_start = traced.then(Instant::now);
+            // Evaluation reuses the warm worker-lane tapes so inference
+            // buffers also come from the recycled pools. Profiling is
+            // switched off first: eval time is already attributed to the
+            // `evaluate` host row, so letting eval ops record into the
+            // lane profiles would double-count it.
+            for tape in &tapes {
+                tape.lock().expect("unpoisoned tape").set_profiling(false);
+            }
             let (val_loss, val_accuracy) =
-                evaluate_with(executor.as_ref(), model, inputs, labels, val_idx);
+                evaluate_on_tapes(executor.as_ref(), &tapes, model, inputs, labels, val_idx);
             let eval_ns = eval_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
             let learning_rate = optimizer.learning_rate();
             scheduler.observe(val_loss, &mut optimizer);
@@ -319,12 +332,40 @@ impl Trainer {
                     &[epoch_field],
                 );
                 magic_obs::counter(magic_obs::stage::C_TRAIN_SAMPLES, order.len() as f64);
+                let pool_total = tapes.iter().fold(
+                    magic_tensor::WorkspaceStats::default(),
+                    |acc, tape| {
+                        let s = tape.lock().expect("unpoisoned tape").workspace_stats();
+                        magic_tensor::WorkspaceStats {
+                            hits: acc.hits + s.hits,
+                            misses: acc.misses + s.misses,
+                        }
+                    },
+                );
+                magic_obs::histogram_fields(
+                    magic_obs::stage::H_POOL_HITS,
+                    (pool_total.hits - prev_pool.hits) as f64,
+                    &[epoch_field],
+                );
+                magic_obs::histogram_fields(
+                    magic_obs::stage::H_POOL_MISSES,
+                    (pool_total.misses - prev_pool.misses) as f64,
+                    &[epoch_field],
+                );
+                prev_pool = pool_total;
                 if magic_tensor::mem::is_enabled() {
+                    let stats = magic_tensor::mem::stats();
                     magic_obs::histogram_fields(
                         magic_obs::stage::H_MEM_PEAK_BYTES,
-                        magic_tensor::mem::stats().peak_bytes as f64,
+                        stats.peak_bytes as f64,
                         &[epoch_field],
                     );
+                    magic_obs::histogram_fields(
+                        magic_obs::stage::H_ALLOC_COUNT,
+                        stats.allocations.saturating_sub(prev_allocations) as f64,
+                        &[epoch_field],
+                    );
+                    prev_allocations = stats.allocations;
                 }
                 let busy_ns: u64 = worker_busy
                     .iter()
@@ -482,14 +523,46 @@ pub fn evaluate_with(
     labels: &[usize],
     idx: &[usize],
 ) -> (f32, f64) {
+    evaluate_inner(executor, None, model, inputs, labels, idx)
+}
+
+/// [`evaluate_with`] on the trainer's warm worker-lane tapes, so eval
+/// forward passes draw from each lane's recycled workspace instead of
+/// allocating a fresh tape per sample. Pooled buffers are zero-filled on
+/// checkout, so the result is bitwise identical to [`evaluate_with`].
+fn evaluate_on_tapes(
+    executor: &dyn BatchExecutor,
+    tapes: &[Mutex<Tape>],
+    model: &Dgcnn,
+    inputs: &[GraphInput],
+    labels: &[usize],
+    idx: &[usize],
+) -> (f32, f64) {
+    evaluate_inner(executor, Some(tapes), model, inputs, labels, idx)
+}
+
+fn evaluate_inner(
+    executor: &dyn BatchExecutor,
+    tapes: Option<&[Mutex<Tape>]>,
+    model: &Dgcnn,
+    inputs: &[GraphInput],
+    labels: &[usize],
+    idx: &[usize],
+) -> (f32, f64) {
     if idx.is_empty() {
         return (0.0, 0.0);
     }
     let _span =
         magic_obs::span_fields(magic_obs::stage::EVALUATE, &[("samples", idx.len() as f64)]);
-    let per_sample: Vec<(f32, bool)> = run_indexed(executor, idx.len(), |_, j| {
+    let per_sample: Vec<(f32, bool)> = run_indexed(executor, idx.len(), |worker, j| {
         let i = idx[j];
-        let probs = model.predict(&inputs[i]);
+        let probs = match tapes {
+            Some(tapes) => {
+                let mut tape = tapes[worker].lock().expect("unpoisoned tape");
+                model.predict_with(&mut tape, &inputs[i])
+            }
+            None => model.predict(&inputs[i]),
+        };
         let p = probs[labels[i]].clamp(1e-15, 1.0);
         let arg = probs
             .iter()

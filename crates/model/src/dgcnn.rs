@@ -241,10 +241,18 @@ impl Dgcnn {
 
     /// Class probabilities for one graph (inference mode).
     pub fn predict(&self, input: &GraphInput) -> Vec<f32> {
-        let mut tape = Tape::new();
-        let binding = self.store.bind(&mut tape);
+        self.predict_with(&mut Tape::new(), input)
+    }
+
+    /// Class probabilities for one graph, evaluated on a caller-supplied
+    /// tape. Resets the tape first, so a warm training-lane tape can serve
+    /// evaluation from its recycled workspace buffers instead of paying a
+    /// fresh tape's worth of allocations per sample.
+    pub fn predict_with(&self, tape: &mut Tape, input: &GraphInput) -> Vec<f32> {
+        tape.reset();
+        let binding = self.store.bind(tape);
         let mut rng = Rng64::new(0); // unused: dropout is off at inference
-        let log_probs = self.forward(&mut tape, &binding, input, false, &mut rng);
+        let log_probs = self.forward(tape, &binding, input, false, &mut rng);
         tape.value(log_probs).map(f32::exp).into_vec()
     }
 

@@ -90,6 +90,23 @@ pub const H_EPOCH_UPDATE_US: &str = "train.update_us";
 /// enabled alongside the recorder.
 pub const H_MEM_PEAK_BYTES: &str = "train.mem_peak_bytes";
 
+/// Tensor buffers heap-allocated during one epoch (delta of
+/// `magic_tensor::mem` `allocations`). Fields: `epoch`. Only emitted
+/// when tensor memory accounting is enabled. A warm workspace pool
+/// should pin this near the non-pooled residue (leaf clones, op glue);
+/// a regression here means per-sample buffers stopped recycling.
+pub const H_ALLOC_COUNT: &str = "train.alloc_count";
+
+/// Workspace-pool checkouts served from recycled buffers during one
+/// epoch, summed over worker-lane tapes. Fields: `epoch`.
+pub const H_POOL_HITS: &str = "train.pool_hits";
+
+/// Workspace-pool checkouts that fell through to a fresh heap
+/// allocation during one epoch, summed over worker-lane tapes. Fields:
+/// `epoch`. After the first (warm-up) epoch this should be zero for a
+/// fixed workload shape.
+pub const H_POOL_MISSES: &str = "train.pool_misses";
+
 // ---- op profile (schema v2) --------------------------------------------
 
 /// Host-side pseudo-op kinds used by `op_profile` events (phase

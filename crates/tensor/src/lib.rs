@@ -29,9 +29,12 @@ mod rng;
 mod shape;
 mod sparse;
 mod tensor;
+mod workspace;
 
+pub use linalg::{gemm_into, gemm_nt_into, gemm_tn_into};
 pub use mem::MemStats;
 pub use rng::Rng64;
 pub use shape::Shape;
 pub use sparse::CsrMatrix;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};

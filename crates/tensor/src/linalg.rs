@@ -1,22 +1,147 @@
 //! Matrix products and the graph-specific matrix helpers used by Eq. (1).
+//!
+//! Besides the [`Tensor`] methods, this module exposes the blocked kernel
+//! as slice-level GEMM entry points ([`gemm_into`], [`gemm_nt_into`],
+//! [`gemm_tn_into`]) so callers that manage their own buffers — the
+//! im2col convolution lowering with its pooled workspace — can run the
+//! same deterministic kernel without materializing `Tensor` temporaries
+//! or explicit transposes.
 
 use crate::tensor::Tensor;
+
+/// `out += a @ b` on raw row-major slices: `a` is `(m, k)`, `b` is
+/// `(k, n)`, `out` is `(m, n)`.
+///
+/// This is the register-blocked ikj kernel behind [`Tensor::matmul`]: the
+/// k loop is unrolled by 4 (four `a` scalars held in registers against
+/// four consecutive `b` rows) and the j loop runs in 4-wide tiles with a
+/// scalar remainder. The accumulation order is a fixed function of the
+/// shapes alone — no data-dependent branches, in particular no zero
+/// skipping — so results are bitwise reproducible run to run.
+///
+/// Note this *accumulates* into `out`, which lets callers pre-initialize
+/// it with a bias term for free.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its `(m, k, n)` dimensions.
+pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_into: a length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_into: b length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_into: out length mismatch");
+    let k4 = k / 4 * 4;
+    let n4 = n / 4 * 4;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut p = 0;
+        while p < k4 {
+            let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            let mut j = 0;
+            while j < n4 {
+                orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+                orow[j + 1] +=
+                    (a0 * b0[j + 1] + a1 * b1[j + 1]) + (a2 * b2[j + 1] + a3 * b3[j + 1]);
+                orow[j + 2] +=
+                    (a0 * b0[j + 2] + a1 * b1[j + 2]) + (a2 * b2[j + 2] + a3 * b3[j + 2]);
+                orow[j + 3] +=
+                    (a0 * b0[j + 3] + a1 * b1[j + 3]) + (a2 * b2[j + 3] + a3 * b3[j + 3]);
+                j += 4;
+            }
+            while j < n {
+                orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+                j += 1;
+            }
+            p += 4;
+        }
+        while p < k {
+            let ap = arow[p];
+            let brow = &b[p * n..(p + 1) * n];
+            for (oj, &bj) in orow.iter_mut().zip(brow) {
+                *oj += ap * bj;
+            }
+            p += 1;
+        }
+    }
+}
+
+/// `out += a @ bᵀ` on raw row-major slices: `a` is `(m, k)`, `b` is
+/// `(n, k)`, `out` is `(m, n)` — the second operand is consumed
+/// *transposed* without materializing the transpose.
+///
+/// Each output element is one [`Tensor::dot`] of an `a` row against a `b`
+/// row, inheriting its four-accumulator chunking and fixed summation
+/// order, so results are bitwise reproducible. This is the weight-gradient
+/// product of the im2col lowering (`gW = gOut · colsᵀ`).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its `(m, k, n)` dimensions.
+pub fn gemm_nt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt_into: a length mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt_into: b length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_nt_into: out length mismatch");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (oj, brow) in orow.iter_mut().zip(b.chunks_exact(k)) {
+            *oj += Tensor::dot(arow, brow);
+        }
+    }
+}
+
+/// `out += aᵀ @ b` on raw row-major slices: `a` is `(k, m)`, `b` is
+/// `(k, n)`, `out` is `(m, n)` — the first operand is consumed
+/// *transposed* without materializing the transpose.
+///
+/// The loop order is i, then p, then a 4-wide-tiled j (an axpy of `b` row
+/// `p` scaled by `a[p, i]` into `out` row `i`), a fixed function of the
+/// shapes, so results are bitwise reproducible. This is the input-gradient
+/// product of the im2col lowering (`gCols = Wᵀ · gOut`).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with its `(m, k, n)` dimensions.
+pub fn gemm_tn_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_tn_into: a length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_tn_into: b length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_tn_into: out length mismatch");
+    let n4 = n / 4 * 4;
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let ap = a[p * m + i];
+            let brow = &b[p * n..(p + 1) * n];
+            let mut j = 0;
+            while j < n4 {
+                orow[j] += ap * brow[j];
+                orow[j + 1] += ap * brow[j + 1];
+                orow[j + 2] += ap * brow[j + 2];
+                orow[j + 3] += ap * brow[j + 3];
+                j += 4;
+            }
+            while j < n {
+                orow[j] += ap * brow[j];
+                j += 1;
+            }
+        }
+    }
+}
 
 impl Tensor {
     /// Matrix product `self @ other`.
     ///
     /// This is the hot dense operation of the reproduction: every graph
     /// convolution layer computes `Z W` through it, and the MLP head is
-    /// built on it. The kernel is a register-blocked ikj loop: the k loop
-    /// is unrolled by 4 (four `self` scalars held in registers against
-    /// four consecutive `other` rows) and the j loop runs in 4-wide tiles
-    /// with a scalar remainder, so the inner accesses stay sequential and
-    /// autovectorize.
-    ///
-    /// The accumulation order is a fixed function of the shapes alone —
-    /// no data-dependent branches (in particular no zero skipping) — so
-    /// results are bitwise reproducible run to run and independent of the
-    /// values flowing through.
+    /// built on it. It delegates to the register-blocked [`gemm_into`]
+    /// kernel, so it inherits its vectorization and its determinism
+    /// contract (fixed accumulation order, no data-dependent branches —
+    /// in particular no zero skipping — so results are bitwise
+    /// reproducible run to run).
     ///
     /// # Panics
     ///
@@ -27,47 +152,7 @@ impl Tensor {
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
         let mut out = Tensor::zeros([m, n]);
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let o = out.as_mut_slice();
-        let k4 = k / 4 * 4;
-        let n4 = n / 4 * 4;
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            let mut p = 0;
-            while p < k4 {
-                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
-                let b0 = &b[p * n..(p + 1) * n];
-                let b1 = &b[(p + 1) * n..(p + 2) * n];
-                let b2 = &b[(p + 2) * n..(p + 3) * n];
-                let b3 = &b[(p + 3) * n..(p + 4) * n];
-                let mut j = 0;
-                while j < n4 {
-                    orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-                    orow[j + 1] +=
-                        (a0 * b0[j + 1] + a1 * b1[j + 1]) + (a2 * b2[j + 1] + a3 * b3[j + 1]);
-                    orow[j + 2] +=
-                        (a0 * b0[j + 2] + a1 * b1[j + 2]) + (a2 * b2[j + 2] + a3 * b3[j + 2]);
-                    orow[j + 3] +=
-                        (a0 * b0[j + 3] + a1 * b1[j + 3]) + (a2 * b2[j + 3] + a3 * b3[j + 3]);
-                    j += 4;
-                }
-                while j < n {
-                    orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-                    j += 1;
-                }
-                p += 4;
-            }
-            while p < k {
-                let ap = arow[p];
-                let brow = &b[p * n..(p + 1) * n];
-                for (oj, &bj) in orow.iter_mut().zip(brow) {
-                    *oj += ap * bj;
-                }
-                p += 1;
-            }
-        }
+        gemm_into(m, k, n, self.as_slice(), other.as_slice(), out.as_mut_slice());
         out
     }
 
@@ -292,6 +377,72 @@ mod tests {
     fn outer_with_empty_operands() {
         assert_eq!(Tensor::outer(&[1.0, 2.0], &[]).shape().dims(), &[2, 0]);
         assert_eq!(Tensor::outer(&[], &[1.0]).shape().dims(), &[0, 1]);
+    }
+
+    #[test]
+    fn gemm_into_accumulates_on_top_of_existing_values() {
+        // out pre-seeded with a "bias": gemm must add, not overwrite.
+        let a = [1.0, 2.0, 3.0, 4.0]; // (2, 2)
+        let b = [1.0, 0.0, 0.0, 1.0]; // identity
+        let mut out = [10.0, 20.0, 30.0, 40.0];
+        gemm_into(2, 2, 2, &a, &b, &mut out);
+        assert_eq!(out, [11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn gemm_nt_matches_matmul_with_explicit_transpose() {
+        let mut rng = crate::Rng64::new(3);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 4, 4), (2, 13, 6), (5, 3, 4)] {
+            let a = Tensor::rand_uniform([m, k], -2.0, 2.0, &mut rng);
+            let bt = Tensor::rand_uniform([n, k], -2.0, 2.0, &mut rng);
+            let mut out = vec![0.0; m * n];
+            gemm_nt_into(m, k, n, a.as_slice(), bt.as_slice(), &mut out);
+            let want = a.matmul(&bt.transpose());
+            for (g, w) in out.iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-4, "nt ({m},{k},{n}): {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_matmul_with_explicit_transpose() {
+        let mut rng = crate::Rng64::new(5);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 4, 4), (2, 13, 6), (5, 3, 4)] {
+            let at = Tensor::rand_uniform([k, m], -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform([k, n], -2.0, 2.0, &mut rng);
+            let mut out = vec![0.0; m * n];
+            gemm_tn_into(m, k, n, at.as_slice(), b.as_slice(), &mut out);
+            let want = at.transpose().matmul(&b);
+            for (g, w) in out.iter().zip(want.as_slice()) {
+                assert!((g - w).abs() < 1e-4, "tn ({m},{k},{n}): {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_gemms_are_bitwise_deterministic() {
+        let mut rng = crate::Rng64::new(11);
+        let a = Tensor::rand_uniform([9, 17], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([9, 13], -1.0, 1.0, &mut rng);
+        let run_nt = || {
+            let mut out = vec![0.0; 17 * 13];
+            // aᵀ (17,9) @ b (9,13) via tn; a (9,17) rows dotted via nt below.
+            gemm_tn_into(17, 9, 13, a.as_slice(), b.as_slice(), &mut out);
+            out
+        };
+        let first = run_nt();
+        for _ in 0..3 {
+            assert_eq!(first, run_nt(), "accumulation order must be fixed");
+        }
+        let run_tn = || {
+            let mut out = vec![0.0; 9 * 9];
+            gemm_nt_into(9, 17, 9, a.as_slice(), a.as_slice(), &mut out);
+            out
+        };
+        let first = run_tn();
+        for _ in 0..3 {
+            assert_eq!(first, run_tn(), "accumulation order must be fixed");
+        }
     }
 
     #[test]

@@ -19,4 +19,10 @@ cargo bench -q -p magic-bench --bench graph_conv
 echo "==> quick benchmark (CI gate baseline) -> results/BENCH_graph_conv_quick.json"
 MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench graph_conv
 
+echo "==> full benchmark -> results/BENCH_conv_head.json"
+cargo bench -q -p magic-bench --bench conv_head
+
+echo "==> quick benchmark (CI gate baseline) -> results/BENCH_conv_head_quick.json"
+MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench conv_head
+
 echo "==> snapshot complete; review and commit the updated results/BENCH_*.json"

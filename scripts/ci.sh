@@ -50,4 +50,21 @@ else
     echo "no committed baseline at $GC_BASELINE; skipping perf gate"
 fi
 
+echo "==> perf gate: quick conv_head bench vs committed baseline"
+# Wider threshold than the other gates: the conv_head quick cells are
+# sub-millisecond and their medians swing ±30% run-to-run on a busy
+# 1-core container (measured band; the train_parallel ms-scale gate
+# stays within ±5%). 0.40 still fails hard on the ≥2x cost of losing
+# the GEMM lowering.
+CH_BASELINE=results/BENCH_conv_head_quick.json
+if [ -f "$CH_BASELINE" ]; then
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench conv_head
+    ./target/release/magic bench diff \
+        "$CH_BASELINE" target/ci-bench/BENCH_conv_head_quick.json \
+        --threshold 0.40 --require-same-machine
+else
+    echo "no committed baseline at $CH_BASELINE; skipping perf gate"
+fi
+
 echo "==> CI OK"

@@ -1,0 +1,155 @@
+//! im2col-GEMM convolution lowering: end-to-end determinism and
+//! naive-path agreement.
+//!
+//! The GEMM lowering is the default for both conv heads. Its contract
+//! has two halves: (1) training on it is *bitwise* reproducible — run
+//! to run and for every `train_workers` count — because each lowering
+//! fixes its accumulation order and the workspace pool only ever hands
+//! out zero-filled buffers; (2) against the retained naive kernels
+//! (`MAGIC_NAIVE_CONV=1` escape hatch) it agrees to float-reassociation
+//! tolerance, not bitwise — the loop orders differ.
+
+use magic::trainer::{TrainConfig, Trainer};
+use magic_autograd::{first_bitwise_mismatch, ConvLowering, Tape};
+use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
+use magic_tensor::{Rng64, Tensor};
+
+fn random_input(n: usize, seed: u64) -> GraphInput {
+    let mut rng = Rng64::new(seed);
+    let mut g = DiGraph::new(n);
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1);
+    }
+    for _ in 0..n / 2 {
+        g.add_edge(rng.next_below(n), rng.next_below(n));
+    }
+    let attrs = Tensor::rand_uniform([n, NUM_ATTRIBUTES], 0.0, 3.0, &mut rng);
+    GraphInput::from_acfg(&Acfg::new(g, attrs))
+}
+
+fn toy_corpus() -> (Vec<GraphInput>, Vec<usize>) {
+    let inputs: Vec<GraphInput> =
+        (0..12).map(|i| random_input(10 + (i % 3) * 4, 900 + i as u64)).collect();
+    let labels: Vec<usize> = (0..12).map(|i| i % 2).collect();
+    (inputs, labels)
+}
+
+/// Trains the adaptive (conv2d + AMP) head on the default GEMM lowering
+/// and asserts the whole outcome — epoch history and final weights — is
+/// bitwise identical across repeated runs and across worker counts.
+#[test]
+fn im2col_training_is_bitwise_identical_across_runs_and_workers() {
+    let (inputs, labels) = toy_corpus();
+    let train_idx: Vec<usize> = (0..9).collect();
+    let val_idx: Vec<usize> = (9..12).collect();
+
+    let run = |workers: usize| {
+        let config = DgcnnConfig::new(2, PoolingHead::adaptive_max_pool(3));
+        let mut model = Dgcnn::new(&config, 7);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 3,
+            learning_rate: 0.01,
+            seed: 7,
+            train_workers: workers,
+            ..TrainConfig::default()
+        });
+        let outcome = trainer.train(&mut model, &inputs, &labels, &train_idx, &val_idx);
+        (outcome, model)
+    };
+
+    let (reference_outcome, reference_model) = run(1);
+    // Run-to-run on the same worker count, then 2 and 4 workers.
+    for workers in [1, 2, 4] {
+        let (outcome, model) = run(workers);
+        assert_eq!(
+            outcome.history, reference_outcome.history,
+            "history diverged with {workers} workers"
+        );
+        for (name, value) in model.store().iter() {
+            let reference = reference_model.store();
+            let id = reference.find(name).expect("same parameter set");
+            assert_eq!(
+                first_bitwise_mismatch(value, reference.value(id)),
+                None,
+                "weights for {name} diverged with {workers} workers"
+            );
+        }
+    }
+}
+
+/// Forward + backward through full DGCNN models (both head families)
+/// must agree between the GEMM and naive lowerings to reassociation
+/// tolerance: same losses, same parameter gradients.
+#[test]
+fn naive_and_gemm_lowerings_agree_end_to_end() {
+    for head in [PoolingHead::sort_pool_weighted(8), PoolingHead::adaptive_max_pool(3)] {
+        let config = DgcnnConfig::new(2, head);
+        let model = Dgcnn::new(&config, 11);
+
+        for seed in 0..4u64 {
+            let input = random_input(12, 400 + seed);
+            let losses_and_grads = |lowering: ConvLowering| {
+                let mut tape = Tape::new();
+                tape.set_conv_lowering(lowering);
+                let binding = model.store().bind(&mut tape);
+                let mut rng = Rng64::for_sample(3, 0, seed);
+                let lp = model.forward(&mut tape, &binding, &input, true, &mut rng);
+                let loss = tape.nll_loss(lp, vec![(seed % 2) as usize]);
+                tape.backward(loss);
+                let loss_value = tape.value(loss).item();
+                let grads: Vec<(String, Tensor)> = model
+                    .store()
+                    .iter()
+                    .map(|(name, _)| {
+                        let id = model.store().find(name).expect("param");
+                        let g = tape
+                            .grad(binding.var(id))
+                            .cloned()
+                            .unwrap_or_else(|| Tensor::zeros([1]));
+                        (name.to_string(), g)
+                    })
+                    .collect();
+                (loss_value, grads)
+            };
+
+            let (gemm_loss, gemm_grads) = losses_and_grads(ConvLowering::Im2colGemm);
+            let (naive_loss, naive_grads) = losses_and_grads(ConvLowering::Naive);
+            assert!(
+                (gemm_loss - naive_loss).abs() < 1e-4,
+                "loss diverged: gemm {gemm_loss} vs naive {naive_loss}"
+            );
+            for ((name, g), (_, n)) in gemm_grads.iter().zip(&naive_grads) {
+                assert_eq!(g.shape(), n.shape(), "{name} grad shape");
+                for (a, b) in g.as_slice().iter().zip(n.as_slice()) {
+                    assert!(
+                        (a - b).abs() < 1e-3,
+                        "{name} grad diverged: gemm {a} vs naive {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same tape, same sample, run twice under the GEMM lowering — once
+/// cold, once against a warm workspace pool — must produce bitwise
+/// identical probabilities: pooling is invisible to the numerics.
+#[test]
+fn warm_workspace_does_not_change_predictions_bitwise() {
+    let config = DgcnnConfig::new(2, PoolingHead::adaptive_max_pool(3));
+    let model = Dgcnn::new(&config, 5);
+    let input = random_input(14, 77);
+
+    let mut tape = Tape::new();
+    let cold = model.predict_with(&mut tape, &input);
+    for _ in 0..3 {
+        let warm = model.predict_with(&mut tape, &input);
+        assert_eq!(
+            cold.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            warm.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "warm-pool prediction diverged"
+        );
+    }
+}
