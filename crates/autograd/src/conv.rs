@@ -28,6 +28,19 @@
 //! zero skipping) with a loop order fixed by the shapes alone, so each is
 //! individually bitwise deterministic; across lowerings they accumulate in
 //! different orders and agree to float tolerance (~1e-5), not bitwise.
+//!
+//! # Batched kernels
+//!
+//! The `*_batched` variants below run a whole mini-batch through one
+//! kernel call by stacking samples along the length/width axis (1-D:
+//! equal `seg_len` segments; 2-D: heterogeneous `(h, w)` segments of a
+//! column-stacked `(c, Σ hⱼ·wⱼ)` matrix). Forward outputs and backward
+//! input gradients are computed per output element / per sample segment
+//! exactly as the per-sample kernels compute them, and the *shared*
+//! weight/bias gradients are unstacked per sample and combined in sample
+//! order with the same `((0 + g₀) + g₁) + …` chain the per-sample
+//! gradient buffers use — so batched execution is bitwise identical to
+//! the per-sample path, not merely close.
 
 use magic_tensor::{gemm_into, gemm_nt_into, gemm_tn_into, Tensor, Workspace};
 
@@ -511,6 +524,409 @@ pub(crate) fn max_pool1d_forward(x: &Tensor, k: usize, ws: &mut Workspace) -> (T
     (out, argmax)
 }
 
+/// [`im2col_1d`] over a batch of `x.cols() / seg_len` equal-length
+/// segments: `cols[ci·k + j, s·L + t] = x[ci, s·seg_len + t·stride + j]`
+/// where `L` is the per-sample output length. Each sample's columns are
+/// the contiguous range `[s·L, (s+1)·L)` of every row, so the batched
+/// GEMM computes exactly the per-sample outputs side by side.
+///
+/// # Panics
+///
+/// Panics if `x.cols()` is not a multiple of `seg_len`.
+pub(crate) fn im2col_1d_batched(
+    x: &Tensor,
+    k: usize,
+    stride: usize,
+    seg_len: usize,
+    ws: &mut Workspace,
+) -> Vec<f32> {
+    let c_in = x.rows();
+    let total = x.cols();
+    assert!(
+        seg_len > 0 && total.is_multiple_of(seg_len),
+        "input width {total} is not a multiple of segment length {seg_len}"
+    );
+    let batch = total / seg_len;
+    let out_len = conv1d_shape(seg_len, k, stride);
+    let out_total = batch * out_len;
+    let mut cols = ws.take(c_in * k * out_total);
+    for ci in 0..c_in {
+        let xr = x.row(ci);
+        for j in 0..k {
+            let row = &mut cols[(ci * k + j) * out_total..(ci * k + j + 1) * out_total];
+            for s in 0..batch {
+                let seg = &mut row[s * out_len..(s + 1) * out_len];
+                let x_seg = &xr[s * seg_len..(s + 1) * seg_len];
+                for (t, c) in seg.iter_mut().enumerate() {
+                    *c = x_seg[t * stride + j];
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Backward of the batched 1-D convolution (`x` is `(c_in, B·seg_len)`,
+/// `gout` is `(c_out, B·L)`). Input gradients scatter per sample segment
+/// in the per-sample col2im order; the shared `gw`/`gb` are unstacked per
+/// sample and combined in sample order (see the module docs on bitwise
+/// parity). Returns pooled `(gx, gw, gb)`.
+pub(crate) fn conv1d_batched_backward(
+    x: &Tensor,
+    w: &Tensor,
+    k: usize,
+    stride: usize,
+    seg_len: usize,
+    gout: &Tensor,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let c_in = x.rows();
+    let total = x.cols();
+    let c_out = w.shape().dim(0);
+    let batch = total / seg_len;
+    let out_len = conv1d_shape(seg_len, k, stride);
+    let out_total = batch * out_len;
+    debug_assert_eq!(gout.cols(), out_total);
+    let ck = c_in * k;
+    let cols = im2col_1d_batched(x, k, stride, seg_len, ws);
+    let gs = gout.as_slice();
+
+    // gb: per-sample segment sums added in sample order — the reduction
+    // chain the per-sample gradient buffer uses.
+    let mut gb = ws.take(c_out);
+    for s in 0..batch {
+        for (o, g) in gb.iter_mut().enumerate() {
+            *g += gs[o * out_total + s * out_len..][..out_len].iter().sum::<f32>();
+        }
+    }
+
+    // gW: per-sample GEMM into a re-zeroed temp, combined elementwise in
+    // sample order. The sample's gout/cols are column ranges of row-major
+    // matrices, so they are copied into contiguous temps first.
+    let mut gw = ws.take_tensor(w.shape().clone());
+    let mut temp_g = ws.take(c_out * out_len);
+    let mut temp_c = ws.take(ck * out_len);
+    let mut temp_gw = ws.take(w.len());
+    for s in 0..batch {
+        for o in 0..c_out {
+            temp_g[o * out_len..(o + 1) * out_len]
+                .copy_from_slice(&gs[o * out_total + s * out_len..][..out_len]);
+        }
+        for r in 0..ck {
+            temp_c[r * out_len..(r + 1) * out_len]
+                .copy_from_slice(&cols[r * out_total + s * out_len..][..out_len]);
+        }
+        temp_gw.fill(0.0);
+        gemm_nt_into(c_out, out_len, ck, &temp_g, &temp_c, &mut temp_gw);
+        for (acc, &g) in gw.as_mut_slice().iter_mut().zip(temp_gw.iter()) {
+            *acc += g;
+        }
+    }
+    ws.recycle(temp_g);
+    ws.recycle(temp_c);
+    ws.recycle(temp_gw);
+
+    // gCols: one full transpose-GEMM. Each output column reads only its
+    // own column of gOut, so every sample's chain is untouched.
+    let mut gcols = ws.take(ck * out_total);
+    gemm_tn_into(ck, c_out, out_total, w.as_slice(), gout.as_slice(), &mut gcols);
+
+    // gX: per-sample col2im scatter in the per-sample order (ci, j, t).
+    let mut gx = ws.take_tensor(x.shape().clone());
+    let gxs = gx.as_mut_slice();
+    for s in 0..batch {
+        for ci in 0..c_in {
+            let gxr = &mut gxs[ci * total + s * seg_len..][..seg_len];
+            for j in 0..k {
+                let row = &gcols[(ci * k + j) * out_total + s * out_len..][..out_len];
+                for (t, &g) in row.iter().enumerate() {
+                    gxr[t * stride + j] += g;
+                }
+            }
+        }
+    }
+    ws.recycle(cols);
+    ws.recycle(gcols);
+    (gx, gw, gb)
+}
+
+/// Per-sample output dims of a batched 2-D convolution over `dims`.
+pub(crate) fn conv2d_batched_out_dims(
+    dims: &[(usize, usize)],
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<(usize, usize)> {
+    dims.iter().map(|&(h, w)| conv2d_shape(h, w, kh, kw, stride, pad)).collect()
+}
+
+/// [`im2col_2d`] over a column-stacked batch: `x` is `(c_in, Σ hⱼ·wⱼ)`
+/// with sample `j`'s `(hⱼ, wⱼ)` map flattened into the column range
+/// starting at `Σ_{i<j} hᵢ·wᵢ` of every row. Produces a
+/// `(c_in·kh·kw, Σ ohⱼ·owⱼ)` column buffer whose sample column ranges
+/// are laid out the same way; padding taps stay at the zero fill.
+pub(crate) fn im2col_2d_batched(
+    x: &Tensor,
+    dims: &[(usize, usize)],
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ws: &mut Workspace,
+) -> Vec<f32> {
+    let c_in = x.rows();
+    let total_in = x.cols();
+    debug_assert_eq!(total_in, dims.iter().map(|&(h, w)| h * w).sum::<usize>());
+    let out_dims = conv2d_batched_out_dims(dims, kh, kw, stride, pad);
+    let out_total: usize = out_dims.iter().map(|&(oh, ow)| oh * ow).sum();
+    let mut cols = ws.take(c_in * kh * kw * out_total);
+    let xs = x.as_slice();
+    let mut in_off = 0;
+    let mut out_off = 0;
+    for (&(h, w), &(oh, ow)) in dims.iter().zip(&out_dims) {
+        for ci in 0..c_in {
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    let row =
+                        &mut cols[((ci * kh + dy) * kw + dx) * out_total + out_off..][..oh * ow];
+                    for oy in 0..oh {
+                        let iy = (oy * stride + dy) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let x_row = ci * total_in + in_off + iy as usize * w;
+                        for ox in 0..ow {
+                            let ix = (ox * stride + dx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            row[oy * ow + ox] = xs[x_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        in_off += h * w;
+        out_off += oh * ow;
+    }
+    cols
+}
+
+/// GEMM half of the batched im2col 2-D convolution. Unlike
+/// [`conv2d_forward_gemm`], the output is the flat `(c_out, Σ ohⱼ·owⱼ)`
+/// column-stacked matrix (per-sample maps are not materialized).
+pub(crate) fn conv2d_batched_forward_gemm(
+    cols: &[f32],
+    wt: &Tensor,
+    b: &[f32],
+    out_total: usize,
+    ws: &mut Workspace,
+) -> Tensor {
+    let c_out = wt.shape().dim(0);
+    let ckk = wt.shape().dim(1) * wt.shape().dim(2) * wt.shape().dim(3);
+    debug_assert_eq!(cols.len(), ckk * out_total);
+    let mut out = ws.take_tensor([c_out, out_total]);
+    let os = out.as_mut_slice();
+    for (o, row) in os.chunks_exact_mut(out_total).enumerate() {
+        row.fill(b[o]);
+    }
+    gemm_into(c_out, ckk, out_total, wt.as_slice(), cols, os);
+    out
+}
+
+/// Backward of the batched 2-D convolution (`x` column-stacked as in
+/// [`im2col_2d_batched`]). Same unstacking strategy as
+/// [`conv1d_batched_backward`]. Returns pooled `(gx, gw, gb)`.
+pub(crate) fn conv2d_batched_backward(
+    x: &Tensor,
+    wt: &Tensor,
+    stride: usize,
+    pad: usize,
+    dims: &[(usize, usize)],
+    gout: &Tensor,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let c_in = x.rows();
+    let total_in = x.cols();
+    let (c_out, kh, kw) = (wt.shape().dim(0), wt.shape().dim(2), wt.shape().dim(3));
+    let ckk = c_in * kh * kw;
+    let out_dims = conv2d_batched_out_dims(dims, kh, kw, stride, pad);
+    let out_total = gout.cols();
+    debug_assert_eq!(out_total, out_dims.iter().map(|&(oh, ow)| oh * ow).sum::<usize>());
+    let cols = im2col_2d_batched(x, dims, kh, kw, stride, pad, ws);
+    let gs = gout.as_slice();
+
+    let mut gb = ws.take(c_out);
+    let mut out_off = 0;
+    for &(oh, ow) in &out_dims {
+        for (o, g) in gb.iter_mut().enumerate() {
+            *g += gs[o * out_total + out_off..][..oh * ow].iter().sum::<f32>();
+        }
+        out_off += oh * ow;
+    }
+
+    let seg_max = out_dims.iter().map(|&(oh, ow)| oh * ow).max().unwrap_or(0);
+    let mut gw = ws.take_tensor(wt.shape().clone());
+    let mut temp_g = ws.take(c_out * seg_max);
+    let mut temp_c = ws.take(ckk * seg_max);
+    let mut temp_gw = ws.take(wt.len());
+    let mut out_off = 0;
+    for &(oh, ow) in &out_dims {
+        let sz = oh * ow;
+        for o in 0..c_out {
+            temp_g[o * sz..(o + 1) * sz].copy_from_slice(&gs[o * out_total + out_off..][..sz]);
+        }
+        for r in 0..ckk {
+            temp_c[r * sz..(r + 1) * sz].copy_from_slice(&cols[r * out_total + out_off..][..sz]);
+        }
+        temp_gw.fill(0.0);
+        gemm_nt_into(c_out, sz, ckk, &temp_g[..c_out * sz], &temp_c[..ckk * sz], &mut temp_gw);
+        for (acc, &g) in gw.as_mut_slice().iter_mut().zip(temp_gw.iter()) {
+            *acc += g;
+        }
+        out_off += sz;
+    }
+    ws.recycle(temp_g);
+    ws.recycle(temp_c);
+    ws.recycle(temp_gw);
+
+    let mut gcols = ws.take(ckk * out_total);
+    gemm_tn_into(ckk, c_out, out_total, wt.as_slice(), gout.as_slice(), &mut gcols);
+
+    let mut gx = ws.take_tensor(x.shape().clone());
+    let gxs = gx.as_mut_slice();
+    let mut in_off = 0;
+    let mut out_off = 0;
+    for (&(h, w), &(oh, ow)) in dims.iter().zip(&out_dims) {
+        // Per-sample col2im in the per-sample order (ci, dy, dx, oy, ox).
+        for ci in 0..c_in {
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    let row = &gcols[((ci * kh + dy) * kw + dx) * out_total + out_off..][..oh * ow];
+                    for oy in 0..oh {
+                        let iy = (oy * stride + dy) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let x_row = ci * total_in + in_off + iy as usize * w;
+                        for ox in 0..ow {
+                            let ix = (ox * stride + dx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            gxs[x_row + ix as usize] += row[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        in_off += h * w;
+        out_off += oh * ow;
+    }
+    ws.recycle(cols);
+    ws.recycle(gcols);
+    (gx, gw, gb)
+}
+
+/// [`adaptive_max_pool2d_forward`] over a column-stacked batch: `x` is
+/// `(c, Σ hⱼ·wⱼ)`, the output is `(c, B·oh·ow)` with sample `j`'s pooled
+/// map in the column range `[j·oh·ow, (j+1)·oh·ow)`. Argmax indices are
+/// pushed in ascending output flat order (channel-major, then sample),
+/// so the standard enumerate-scatter backward applies unchanged; within
+/// each `(sample, channel)` the window scan order — and hence strict-`>`
+/// tie-breaking — matches the per-sample kernel exactly.
+pub(crate) fn adaptive_max_pool2d_batched_forward(
+    x: &Tensor,
+    dims: &[(usize, usize)],
+    oh: usize,
+    ow: usize,
+    ws: &mut Workspace,
+) -> (Tensor, Vec<usize>) {
+    let c = x.rows();
+    let total_in = x.cols();
+    debug_assert_eq!(total_in, dims.iter().map(|&(h, w)| h * w).sum::<usize>());
+    let out_cols = dims.len() * oh * ow;
+    let mut out = ws.take_tensor([c, out_cols]);
+    let mut argmax = ws.take_indices(c * out_cols);
+    let offsets: Vec<usize> = dims
+        .iter()
+        .scan(0usize, |acc, &(h, w)| {
+            let off = *acc;
+            *acc += h * w;
+            Some(off)
+        })
+        .collect();
+    let xs = x.as_slice();
+    for ci in 0..c {
+        for (s, (&(h, w), &in_off)) in dims.iter().zip(&offsets).enumerate() {
+            for oy in 0..oh {
+                let (y0, y1) = adaptive_window(oy, oh, h);
+                for ox in 0..ow {
+                    let (x0, x1) = adaptive_window(ox, ow, w);
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = ci * total_in + in_off + y0 * w + x0;
+                    for iy in y0..y1 {
+                        for ix in x0..x1 {
+                            let off = ci * total_in + in_off + iy * w + ix;
+                            let v = xs[off];
+                            if v > best {
+                                best = v;
+                                best_idx = off;
+                            }
+                        }
+                    }
+                    out.set2(ci, (s * oh + oy) * ow + ox, best);
+                    argmax.push(best_idx);
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// [`max_pool1d_forward`] over a batch of equal `seg_len` segments.
+/// Windows never straddle a segment boundary and each segment's tail
+/// (`seg_len % k`) is dropped exactly as the per-sample kernel drops it.
+/// Argmax indices are pushed in ascending output flat order.
+pub(crate) fn max_pool1d_batched_forward(
+    x: &Tensor,
+    k: usize,
+    seg_len: usize,
+    ws: &mut Workspace,
+) -> (Tensor, Vec<usize>) {
+    let (c, total) = (x.rows(), x.cols());
+    assert!(
+        seg_len > 0 && total.is_multiple_of(seg_len),
+        "input width {total} is not a multiple of segment length {seg_len}"
+    );
+    let batch = total / seg_len;
+    let out_len = seg_len / k;
+    assert!(out_len > 0, "pooling window {k} larger than segment {seg_len}");
+    let mut out = ws.take_tensor([c, batch * out_len]);
+    let mut argmax = ws.take_indices(c * batch * out_len);
+    let xs = x.as_slice();
+    for ci in 0..c {
+        for s in 0..batch {
+            for t in 0..out_len {
+                let base = ci * total + s * seg_len + t * k;
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = base;
+                for j in 0..k {
+                    let v = xs[base + j];
+                    if v > best {
+                        best = v;
+                        best_idx = base + j;
+                    }
+                }
+                out.set2(ci, s * out_len + t, best);
+                argmax.push(best_idx);
+            }
+        }
+    }
+    (out, argmax)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -821,6 +1237,231 @@ mod tests {
             wm.as_mut_slice()[idx] -= eps;
             let num = (conv2d_forward(&x, &wp, &b, 1, 1).sum() - conv2d_forward(&x, &wm, &b, 1, 1).sum()) / (2.0 * eps);
             assert!((num - gw.as_slice()[idx]).abs() < 1e-1);
+        }
+    }
+
+    /// Adds `parts` elementwise in order starting from zero — the exact
+    /// reduction chain the per-sample gradient buffers use.
+    fn chain_add(parts: &[&[f32]]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; parts[0].len()];
+        for p in parts {
+            for (a, &g) in acc.iter_mut().zip(*p) {
+                *a += g;
+            }
+        }
+        acc
+    }
+
+    /// Stacks per-sample `(c, lenⱼ)` matrices column-wise into `(c, Σ lenⱼ)`.
+    fn hstack(samples: &[&Tensor]) -> Tensor {
+        let c = samples[0].rows();
+        let total: usize = samples.iter().map(|s| s.len() / c).sum();
+        let mut data = Vec::with_capacity(c * total);
+        for ci in 0..c {
+            for s in samples {
+                let w = s.len() / c;
+                data.extend_from_slice(&s.as_slice()[ci * w..(ci + 1) * w]);
+            }
+        }
+        Tensor::from_vec(data, [c, total])
+    }
+
+    #[test]
+    fn conv1d_batched_is_bitwise_equal_to_per_sample() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(41);
+        let mut ws = Workspace::new();
+        let (c_in, c_out, k, stride, seg_len, batch) = (2, 3, 3, 1, 9, 3);
+        let out_len = conv1d_shape(seg_len, k, stride);
+        let samples: Vec<Tensor> =
+            (0..batch).map(|_| Tensor::rand_uniform([c_in, seg_len], -1.0, 1.0, &mut rng)).collect();
+        let w = Tensor::rand_uniform([c_out, c_in, k], -1.0, 1.0, &mut rng);
+        let b: Vec<f32> = (0..c_out).map(|i| 0.1 * i as f32 - 0.1).collect();
+        let gouts: Vec<Tensor> =
+            (0..batch).map(|_| Tensor::rand_uniform([c_out, out_len], -1.0, 1.0, &mut rng)).collect();
+
+        let x = hstack(&samples.iter().collect::<Vec<_>>());
+        let cols = im2col_1d_batched(&x, k, stride, seg_len, &mut ws);
+        let out = conv1d_forward_gemm(&cols, &w, &b, batch * out_len, &mut ws);
+        ws.recycle(cols);
+        let gout = hstack(&gouts.iter().collect::<Vec<_>>());
+        let (gx, gw, gb) = conv1d_batched_backward(&x, &w, k, stride, seg_len, &gout, &mut ws);
+
+        let mut per_gw = Vec::new();
+        let mut per_gb = Vec::new();
+        for s in 0..batch {
+            let scols = im2col_1d(&samples[s], k, stride, &mut ws);
+            let sout = conv1d_forward_gemm(&scols, &w, &b, out_len, &mut ws);
+            ws.recycle(scols);
+            for o in 0..c_out {
+                assert_eq!(
+                    &out.row(o)[s * out_len..(s + 1) * out_len],
+                    sout.row(o),
+                    "fwd sample {s} channel {o}"
+                );
+            }
+            let (sgx, sgw, sgb) =
+                conv1d_backward_gemm(&samples[s], &w, k, stride, &gouts[s], &mut ws);
+            for ci in 0..c_in {
+                assert_eq!(
+                    &gx.row(ci)[s * seg_len..(s + 1) * seg_len],
+                    sgx.row(ci),
+                    "gx sample {s} channel {ci}"
+                );
+            }
+            per_gw.push(sgw.as_slice().to_vec());
+            per_gb.push(sgb.clone());
+        }
+        let chained_gw = chain_add(&per_gw.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let chained_gb = chain_add(&per_gb.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        assert_eq!(gw.as_slice(), chained_gw.as_slice(), "gw chain");
+        assert_eq!(gb, chained_gb, "gb chain");
+    }
+
+    #[test]
+    fn conv2d_batched_is_bitwise_equal_to_per_sample_with_varied_dims() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(42);
+        let mut ws = Workspace::new();
+        let (c_in, c_out, kh, kw, stride, pad) = (2, 3, 3, 3, 1, 1);
+        let dims = [(4, 5), (3, 3), (5, 2)];
+        let samples: Vec<Tensor> = dims
+            .iter()
+            .map(|&(h, w)| Tensor::rand_uniform([c_in, h, w], -1.0, 1.0, &mut rng))
+            .collect();
+        let wt = Tensor::rand_uniform([c_out, c_in, kh, kw], -1.0, 1.0, &mut rng);
+        let b: Vec<f32> = (0..c_out).map(|i| 0.05 * i as f32).collect();
+        let out_dims = conv2d_batched_out_dims(&dims, kh, kw, stride, pad);
+        let gouts: Vec<Tensor> = out_dims
+            .iter()
+            .map(|&(oh, ow)| Tensor::rand_uniform([c_out, oh, ow], -1.0, 1.0, &mut rng))
+            .collect();
+
+        // Column-stack each sample's flattened maps per channel row.
+        let flat: Vec<Tensor> = samples
+            .iter()
+            .zip(&dims)
+            .map(|(s, &(h, w))| s.reshape([c_in, h * w]))
+            .collect();
+        let x = hstack(&flat.iter().collect::<Vec<_>>());
+        let out_total: usize = out_dims.iter().map(|&(oh, ow)| oh * ow).sum();
+        let cols = im2col_2d_batched(&x, &dims, kh, kw, stride, pad, &mut ws);
+        let out = conv2d_batched_forward_gemm(&cols, &wt, &b, out_total, &mut ws);
+        ws.recycle(cols);
+        let gflat: Vec<Tensor> = gouts
+            .iter()
+            .zip(&out_dims)
+            .map(|(g, &(oh, ow))| g.reshape([c_out, oh * ow]))
+            .collect();
+        let gout = hstack(&gflat.iter().collect::<Vec<_>>());
+        let (gx, gw, gb) = conv2d_batched_backward(&x, &wt, stride, pad, &dims, &gout, &mut ws);
+
+        let mut per_gw = Vec::new();
+        let mut per_gb = Vec::new();
+        let mut in_off = 0;
+        let mut out_off = 0;
+        for s in 0..dims.len() {
+            let (h, w) = dims[s];
+            let (oh, ow) = out_dims[s];
+            let scols = im2col_2d(&samples[s], kh, kw, stride, pad, &mut ws);
+            let sout = conv2d_forward_gemm(&scols, &wt, &b, oh, ow, &mut ws);
+            ws.recycle(scols);
+            for o in 0..c_out {
+                assert_eq!(
+                    &out.row(o)[out_off..out_off + oh * ow],
+                    &sout.as_slice()[o * oh * ow..(o + 1) * oh * ow],
+                    "fwd sample {s} channel {o}"
+                );
+            }
+            let (sgx, sgw, sgb) =
+                conv2d_backward_gemm(&samples[s], &wt, stride, pad, &gouts[s], &mut ws);
+            for ci in 0..c_in {
+                assert_eq!(
+                    &gx.row(ci)[in_off..in_off + h * w],
+                    &sgx.as_slice()[ci * h * w..(ci + 1) * h * w],
+                    "gx sample {s} channel {ci}"
+                );
+            }
+            per_gw.push(sgw.as_slice().to_vec());
+            per_gb.push(sgb.clone());
+            in_off += h * w;
+            out_off += oh * ow;
+        }
+        let chained_gw = chain_add(&per_gw.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let chained_gb = chain_add(&per_gb.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        assert_eq!(gw.as_slice(), chained_gw.as_slice(), "gw chain");
+        assert_eq!(gb, chained_gb, "gb chain");
+    }
+
+    #[test]
+    fn amp_batched_matches_per_sample_outputs_and_winners() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(43);
+        let mut ws = Workspace::new();
+        let (c, oh, ow) = (3, 3, 3);
+        let dims = [(4, 7), (3, 3), (2, 9)];
+        let total_in: usize = dims.iter().map(|&(h, w)| h * w).sum();
+        let samples: Vec<Tensor> =
+            dims.iter().map(|&(h, w)| Tensor::rand_uniform([c, h, w], -1.0, 1.0, &mut rng)).collect();
+        let flat: Vec<Tensor> = samples
+            .iter()
+            .zip(&dims)
+            .map(|(s, &(h, w))| s.reshape([c, h * w]))
+            .collect();
+        let x = hstack(&flat.iter().collect::<Vec<_>>());
+        let (out, argmax) = adaptive_max_pool2d_batched_forward(&x, &dims, oh, ow, &mut ws);
+        let mut in_off = 0;
+        for s in 0..dims.len() {
+            let (h, w) = dims[s];
+            let (sout, sarg) = adaptive_max_pool2d_forward(&samples[s], oh, ow, &mut ws);
+            for ci in 0..c {
+                assert_eq!(
+                    &out.row(ci)[s * oh * ow..(s + 1) * oh * ow],
+                    &sout.as_slice()[ci * oh * ow..(ci + 1) * oh * ow],
+                    "out sample {s} channel {ci}"
+                );
+                for cell in 0..oh * ow {
+                    let local = sarg[ci * oh * ow + cell] - ci * h * w;
+                    assert_eq!(
+                        argmax[ci * dims.len() * oh * ow + s * oh * ow + cell],
+                        ci * total_in + in_off + local,
+                        "winner sample {s} channel {ci} cell {cell}"
+                    );
+                }
+            }
+            in_off += h * w;
+        }
+    }
+
+    #[test]
+    fn maxpool1d_batched_matches_per_sample_and_drops_tails_per_segment() {
+        use magic_tensor::Rng64;
+        let mut rng = Rng64::new(44);
+        let mut ws = Workspace::new();
+        let (c, k, seg_len, batch) = (2, 2, 7, 3); // 7 % 2 == 1: one dropped tail per segment
+        let out_len = seg_len / k;
+        let samples: Vec<Tensor> =
+            (0..batch).map(|_| Tensor::rand_uniform([c, seg_len], -1.0, 1.0, &mut rng)).collect();
+        let x = hstack(&samples.iter().collect::<Vec<_>>());
+        let (out, argmax) = max_pool1d_batched_forward(&x, k, seg_len, &mut ws);
+        assert_eq!(out.shape().dims(), &[c, batch * out_len]);
+        for s in 0..batch {
+            let (sout, sarg) = max_pool1d_forward(&samples[s], k, &mut ws);
+            for ci in 0..c {
+                assert_eq!(
+                    &out.row(ci)[s * out_len..(s + 1) * out_len],
+                    sout.row(ci),
+                    "out sample {s} channel {ci}"
+                );
+                for t in 0..out_len {
+                    let local = sarg[ci * out_len + t] - ci * seg_len;
+                    assert_eq!(
+                        argmax[ci * batch * out_len + s * out_len + t],
+                        ci * (batch * seg_len) + s * seg_len + local,
+                        "winner sample {s} channel {ci} cell {t}"
+                    );
+                }
+            }
         }
     }
 }

@@ -38,6 +38,19 @@
 //!   buffer alive across the tape); that recompute is charged inside the
 //!   `conv*.gemm` backward row's standard 2× heuristic, not as a second
 //!   `im2col` row.
+//! * Batched op kinds (`gemm.batched`, `spmm_norm.batched` /
+//!   `spmm_norm_t.batched`, `conv1d.batched`, `conv2d.batched`) reuse the
+//!   formulas above applied to the *concatenated* output — a block-diagonal
+//!   propagation over `Σ nnz_j` nonzeros or a column-stacked convolution
+//!   over `Σ out_j` positions performs exactly the per-sample FLOPs summed,
+//!   so per-sample and batched profiles of the same mini-batch report the
+//!   same totals and `magic profile` attribution stays comparable across
+//!   the two execution modes. `matmul_row_blocks` (also `gemm.batched`)
+//!   charges `2·B·block_rows·c` via `matmul_flops(B, block_rows, c)`.
+//!   Batched data movement (`gather_pad.batched`, `unstack_cols.batched`,
+//!   `max_pool1d.batched`, `adaptive_max_pool2d.batched`) counts zero
+//!   FLOPs like its per-sample counterparts; `nll_loss.batched` counts one
+//!   FLOP per row.
 //! * Cheap elementwise ops count one FLOP per output element;
 //!   transcendentals (`sigmoid`, `tanh`, `log_softmax`) count a few.
 //! * Data movement (`transpose`, `reshape`, `gather_rows`, pooling,

@@ -59,12 +59,14 @@ enum Op {
     ScaleRows(Var, Vec<f32>),
     /// Fused `D̂⁻¹ (Â F)` of Eq. (1) over a CSR adjacency. The matrices
     /// and scale vector are per-graph constants shared via `Arc`, so the
-    /// backward sweep's op clone stays O(1).
+    /// backward sweep's op clone stays O(1). `batched` marks a
+    /// block-diagonal batch adjacency (same math, own profile kind).
     SpmmNorm {
         adj: Arc<CsrMatrix>,
         adj_t: Arc<CsrMatrix>,
         inv_degree: Arc<Vec<f32>>,
         f: Var,
+        batched: bool,
     },
     Transpose(Var),
     ConcatCols(Vec<Var>),
@@ -80,6 +82,35 @@ enum Op {
     Conv2d { x: Var, w: Var, b: Var, stride: usize, pad: usize, gemm: bool },
     AdaptiveMaxPool2d { x: Var, argmax: Vec<usize> },
     MaxPool1d { x: Var, argmax: Vec<usize> },
+    /// `a @ b` where `a` row-stacks one segment per sample (`bounds` are
+    /// the `B+1` segment boundaries). The forward is a plain matmul; the
+    /// backward unstacks `b`'s gradient per sample so the shared-operand
+    /// reduction chain matches per-sample execution bitwise.
+    MatmulBatched { a: Var, b: Var, bounds: Arc<Vec<usize>> },
+    /// One single-row GEMM per `block_rows`-row block of `x` against the
+    /// shared `(1, block_rows)` operand `w` — the batched
+    /// WeightedVertices head. Output row `j` is `w @ x[j·k..(j+1)·k]`.
+    MatmulRowBlocks { w: Var, x: Var, block_rows: usize },
+    /// [`Op::GatherRows`] with a `usize::MAX` pad sentinel: sentinel
+    /// destinations read (and backprop) a zero row. Fuses SortPooling's
+    /// gather + pad for a whole batch.
+    GatherRowsPad(Var, Vec<usize>),
+    /// `(C, B·L)` → `(B, C·L)`: row `j` of the output is sample `j`'s
+    /// per-sample row-major flatten. Pure data movement.
+    UnstackColumns { a: Var, seg_len: usize },
+    /// Per-row NLL: `out[j] = -lp[j, targets[j]]` as a `(B, 1)` column.
+    NllLossRows(Var, Vec<usize>),
+    Conv1dBatched { x: Var, w: Var, b: Var, k: usize, stride: usize, seg_len: usize },
+    Conv2dBatched {
+        x: Var,
+        w: Var,
+        b: Var,
+        stride: usize,
+        pad: usize,
+        dims: Arc<Vec<(usize, usize)>>,
+    },
+    AdaptiveMaxPool2dBatched { x: Var, argmax: Vec<usize> },
+    MaxPool1dBatched { x: Var, argmax: Vec<usize> },
 }
 
 impl Op {
@@ -100,7 +131,8 @@ impl Op {
             Op::Sigmoid(..) => "sigmoid",
             Op::Tanh(..) => "tanh",
             Op::ScaleRows(..) => "scale_rows",
-            Op::SpmmNorm { .. } => "spmm_norm",
+            Op::SpmmNorm { batched: false, .. } => "spmm_norm",
+            Op::SpmmNorm { batched: true, .. } => "spmm_norm.batched",
             Op::Transpose(..) => "transpose",
             Op::ConcatCols(..) => "concat_cols",
             Op::GatherRows(..) => "gather_rows",
@@ -117,6 +149,14 @@ impl Op {
             Op::Conv2d { gemm: true, .. } => "conv2d.gemm",
             Op::AdaptiveMaxPool2d { .. } => "adaptive_max_pool2d",
             Op::MaxPool1d { .. } => "max_pool1d",
+            Op::MatmulBatched { .. } | Op::MatmulRowBlocks { .. } => "gemm.batched",
+            Op::GatherRowsPad(..) => "gather_pad.batched",
+            Op::UnstackColumns { .. } => "unstack_cols.batched",
+            Op::NllLossRows(..) => "nll_loss.batched",
+            Op::Conv1dBatched { .. } => "conv1d.batched",
+            Op::Conv2dBatched { .. } => "conv2d.batched",
+            Op::AdaptiveMaxPool2dBatched { .. } => "adaptive_max_pool2d.batched",
+            Op::MaxPool1dBatched { .. } => "max_pool1d.batched",
         }
     }
 
@@ -126,7 +166,8 @@ impl Op {
     /// pseudo-op name.
     fn backward_kind(&self) -> &'static str {
         match self {
-            Op::SpmmNorm { .. } => "spmm_norm_t",
+            Op::SpmmNorm { batched: false, .. } => "spmm_norm_t",
+            Op::SpmmNorm { batched: true, .. } => "spmm_norm_t.batched",
             other => other.kind(),
         }
     }
@@ -257,9 +298,10 @@ impl Tape {
         for node in nodes.drain(..) {
             match node.op {
                 Op::Dropout(_, mask) => workspace.recycle(mask),
-                Op::AdaptiveMaxPool2d { argmax, .. } | Op::MaxPool1d { argmax, .. } => {
-                    workspace.recycle_indices(argmax)
-                }
+                Op::AdaptiveMaxPool2d { argmax, .. }
+                | Op::MaxPool1d { argmax, .. }
+                | Op::AdaptiveMaxPool2dBatched { argmax, .. }
+                | Op::MaxPool1dBatched { argmax, .. } => workspace.recycle_indices(argmax),
                 _ => {}
             }
             workspace.recycle_tensor(node.value);
@@ -315,15 +357,22 @@ impl Tape {
             | Op::Transpose(_)
             | Op::ConcatCols(_)
             | Op::GatherRows(..)
+            | Op::GatherRowsPad(..)
             | Op::PadRows(_)
             | Op::Reshape(_)
+            | Op::UnstackColumns { .. }
             | Op::AdaptiveMaxPool2d { .. }
-            | Op::MaxPool1d { .. } => 0,
-            Op::Matmul(a, b) => profile::matmul_flops(
+            | Op::MaxPool1d { .. }
+            | Op::AdaptiveMaxPool2dBatched { .. }
+            | Op::MaxPool1dBatched { .. } => 0,
+            Op::Matmul(a, b) | Op::MatmulBatched { a, b, .. } => profile::matmul_flops(
                 self.value(*a).rows(),
                 self.value(*a).cols(),
                 self.value(*b).cols(),
             ),
+            Op::MatmulRowBlocks { block_rows, .. } => {
+                profile::matmul_flops(out.rows(), *block_rows, out.cols())
+            }
             Op::SpmmNorm { adj, .. } => {
                 profile::spmm_norm_flops(adj.nnz(), out.rows(), out.cols())
             }
@@ -338,8 +387,8 @@ impl Tape {
             Op::Sigmoid(_) | Op::Tanh(_) => 4 * out.len() as u64,
             Op::LogSoftmaxRows(_) => 5 * out.len() as u64,
             Op::Sum(a) | Op::Mean(a) => self.value(*a).len() as u64,
-            Op::NllLoss(_, targets) => targets.len() as u64,
-            Op::Conv1d { x, k, .. } => profile::conv1d_flops(
+            Op::NllLoss(_, targets) | Op::NllLossRows(_, targets) => targets.len() as u64,
+            Op::Conv1d { x, k, .. } | Op::Conv1dBatched { x, k, .. } => profile::conv1d_flops(
                 out.shape().dim(0),
                 out.shape().dim(1),
                 self.value(*x).shape().dim(0),
@@ -351,6 +400,18 @@ impl Tape {
                     out.shape().dim(0),
                     out.shape().dim(1),
                     out.shape().dim(2),
+                    ws.dim(1),
+                    ws.dim(2),
+                    ws.dim(3),
+                )
+            }
+            // Flat column-stacked output: same formula over oh·ow = Σ ohⱼ·owⱼ.
+            Op::Conv2dBatched { w, .. } => {
+                let ws = self.value(*w).shape().clone();
+                profile::conv2d_flops(
+                    out.shape().dim(0),
+                    1,
+                    out.shape().dim(1),
                     ws.dim(1),
                     ws.dim(2),
                     ws.dim(3),
@@ -436,10 +497,20 @@ impl Tape {
         self.push_profiled(value, Op::Scale(a, factor), rg, t)
     }
 
-    /// Elementwise ReLU.
+    /// Elementwise ReLU. The output comes from the workspace pool — on
+    /// batched-size activations a fresh heap buffer means page faults on
+    /// every pass, which costs more than the op itself.
     pub fn relu(&mut self, a: Var) -> Var {
         let t = self.prof_start();
-        let value = self.value(a).relu();
+        let value = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            let x = &nodes[a.0].value;
+            let mut out = workspace.take_tensor(x.shape().clone());
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+                *o = v.max(0.0);
+            }
+            out
+        };
         let rg = self.any_requires(&[a]);
         self.push_profiled(value, Op::Relu(a), rg, t)
     }
@@ -493,6 +564,33 @@ impl Tape {
         inv_degree: Arc<Vec<f32>>,
         f: Var,
     ) -> Var {
+        self.spmm_norm_impl(adj, adj_t, inv_degree, f, false)
+    }
+
+    /// [`Tape::spmm_norm`] over a block-diagonal batch adjacency: one
+    /// fused pass propagates a whole mini-batch's concatenated node
+    /// features. The kernel walks each output row's nonzeros exactly as
+    /// the per-sample call does (a block-diagonal row *is* the sample's
+    /// row), so results are bitwise identical to per-sample execution;
+    /// the op records under its own `spmm_norm.batched` profile kind.
+    pub fn spmm_norm_batched(
+        &mut self,
+        adj: Arc<CsrMatrix>,
+        adj_t: Arc<CsrMatrix>,
+        inv_degree: Arc<Vec<f32>>,
+        f: Var,
+    ) -> Var {
+        self.spmm_norm_impl(adj, adj_t, inv_degree, f, true)
+    }
+
+    fn spmm_norm_impl(
+        &mut self,
+        adj: Arc<CsrMatrix>,
+        adj_t: Arc<CsrMatrix>,
+        inv_degree: Arc<Vec<f32>>,
+        f: Var,
+        batched: bool,
+    ) -> Var {
         let t = self.prof_start();
         assert_eq!(
             adj.cols(),
@@ -507,7 +605,7 @@ impl Tape {
         );
         let value = adj.spmm_row_scaled(&inv_degree, self.value(f));
         let rg = self.any_requires(&[f]);
-        self.push_profiled(value, Op::SpmmNorm { adj, adj_t, inv_degree, f }, rg, t)
+        self.push_profiled(value, Op::SpmmNorm { adj, adj_t, inv_degree, f, batched }, rg, t)
     }
 
     /// Matrix transpose.
@@ -766,6 +864,289 @@ impl Tape {
         self.push_profiled(value, Op::MaxPool1d { x, argmax }, rg, t)
     }
 
+    // ------------------------------------------------------------------
+    // Batched ops: one tape node per mini-batch instead of per sample.
+    // Forward values equal the per-sample values laid side by side, and
+    // shared-parameter gradients are unstacked per sample and combined
+    // in sample order, so per-sample and batched execution are bitwise
+    // identical end to end (see DESIGN.md, "Batched execution").
+    // ------------------------------------------------------------------
+
+    /// `a @ b` where `a` row-stacks one segment per sample and `b` is a
+    /// shared parameter. `bounds` holds the `B+1` row boundaries
+    /// (`bounds[j]..bounds[j+1]` is sample `j`). The forward is a plain
+    /// matmul; the backward computes `b`'s gradient per sample segment
+    /// and sums the per-sample results in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bounds` starts at 0 and ends at `a`'s row count.
+    pub fn matmul_batched(&mut self, a: Var, b: Var, bounds: Arc<Vec<usize>>) -> Var {
+        let t = self.prof_start();
+        assert_eq!(bounds.first().copied(), Some(0), "bounds must start at row 0");
+        assert_eq!(
+            bounds.last().copied(),
+            Some(self.value(a).rows()),
+            "bounds must end at the row count"
+        );
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.any_requires(&[a, b]);
+        self.push_profiled(value, Op::MatmulBatched { a, b, bounds }, rg, t)
+    }
+
+    /// One single-row GEMM per `block_rows`-row block of `x` against the
+    /// shared `(1, block_rows)` row vector `w`: output row `j` is
+    /// `w @ x[j·block_rows..(j+1)·block_rows]` — the WeightedVertices
+    /// head over a whole batch of stacked SortPooling outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not `(1, block_rows)` or `x`'s rows don't divide
+    /// into whole blocks.
+    pub fn matmul_row_blocks(&mut self, w: Var, x: Var, block_rows: usize) -> Var {
+        let t = self.prof_start();
+        let value = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            let wv = &nodes[w.0].value;
+            let xv = &nodes[x.0].value;
+            assert_eq!(
+                (wv.rows(), wv.cols()),
+                (1, block_rows),
+                "left operand must be a (1, block_rows) row"
+            );
+            assert_eq!(xv.rows() % block_rows, 0, "rows must divide into whole blocks");
+            let batch = xv.rows() / block_rows;
+            let c = xv.cols();
+            let mut out = workspace.take_tensor([batch, c]);
+            let os = out.as_mut_slice();
+            for j in 0..batch {
+                magic_tensor::gemm_into(
+                    1,
+                    block_rows,
+                    c,
+                    wv.as_slice(),
+                    &xv.as_slice()[j * block_rows * c..][..block_rows * c],
+                    &mut os[j * c..(j + 1) * c],
+                );
+            }
+            out
+        };
+        let rg = self.any_requires(&[w, x]);
+        self.push_profiled(value, Op::MatmulRowBlocks { w, x, block_rows }, rg, t)
+    }
+
+    /// [`Tape::gather_rows`] with padding: an index of `usize::MAX` reads
+    /// a zero row (and receives no gradient). Fuses SortPooling's
+    /// gather-then-pad for every sample of a batch into one op.
+    pub fn gather_rows_pad(&mut self, a: Var, indices: Vec<usize>) -> Var {
+        let t = self.prof_start();
+        let value = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            let av = &nodes[a.0].value;
+            let mut out = workspace.take_tensor([indices.len(), av.cols()]);
+            for (dst, &src) in indices.iter().enumerate() {
+                if src != usize::MAX {
+                    out.set_row(dst, av.row(src));
+                }
+            }
+            out
+        };
+        let rg = self.any_requires(&[a]);
+        self.push_profiled(value, Op::GatherRowsPad(a, indices), rg, t)
+    }
+
+    /// Reorders a `(C, B·seg_len)` column-stacked batch into `(B, C·seg_len)`
+    /// where row `j` is sample `j`'s channels flattened row-major — the
+    /// batched equivalent of the per-sample `reshape([1, C·seg_len])`
+    /// after a conv/pool head. Pure data movement.
+    pub fn unstack_columns(&mut self, a: Var, seg_len: usize) -> Var {
+        let t = self.prof_start();
+        let value = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            let av = &nodes[a.0].value;
+            let (c, total) = (av.rows(), av.cols());
+            assert!(
+                seg_len > 0 && total % seg_len == 0,
+                "width {total} is not a multiple of segment length {seg_len}"
+            );
+            let batch = total / seg_len;
+            let mut out = workspace.take_tensor([batch, c * seg_len]);
+            let os = out.as_mut_slice();
+            let is = av.as_slice();
+            for j in 0..batch {
+                for ci in 0..c {
+                    os[j * c * seg_len + ci * seg_len..][..seg_len]
+                        .copy_from_slice(&is[ci * total + j * seg_len..][..seg_len]);
+                }
+            }
+            out
+        };
+        let rg = self.any_requires(&[a]);
+        self.push_profiled(value, Op::UnstackColumns { a, seg_len }, rg, t)
+    }
+
+    /// Per-row negative log-likelihood: `out[j, 0] = -lp[j, targets[j]]`.
+    /// Follow with [`Tape::sum`] for the batch loss; the per-sample
+    /// losses stay readable from the rows for logging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the row count or a target
+    /// is out of range.
+    pub fn nll_loss_rows(&mut self, log_probs: Var, targets: Vec<usize>) -> Var {
+        let t = self.prof_start();
+        let value = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            let lp = &nodes[log_probs.0].value;
+            assert_eq!(lp.rows(), targets.len(), "one target per row required");
+            let mut out = workspace.take_tensor([targets.len(), 1]);
+            for (i, &t) in targets.iter().enumerate() {
+                assert!(t < lp.cols(), "target {t} out of range");
+                out.set2(i, 0, -lp.get2(i, t));
+            }
+            out
+        };
+        let rg = self.any_requires(&[log_probs]);
+        self.push_profiled(value, Op::NllLossRows(log_probs, targets), rg, t)
+    }
+
+    /// [`Tape::dropout`] over a batch with one RNG stream per row: row
+    /// `j`'s mask is drawn from `rngs[j]` in element order, so it is
+    /// bitwise the mask the per-sample call would draw for that sample.
+    /// Records a plain dropout op — the backward is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1` and there is exactly one RNG per row.
+    pub fn dropout_rows(&mut self, a: Var, p: f32, rngs: &mut [Rng64]) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        let t = self.prof_start();
+        let keep = 1.0 - p;
+        let (masked, mask) = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            let av = &nodes[a.0].value;
+            assert_eq!(av.rows(), rngs.len(), "one RNG stream per row");
+            let mut mask = workspace.take(av.len());
+            for (row, rng) in mask.chunks_exact_mut(av.cols()).zip(rngs.iter_mut()) {
+                for m in row.iter_mut() {
+                    *m = if rng.next_f32() < p { 0.0 } else { 1.0 / keep };
+                }
+            }
+            let mut masked = workspace.take_tensor(av.shape().clone());
+            for ((o, &x), &m) in masked.as_mut_slice().iter_mut().zip(av.as_slice()).zip(&mask) {
+                *o = x * m;
+            }
+            (masked, mask)
+        };
+        let rg = self.any_requires(&[a]);
+        self.push_profiled(masked, Op::Dropout(a, mask), rg, t)
+    }
+
+    /// Batched 1-D convolution over `x = (c_in, B·seg_len)` — every
+    /// sample occupies one `seg_len` column segment. Always lowered via
+    /// the batched im2col + one GEMM (there is no naive batched path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s width is not a multiple of `seg_len`.
+    pub fn conv1d_batched(&mut self, x: Var, w: Var, b: Var, stride: usize, seg_len: usize) -> Var {
+        let k = self.value(w).shape().dim(2);
+        let rg = self.any_requires(&[x, w, b]);
+        let batch = self.value(x).cols() / seg_len;
+        let out_len = conv::conv1d_shape(seg_len, k, stride);
+        let t_cols = self.prof_start();
+        let cols = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::im2col_1d_batched(&nodes[x.0].value, k, stride, seg_len, workspace)
+        };
+        self.record_im2col(t_cols, cols.len());
+        let t = self.prof_start();
+        let value = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::conv1d_forward_gemm(
+                &cols,
+                &nodes[w.0].value,
+                nodes[b.0].value.as_slice(),
+                batch * out_len,
+                workspace,
+            )
+        };
+        self.workspace.recycle(cols);
+        self.push_profiled(value, Op::Conv1dBatched { x, w, b, k, stride, seg_len }, rg, t)
+    }
+
+    /// Batched 2-D convolution over a column-stacked `x = (c_in, Σ hⱼ·wⱼ)`
+    /// with per-sample map dims in `dims`. The output is the flat
+    /// `(c_out, Σ ohⱼ·owⱼ)` column-stacked matrix. Always im2col + GEMM.
+    pub fn conv2d_batched(
+        &mut self,
+        x: Var,
+        w: Var,
+        b: Var,
+        stride: usize,
+        pad: usize,
+        dims: Arc<Vec<(usize, usize)>>,
+    ) -> Var {
+        let rg = self.any_requires(&[x, w, b]);
+        let (kh, kw) = {
+            let ws = self.value(w).shape();
+            (ws.dim(2), ws.dim(3))
+        };
+        let out_total: usize = conv::conv2d_batched_out_dims(&dims, kh, kw, stride, pad)
+            .iter()
+            .map(|&(oh, ow)| oh * ow)
+            .sum();
+        let t_cols = self.prof_start();
+        let cols = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::im2col_2d_batched(&nodes[x.0].value, &dims, kh, kw, stride, pad, workspace)
+        };
+        self.record_im2col(t_cols, cols.len());
+        let t = self.prof_start();
+        let value = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::conv2d_batched_forward_gemm(
+                &cols,
+                &nodes[w.0].value,
+                nodes[b.0].value.as_slice(),
+                out_total,
+                workspace,
+            )
+        };
+        self.workspace.recycle(cols);
+        self.push_profiled(value, Op::Conv2dBatched { x, w, b, stride, pad, dims }, rg, t)
+    }
+
+    /// Batched adaptive max pooling of a column-stacked `(c, Σ hⱼ·wⱼ)`
+    /// batch to `(c, B·oh·ow)` (sample `j` in columns `[j·oh·ow, …)`).
+    pub fn adaptive_max_pool2d_batched(
+        &mut self,
+        x: Var,
+        dims: &[(usize, usize)],
+        oh: usize,
+        ow: usize,
+    ) -> Var {
+        let t = self.prof_start();
+        let (value, argmax) = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::adaptive_max_pool2d_batched_forward(&nodes[x.0].value, dims, oh, ow, workspace)
+        };
+        let rg = self.any_requires(&[x]);
+        self.push_profiled(value, Op::AdaptiveMaxPool2dBatched { x, argmax }, rg, t)
+    }
+
+    /// Batched non-overlapping 1-D max pooling over `(c, B·seg_len)`;
+    /// windows never straddle a sample's segment boundary.
+    pub fn max_pool1d_batched(&mut self, x: Var, k: usize, seg_len: usize) -> Var {
+        let t = self.prof_start();
+        let (value, argmax) = {
+            let Tape { nodes, workspace, .. } = &mut *self;
+            conv::max_pool1d_batched_forward(&nodes[x.0].value, k, seg_len, workspace)
+        };
+        let rg = self.any_requires(&[x]);
+        self.push_profiled(value, Op::MaxPool1dBatched { x, argmax }, rg, t)
+    }
+
     fn accumulate(&mut self, v: Var, g: Tensor) {
         let Tape { grads, workspace, .. } = self;
         match &mut grads[v.0] {
@@ -802,7 +1183,12 @@ impl Tape {
             if !self.nodes[idx].requires_grad {
                 continue;
             }
-            let Some(gout) = self.grads[idx].clone() else {
+            // Take the upstream gradient out of its slot instead of
+            // cloning it: a clone is a full deep copy per node — on
+            // batched-size tensors that is a DRAM sweep that dwarfs the
+            // op itself. Ops only accumulate into *earlier* nodes, so
+            // the slot can be repopulated right after the match.
+            let Some(gout) = self.grads[idx].take() else {
                 continue;
             };
             let op = self.nodes[idx].op.clone();
@@ -879,7 +1265,7 @@ impl Tape {
                         self.accumulate(a, gout.clone());
                     }
                     if self.needs(b) {
-                        self.accumulate(b, gout);
+                        self.accumulate(b, gout.clone());
                     }
                 }
                 Op::Sub(a, b) => {
@@ -917,8 +1303,22 @@ impl Tape {
                 }
                 Op::Relu(a) => {
                     if self.needs(a) {
-                        let mask = self.value(a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                        self.accumulate(a, gout.mul(&mask));
+                        // One fused sweep instead of mask-map + multiply:
+                        // `g·1.0 = g` and the blocked lanes keep `g·0.0`'s
+                        // signed zero, so this is bitwise identical to the
+                        // two-pass form while reading each operand once.
+                        let gx = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let x = nodes[a.0].value.as_slice();
+                            let mut gx = workspace.take_tensor(nodes[a.0].value.shape().clone());
+                            for ((o, &g), &xv) in
+                                gx.as_mut_slice().iter_mut().zip(gout.as_slice()).zip(x)
+                            {
+                                *o = if xv > 0.0 { g } else { g * 0.0 };
+                            }
+                            gx
+                        };
+                        self.accumulate(a, gx);
                     }
                 }
                 Op::Sigmoid(a) => {
@@ -1122,7 +1522,13 @@ impl Tape {
                         self.workspace.recycle(gb);
                     }
                 }
-                Op::AdaptiveMaxPool2d { x, argmax } => {
+                Op::AdaptiveMaxPool2d { x, argmax }
+                | Op::MaxPool1d { x, argmax }
+                | Op::AdaptiveMaxPool2dBatched { x, argmax }
+                | Op::MaxPool1dBatched { x, argmax } => {
+                    // Winner indices were pushed in ascending output flat
+                    // order (batched variants included), so one
+                    // enumerate-scatter serves all four pooling ops.
                     if self.needs(x) {
                         let shape = self.value(x).shape().clone();
                         let mut gx = self.workspace.take_tensor(shape);
@@ -1132,17 +1538,221 @@ impl Tape {
                         self.accumulate(x, gx);
                     }
                 }
-                Op::MaxPool1d { x, argmax } => {
+                Op::MatmulBatched { a, b, bounds } => {
+                    let (m, kk) = (self.value(a).rows(), self.value(a).cols());
+                    let n = self.value(b).cols();
+                    if self.needs(a) {
+                        // Row-stacked input: gA = gOut·Bᵀ is per-row, so
+                        // the full product equals the per-sample products.
+                        let ga = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let mut ga = workspace.take_tensor([m, kk]);
+                            magic_tensor::gemm_nt_into(
+                                m,
+                                n,
+                                kk,
+                                gout.as_slice(),
+                                nodes[b.0].value.as_slice(),
+                                ga.as_mut_slice(),
+                            );
+                            ga
+                        };
+                        self.accumulate(a, ga);
+                    }
+                    if self.needs(b) {
+                        // Shared operand: per-sample row-segment products
+                        // into a re-zeroed temp, summed in sample order —
+                        // the per-sample gradient buffer's chain exactly.
+                        let gb = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let a_val = &nodes[a.0].value;
+                            let mut gb = workspace.take_tensor([kk, n]);
+                            let mut temp = workspace.take(kk * n);
+                            for seg in bounds.windows(2) {
+                                let (r0, r1) = (seg[0], seg[1]);
+                                temp.fill(0.0);
+                                magic_tensor::gemm_tn_into(
+                                    kk,
+                                    r1 - r0,
+                                    n,
+                                    &a_val.as_slice()[r0 * kk..r1 * kk],
+                                    &gout.as_slice()[r0 * n..r1 * n],
+                                    &mut temp,
+                                );
+                                for (acc, &g) in gb.as_mut_slice().iter_mut().zip(temp.iter()) {
+                                    *acc += g;
+                                }
+                            }
+                            workspace.recycle(temp);
+                            gb
+                        };
+                        self.accumulate(b, gb);
+                    }
+                }
+                Op::MatmulRowBlocks { w, x, block_rows } => {
+                    let batch = self.value(x).rows() / block_rows;
+                    let c = self.value(x).cols();
+                    if self.needs(w) {
+                        let gw = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let xv = &nodes[x.0].value;
+                            let mut gw = workspace.take_tensor([1, block_rows]);
+                            let mut temp = workspace.take(block_rows);
+                            for j in 0..batch {
+                                temp.fill(0.0);
+                                magic_tensor::gemm_nt_into(
+                                    1,
+                                    c,
+                                    block_rows,
+                                    &gout.as_slice()[j * c..][..c],
+                                    &xv.as_slice()[j * block_rows * c..][..block_rows * c],
+                                    &mut temp,
+                                );
+                                for (acc, &g) in gw.as_mut_slice().iter_mut().zip(temp.iter()) {
+                                    *acc += g;
+                                }
+                            }
+                            workspace.recycle(temp);
+                            gw
+                        };
+                        self.accumulate(w, gw);
+                    }
                     if self.needs(x) {
-                        let shape = self.value(x).shape().clone();
-                        let mut gx = self.workspace.take_tensor(shape);
-                        for (cell, &src) in argmax.iter().enumerate() {
-                            gx.as_mut_slice()[src] += gout.as_slice()[cell];
-                        }
+                        let gx = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let wv = &nodes[w.0].value;
+                            let shape = nodes[x.0].value.shape().clone();
+                            let mut gx = workspace.take_tensor(shape);
+                            let gxs = gx.as_mut_slice();
+                            for j in 0..batch {
+                                magic_tensor::gemm_tn_into(
+                                    block_rows,
+                                    1,
+                                    c,
+                                    wv.as_slice(),
+                                    &gout.as_slice()[j * c..][..c],
+                                    &mut gxs[j * block_rows * c..][..block_rows * c],
+                                );
+                            }
+                            gx
+                        };
                         self.accumulate(x, gx);
+                    }
+                }
+                Op::GatherRowsPad(a, indices) => {
+                    if self.needs(a) {
+                        let shape = self.value(a).shape().clone();
+                        let mut ga = self.workspace.take_tensor(shape);
+                        let cols = ga.cols();
+                        for (dst, &src) in indices.iter().enumerate() {
+                            if src == usize::MAX {
+                                continue;
+                            }
+                            for j in 0..cols {
+                                let cur = ga.get2(src, j);
+                                ga.set2(src, j, cur + gout.get2(dst, j));
+                            }
+                        }
+                        self.accumulate(a, ga);
+                    }
+                }
+                Op::UnstackColumns { a, seg_len } => {
+                    if self.needs(a) {
+                        let ga = {
+                            let Tape { nodes, workspace, .. } = &mut *self;
+                            let av = &nodes[a.0].value;
+                            let (c, total) = (av.rows(), av.cols());
+                            let batch = total / seg_len;
+                            let mut ga = workspace.take_tensor(av.shape().clone());
+                            let gas = ga.as_mut_slice();
+                            let gs = gout.as_slice();
+                            for j in 0..batch {
+                                for ci in 0..c {
+                                    gas[ci * total + j * seg_len..][..seg_len].copy_from_slice(
+                                        &gs[j * c * seg_len + ci * seg_len..][..seg_len],
+                                    );
+                                }
+                            }
+                            ga
+                        };
+                        self.accumulate(a, ga);
+                    }
+                }
+                Op::NllLossRows(lp, targets) => {
+                    if self.needs(lp) {
+                        let shape = self.value(lp).shape().clone();
+                        let mut glp = self.workspace.take_tensor(shape);
+                        for (i, &t) in targets.iter().enumerate() {
+                            glp.set2(i, t, -gout.get2(i, 0));
+                        }
+                        self.accumulate(lp, glp);
+                    }
+                }
+                Op::Conv1dBatched { x, w, b, k, stride, seg_len } => {
+                    let (gx, gw, gb) = {
+                        let Tape { nodes, workspace, .. } = &mut *self;
+                        conv::conv1d_batched_backward(
+                            &nodes[x.0].value,
+                            &nodes[w.0].value,
+                            k,
+                            stride,
+                            seg_len,
+                            &gout,
+                            workspace,
+                        )
+                    };
+                    if self.needs(x) {
+                        self.accumulate(x, gx);
+                    } else {
+                        self.workspace.recycle_tensor(gx);
+                    }
+                    if self.needs(w) {
+                        self.accumulate(w, gw);
+                    } else {
+                        self.workspace.recycle_tensor(gw);
+                    }
+                    if self.needs(b) {
+                        let n = gb.len();
+                        self.accumulate(b, Tensor::from_vec(gb, [n]));
+                    } else {
+                        self.workspace.recycle(gb);
+                    }
+                }
+                Op::Conv2dBatched { x, w, b, stride, pad, dims } => {
+                    let (gx, gw, gb) = {
+                        let Tape { nodes, workspace, .. } = &mut *self;
+                        conv::conv2d_batched_backward(
+                            &nodes[x.0].value,
+                            &nodes[w.0].value,
+                            stride,
+                            pad,
+                            &dims,
+                            &gout,
+                            workspace,
+                        )
+                    };
+                    if self.needs(x) {
+                        self.accumulate(x, gx);
+                    } else {
+                        self.workspace.recycle_tensor(gx);
+                    }
+                    if self.needs(w) {
+                        self.accumulate(w, gw);
+                    } else {
+                        self.workspace.recycle_tensor(gw);
+                    }
+                    if self.needs(b) {
+                        let n = gb.len();
+                        self.accumulate(b, Tensor::from_vec(gb, [n]));
+                    } else {
+                        self.workspace.recycle(gb);
                     }
                 }
             }
+            // Put the gradient back so callers can still read it after
+            // the sweep (nothing writes to this slot in between: ops
+            // only accumulate into their inputs, which precede `idx`).
+            self.grads[idx] = Some(gout);
             if let (Some(t0), Some((key, flops, bytes))) = (t, prof_key) {
                 self.profile.record(key, t0.elapsed().as_nanos() as u64, flops, bytes);
             }
@@ -1567,5 +2177,326 @@ mod tests {
         assert_send_sync::<Tape>();
         assert_send_sync::<Var>();
         assert_send_sync::<Tensor>();
+    }
+
+    // ---- Batched ops: bitwise parity with per-sample tapes ----
+
+    /// Elementwise `((0 + g_0) + g_1) + ...` in sample order — the exact
+    /// reduction chain the per-sample GradBuffer accumulation performs for
+    /// shared parameters.
+    fn chain_add(parts: &[&[f32]]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; parts[0].len()];
+        for p in parts {
+            for (a, g) in acc.iter_mut().zip(*p) {
+                *a += g;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn matmul_batched_matches_per_sample_tapes_bitwise() {
+        let mut rng = Rng64::new(7);
+        let (kk, n) = (5usize, 4usize);
+        let rows = [3usize, 1, 4];
+        let samples: Vec<Tensor> =
+            rows.iter().map(|&r| Tensor::rand_uniform([r, kk], -1.0, 1.0, &mut rng)).collect();
+        let w = Tensor::rand_uniform([kk, n], -1.0, 1.0, &mut rng);
+        // Nontrivial upstream gradient: multiply by a constant and sum, so
+        // gout(y) is the constant itself in both executions.
+        let gmods: Vec<Tensor> =
+            rows.iter().map(|&r| Tensor::rand_uniform([r, n], -1.0, 1.0, &mut rng)).collect();
+
+        let mut per_out = Vec::new();
+        let mut per_ga = Vec::new();
+        let mut per_gw = Vec::new();
+        for (xs, gm) in samples.iter().zip(&gmods) {
+            let mut tape = Tape::new();
+            let a = tape.leaf(xs.clone(), true);
+            let b = tape.leaf(w.clone(), true);
+            let y = tape.matmul(a, b);
+            let m = tape.leaf(gm.clone(), false);
+            let p = tape.mul(y, m);
+            let s = tape.sum(p);
+            tape.backward(s);
+            per_out.push(tape.value(y).clone());
+            per_ga.push(tape.grad(a).unwrap().clone());
+            per_gw.push(tape.grad(b).unwrap().as_slice().to_vec());
+        }
+
+        let stacked = Tensor::concat_rows(&samples.iter().collect::<Vec<_>>());
+        let gstacked = Tensor::concat_rows(&gmods.iter().collect::<Vec<_>>());
+        let mut tape = Tape::new();
+        tape.set_profiling(true);
+        let a = tape.leaf(stacked, true);
+        let b = tape.leaf(w, true);
+        let y = tape.matmul_batched(a, b, Arc::new(vec![0, 3, 4, 8]));
+        let m = tape.leaf(gstacked, false);
+        let p = tape.mul(y, m);
+        let s = tape.sum(p);
+        tape.backward(s);
+
+        let mut r0 = 0;
+        for (j, out_j) in per_out.iter().enumerate() {
+            let r1 = r0 + rows[j];
+            assert_eq!(&tape.value(y).as_slice()[r0 * n..r1 * n], out_j.as_slice(), "fwd {j}");
+            assert_eq!(
+                &tape.grad(a).unwrap().as_slice()[r0 * kk..r1 * kk],
+                per_ga[j].as_slice(),
+                "ga segment {j}"
+            );
+            r0 = r1;
+        }
+        let chained = chain_add(&per_gw.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        assert_eq!(tape.grad(b).unwrap().as_slice(), chained.as_slice(), "shared-weight chain");
+
+        let prof = tape.profile().sorted_rows();
+        let has = |kind: &str, phase: &str| {
+            prof.iter().any(|(k, _)| k.kind == kind && k.phase == phase)
+        };
+        assert!(has("gemm.batched", profile::PHASE_FORWARD));
+        assert!(has("gemm.batched", profile::PHASE_BACKWARD));
+    }
+
+    #[test]
+    fn spmm_norm_batched_over_block_diagonal_matches_per_sample_blocks() {
+        let (adj1, adj1_t, inv1) = paper_csr();
+        let (adj2, inv2) = CsrMatrix::augmented_from_edges(3, [(0, 1), (1, 2)]);
+        let adj2_t = adj2.transpose();
+        let mut rng = Rng64::new(8);
+        let f1 = Tensor::rand_uniform([5, 3], -1.0, 1.0, &mut rng);
+        let f2 = Tensor::rand_uniform([3, 3], -1.0, 1.0, &mut rng);
+
+        let run = |adj: Arc<CsrMatrix>, adj_t: Arc<CsrMatrix>, inv: Arc<Vec<f32>>, f: &Tensor| {
+            let mut tape = Tape::new();
+            let fv = tape.leaf(f.clone(), true);
+            let y = tape.spmm_norm(adj, adj_t, inv, fv);
+            let s = tape.sum(y);
+            tape.backward(s);
+            (tape.value(y).clone(), tape.grad(fv).unwrap().clone())
+        };
+        let (y1, g1) = run(adj1.clone(), adj1_t, inv1.clone(), &f1);
+        let (y2, g2) = run(Arc::new(adj2), Arc::new(adj2_t), Arc::new(inv2.clone()), &f2);
+
+        let (adj2b, _) = CsrMatrix::augmented_from_edges(3, [(0, 1), (1, 2)]);
+        let batch = CsrMatrix::block_diagonal(&[&adj1, &adj2b]);
+        let batch_t = batch.transpose();
+        let mut inv = inv1.as_ref().clone();
+        inv.extend_from_slice(&inv2);
+        let mut tape = Tape::new();
+        tape.set_profiling(true);
+        let fv = tape.leaf(Tensor::concat_rows(&[&f1, &f2]), true);
+        let y = tape.spmm_norm_batched(Arc::new(batch), Arc::new(batch_t), Arc::new(inv), fv);
+        let s = tape.sum(y);
+        tape.backward(s);
+
+        assert_eq!(&tape.value(y).as_slice()[..5 * 3], y1.as_slice());
+        assert_eq!(&tape.value(y).as_slice()[5 * 3..], y2.as_slice());
+        assert_eq!(&tape.grad(fv).unwrap().as_slice()[..5 * 3], g1.as_slice());
+        assert_eq!(&tape.grad(fv).unwrap().as_slice()[5 * 3..], g2.as_slice());
+
+        let prof = tape.profile().sorted_rows();
+        let has = |kind: &str, phase: &str| {
+            prof.iter().any(|(k, _)| k.kind == kind && k.phase == phase)
+        };
+        assert!(has("spmm_norm.batched", profile::PHASE_FORWARD));
+        assert!(has("spmm_norm_t.batched", profile::PHASE_BACKWARD));
+        assert!(!has("spmm_norm", profile::PHASE_FORWARD), "batched kind must not alias plain");
+    }
+
+    #[test]
+    fn gather_rows_pad_matches_gather_then_pad() {
+        let mut rng = Rng64::new(9);
+        let x = Tensor::rand_uniform([4, 3], -1.0, 1.0, &mut rng);
+        let mask = Tensor::rand_uniform([3, 3], -1.0, 1.0, &mut rng);
+
+        let mut per = Tape::new();
+        let xa = per.leaf(x.clone(), true);
+        let g = per.gather_rows(xa, vec![2, 0]);
+        let p = per.pad_or_truncate_rows(g, 3);
+        let m = per.leaf(mask.clone(), false);
+        let pr = per.mul(p, m);
+        let s = per.sum(pr);
+        per.backward(s);
+
+        let mut bat = Tape::new();
+        let xb = bat.leaf(x, true);
+        let gp = bat.gather_rows_pad(xb, vec![2, 0, usize::MAX]);
+        let m = bat.leaf(mask, false);
+        let pr = bat.mul(gp, m);
+        let s = bat.sum(pr);
+        bat.backward(s);
+
+        assert_eq!(bat.value(gp).as_slice(), per.value(p).as_slice());
+        assert_eq!(bat.grad(xb).unwrap().as_slice(), per.grad(xa).unwrap().as_slice());
+    }
+
+    #[test]
+    fn nll_loss_rows_matches_per_sample_nll_loss() {
+        let mut rng = Rng64::new(10);
+        let logits = Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng);
+        let targets = [1usize, 3, 0];
+
+        let mut per_loss = Vec::new();
+        let mut per_glp = Vec::new();
+        for (i, &t) in targets.iter().enumerate() {
+            let mut tape = Tape::new();
+            let lp = tape.leaf(Tensor::from_rows(&[logits.row(i)]), true);
+            let l = tape.nll_loss(lp, vec![t]);
+            tape.backward(l);
+            per_loss.push(tape.value(l).item());
+            per_glp.push(tape.grad(lp).unwrap().as_slice().to_vec());
+        }
+
+        let mut tape = Tape::new();
+        let lp = tape.leaf(logits, true);
+        let l = tape.nll_loss_rows(lp, targets.to_vec());
+        let s = tape.sum(l);
+        tape.backward(s);
+
+        for (i, &want) in per_loss.iter().enumerate() {
+            assert_eq!(tape.value(l).get2(i, 0), want, "per-row loss {i}");
+            assert_eq!(tape.grad(lp).unwrap().row(i), per_glp[i].as_slice(), "glp row {i}");
+        }
+    }
+
+    #[test]
+    fn unstack_columns_inverts_the_channel_major_layout() {
+        // (C=2, B*L=6) with L=3: row-major per-sample segments move to
+        // (B=2, C*L=6) rows.
+        let mut tape = Tape::new();
+        let a = tape.leaf(
+            Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[
+                7.0, 8.0, 9.0, 10.0, 11.0, 12.0,
+            ]]),
+            true,
+        );
+        let u = tape.unstack_columns(a, 3);
+        assert_eq!(tape.value(u).row(0), &[1.0, 2.0, 3.0, 7.0, 8.0, 9.0]);
+        assert_eq!(tape.value(u).row(1), &[4.0, 5.0, 6.0, 10.0, 11.0, 12.0]);
+
+        let m = tape.leaf(
+            Tensor::from_rows(&[&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6], &[
+                0.7, 0.8, 0.9, 1.0, 1.1, 1.2,
+            ]]),
+            false,
+        );
+        let p = tape.mul(u, m);
+        let s = tape.sum(p);
+        tape.backward(s);
+        // The gradient routes back through the inverse copy.
+        let ga = tape.grad(a).unwrap();
+        assert_eq!(ga.row(0), &[0.1, 0.2, 0.3, 0.7, 0.8, 0.9]);
+        assert_eq!(ga.row(1), &[0.4, 0.5, 0.6, 1.0, 1.1, 1.2]);
+    }
+
+    #[test]
+    fn matmul_row_blocks_matches_per_sample_weighted_sum() {
+        let mut rng = Rng64::new(11);
+        let (k, c, batch) = (4usize, 3usize, 3usize);
+        let w = Tensor::rand_uniform([1, k], -1.0, 1.0, &mut rng);
+        let blocks: Vec<Tensor> =
+            (0..batch).map(|_| Tensor::rand_uniform([k, c], -1.0, 1.0, &mut rng)).collect();
+        let gmod = Tensor::rand_uniform([batch, c], -1.0, 1.0, &mut rng);
+
+        let mut per_out = Vec::new();
+        let mut per_gw = Vec::new();
+        let mut per_gx = Vec::new();
+        for (j, z) in blocks.iter().enumerate() {
+            let mut tape = Tape::new();
+            let wv = tape.leaf(w.clone(), true);
+            let zv = tape.leaf(z.clone(), true);
+            let y = tape.matmul(wv, zv);
+            let m = tape.leaf(Tensor::from_rows(&[gmod.row(j)]), false);
+            let p = tape.mul(y, m);
+            let s = tape.sum(p);
+            tape.backward(s);
+            per_out.push(tape.value(y).as_slice().to_vec());
+            per_gw.push(tape.grad(wv).unwrap().as_slice().to_vec());
+            per_gx.push(tape.grad(zv).unwrap().as_slice().to_vec());
+        }
+
+        let mut tape = Tape::new();
+        let wv = tape.leaf(w, true);
+        let xv = tape.leaf(Tensor::concat_rows(&blocks.iter().collect::<Vec<_>>()), true);
+        let y = tape.matmul_row_blocks(wv, xv, k);
+        let m = tape.leaf(gmod, false);
+        let p = tape.mul(y, m);
+        let s = tape.sum(p);
+        tape.backward(s);
+
+        for (j, want) in per_out.iter().enumerate() {
+            assert_eq!(tape.value(y).row(j), want.as_slice(), "fwd row {j}");
+            assert_eq!(
+                &tape.grad(xv).unwrap().as_slice()[j * k * c..(j + 1) * k * c],
+                per_gx[j].as_slice(),
+                "gx block {j}"
+            );
+        }
+        let chained = chain_add(&per_gw.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        assert_eq!(tape.grad(wv).unwrap().as_slice(), chained.as_slice(), "gw chain");
+    }
+
+    #[test]
+    fn dropout_rows_replays_per_sample_rng_streams() {
+        let mut rng = Rng64::new(12);
+        let x = Tensor::rand_uniform([3, 40], -1.0, 1.0, &mut rng);
+
+        let mut per_val = Vec::new();
+        let mut per_grad = Vec::new();
+        for i in 0..3 {
+            let mut sample_rng = Rng64::new(100 + i as u64);
+            let mut tape = Tape::new();
+            let xv = tape.leaf(Tensor::from_rows(&[x.row(i)]), true);
+            let d = tape.dropout(xv, 0.5, &mut sample_rng);
+            let s = tape.sum(d);
+            tape.backward(s);
+            per_val.push(tape.value(d).as_slice().to_vec());
+            per_grad.push(tape.grad(xv).unwrap().as_slice().to_vec());
+        }
+
+        let mut rngs: Vec<Rng64> = (0..3).map(|i| Rng64::new(100 + i as u64)).collect();
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x, true);
+        let d = tape.dropout_rows(xv, 0.5, &mut rngs);
+        let s = tape.sum(d);
+        tape.backward(s);
+
+        for i in 0..3 {
+            assert_eq!(tape.value(d).row(i), per_val[i].as_slice(), "value row {i}");
+            assert_eq!(tape.grad(xv).unwrap().row(i), per_grad[i].as_slice(), "grad row {i}");
+        }
+    }
+
+    #[test]
+    fn batched_head_ops_record_batched_kinds_and_conv_flops() {
+        let mut rng = Rng64::new(21);
+        let mut tape = Tape::new();
+        tape.set_profiling(true);
+        // Two samples of one channel x six columns each.
+        let x = tape.leaf(Tensor::rand_uniform([1, 12], -1.0, 1.0, &mut rng), true);
+        let w = tape.leaf(Tensor::rand_uniform([2, 1, 3], -1.0, 1.0, &mut rng), true);
+        let b = tape.leaf(Tensor::rand_uniform([2], -1.0, 1.0, &mut rng), true);
+        let y = tape.conv1d_batched(x, w, b, 3, 6); // (2, 2*2)
+        let p = tape.max_pool1d_batched(y, 2, 2); // (2, 2*1)
+        let u = tape.unstack_columns(p, 1); // (2, 2)
+        let lp = tape.log_softmax_rows(u);
+        let l = tape.nll_loss_rows(lp, vec![0, 1]);
+        let s = tape.sum(l);
+        tape.backward(s);
+
+        let rows = tape.profile().sorted_rows();
+        let find = |kind: &str, phase: &str| {
+            rows.iter().find(|(k, _)| k.kind == kind && k.phase == phase).map(|(_, s)| *s)
+        };
+        for kind in ["conv1d.batched", "max_pool1d.batched", "unstack_cols.batched", "nll_loss.batched"]
+        {
+            assert!(find(kind, profile::PHASE_FORWARD).is_some(), "missing fwd {kind}");
+            assert!(find(kind, profile::PHASE_BACKWARD).is_some(), "missing bwd {kind}");
+        }
+        // The FLOP formula charges the concatenated output width, exactly
+        // like one long per-sample convolution.
+        let fwd = find("conv1d.batched", profile::PHASE_FORWARD).unwrap();
+        assert_eq!(fwd.flops, profile::conv1d_flops(2, 4, 1, 3));
     }
 }

@@ -68,12 +68,17 @@ magic — DGCNN malware classification over control flow graphs
 USAGE:
     magic extract <listing.asm> [--dot]
     magic train --corpus <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
-                [--train-workers N] --out <model.magic>
-                (--train-workers 0 = auto; results are identical for any N)
+                [--train-workers N] [--batched] [--intra-op-threads N]
+                --out <model.magic>
+                (--train-workers 0 = auto; results are identical for any N.
+                 --batched fuses each mini-batch into one block-diagonal
+                 pass — bitwise identical, usually faster; pair with
+                 --intra-op-threads to thread the kernels instead)
     magic predict --model <model.magic> <listing.asm>...
     magic info --model <model.magic>
     magic profile <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
-                [--train-workers N] [--trace <out.jsonl>]
+                [--train-workers N] [--batched] [--intra-op-threads N]
+                [--trace <out.jsonl>]
                 (train under the op profiler; print per-op time/FLOP
                 attribution, unattributed remainder, and peak memory)
     magic report --trace <trace.jsonl> [--flamegraph]
@@ -146,11 +151,18 @@ struct TrainKnobs {
     epochs: usize,
     seed: u64,
     train_workers: usize,
+    batched: bool,
+    intra_op_threads: usize,
 }
 
 impl TrainKnobs {
     fn parse(args: &mut Vec<String>, default_epochs: usize) -> Result<Self, String> {
         Ok(TrainKnobs {
+            batched: take_switch(args, "--batched"),
+            intra_op_threads: take_flag(args, "--intra-op-threads")
+                .map(|s| s.parse().map_err(|_| "bad --intra-op-threads"))
+                .transpose()?
+                .unwrap_or(0),
             scale: take_flag(args, "--scale")
                 .map(|s| s.parse().map_err(|_| "bad --scale"))
                 .transpose()?
@@ -270,15 +282,26 @@ fn run_training(
         lr_patience: 5,
         seed: knobs.seed,
         train_workers: knobs.train_workers,
+        batched: knobs.batched,
         ..TrainConfig::default()
     });
+    if knobs.intra_op_threads > 0 {
+        magic_tensor::set_intra_op_threads(knobs.intra_op_threads);
+    }
     magic_obs::log(
         magic_obs::Level::Info,
         format!(
-            "training {} weights for {} epochs on {} worker(s)...",
+            "training {} weights for {} epochs ({})...",
             model.num_weights(),
             knobs.epochs,
-            magic::resolve_workers(knobs.train_workers)
+            if knobs.batched {
+                format!(
+                    "batched, {} intra-op thread(s)",
+                    magic_tensor::intra_op_threads()
+                )
+            } else {
+                format!("{} worker(s)", magic::resolve_workers(knobs.train_workers))
+            }
         ),
     );
     let outcome = trainer.train(&mut model, &inputs, &labels, &split.train, &split.validation);

@@ -56,10 +56,8 @@ pub fn cross_validate(
 ) -> CvOutcome {
     assert_eq!(inputs.len(), labels.len(), "one label per input");
     let mut fold_config = train_config.clone();
-    if fold_config.train_workers == 0 {
-        fold_config.train_workers =
-            (crate::executor::resolve_workers(0) / folds.max(1)).max(1);
-    }
+    fold_config.train_workers =
+        crate::executor::workers_per_concurrent_run(fold_config.train_workers, folds);
     let trainer = Trainer::new(fold_config);
     let splits = stratified_kfold(labels, folds, train_config.seed);
 

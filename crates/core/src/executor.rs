@@ -134,6 +134,20 @@ pub fn executor_for(workers: usize) -> Box<dyn BatchExecutor> {
     }
 }
 
+/// Resolves a worker-count knob for one of `concurrent` simultaneous
+/// training runs (e.g. cross-validation folds): `0` ("auto") divides the
+/// machine's parallelism across the runs so two layers of fan-out do not
+/// oversubscribe the cores; an explicit count is honored verbatim per
+/// run. Every call site that splits auto-parallelism must route through
+/// this helper so the division rule stays consistent.
+pub fn workers_per_concurrent_run(workers: usize, concurrent: usize) -> usize {
+    if workers == 0 {
+        (resolve_workers(0) / concurrent.max(1)).max(1)
+    } else {
+        workers
+    }
+}
+
 /// Runs `f(worker_id, index)` for `0..n` on `executor` and returns the
 /// results in index order — the deterministic-collection companion to
 /// [`BatchExecutor::execute`].
@@ -210,6 +224,18 @@ mod tests {
         assert!(executor_for(0).workers() >= 1);
         assert_eq!(resolve_workers(3), 3);
         assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn workers_per_concurrent_run_divides_only_auto() {
+        // Explicit counts pass through untouched, per run.
+        assert_eq!(workers_per_concurrent_run(3, 5), 3);
+        assert_eq!(workers_per_concurrent_run(1, 8), 1);
+        // Auto divides the detected parallelism but never hits zero.
+        let auto = workers_per_concurrent_run(0, 4);
+        assert_eq!(auto, (resolve_workers(0) / 4).max(1));
+        assert!(workers_per_concurrent_run(0, usize::MAX) >= 1);
+        assert_eq!(workers_per_concurrent_run(0, 0), resolve_workers(0));
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //! same order as the serial loop, and dropout noise comes from per-sample
 //! [`Rng64::for_sample`] streams rather than a shared generator, training
 //! is bitwise identical for any `train_workers` value.
+//!
+//! With [`TrainConfig::batched`] the mini-batch loop instead fuses every
+//! batch into one block-diagonal pass ([`GraphBatch`]) on a single tape:
+//! one SpMM per graph-conv layer, one GEMM per head stage, with
+//! per-sample gradient contributions combined in batch order inside the
+//! ops. The two modes are bitwise identical — same losses, weights, and
+//! history — so `batched` is purely a throughput knob; intra-op
+//! parallelism then comes from [`magic_tensor::set_intra_op_threads`]
+//! rather than per-sample fan-out.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -18,8 +27,8 @@ use std::time::Instant;
 
 use magic_autograd::{profile, OpProfile, Tape};
 use magic_data::batches;
-use magic_model::{Dgcnn, GraphInput};
-use magic_nn::{Adam, GradBuffer, Optimizer, ReduceLrOnPlateau};
+use magic_model::{Dgcnn, GraphBatch, GraphInput};
+use magic_nn::{Adam, GradBuffer, Optimizer, ParamStore, ReduceLrOnPlateau};
 use magic_tensor::Rng64;
 
 use crate::executor::{executor_for, run_indexed, BatchExecutor, SerialExecutor};
@@ -51,6 +60,13 @@ pub struct TrainConfig {
     /// calling thread. The result is bitwise identical for every value —
     /// this knob only changes wall-clock time.
     pub train_workers: usize,
+    /// Fuse each mini-batch into one block-diagonal pass instead of
+    /// fanning per-sample tapes across workers. The batched path runs
+    /// the whole batch through single large SpMM/GEMM calls on one tape
+    /// and unstacks gradients per sample inside the ops, so it is
+    /// bitwise identical to the per-sample path — losses, weights, and
+    /// history match exactly — while spending far less time in op glue.
+    pub batched: bool,
 }
 
 impl Default for TrainConfig {
@@ -65,6 +81,7 @@ impl Default for TrainConfig {
             lr_decay_factor: 10.0,
             lr_patience: 2,
             train_workers: 0,
+            batched: false,
         }
     }
 }
@@ -168,9 +185,16 @@ impl Trainer {
         // the serial float-addition order exactly.
         let tapes: Vec<Mutex<Tape>> =
             (0..executor.workers()).map(|_| Mutex::new(Tape::new())).collect();
-        let grad_slots: Vec<Mutex<GradBuffer>> = (0..self.config.batch_size)
-            .map(|_| Mutex::new(GradBuffer::for_store(model.store())))
-            .collect();
+        // The batched path folds the tape's gradients straight into the
+        // store, so the per-position slots exist only for the fan-out
+        // path.
+        let grad_slots: Vec<Mutex<GradBuffer>> = if self.config.batched {
+            Vec::new()
+        } else {
+            (0..self.config.batch_size)
+                .map(|_| Mutex::new(GradBuffer::for_store(model.store())))
+                .collect()
+        };
 
         let mut rng = Rng64::new(self.config.seed);
         let mut optimizer = Adam::new(self.config.learning_rate, self.config.weight_decay);
@@ -216,6 +240,7 @@ impl Trainer {
             let mut reduce_ns = 0u64;
             let mut clip_ns = 0u64;
             let mut step_ns = 0u64;
+            let mut batch_graph_ns = 0u64;
             for tape in &tapes {
                 tape.lock().expect("unpoisoned tape").set_profiling(traced);
             }
@@ -226,6 +251,81 @@ impl Trainer {
             rng.shuffle(&mut order);
             let mut train_loss_total = 0.0;
             for batch in batches(&order, self.config.batch_size) {
+                if self.config.batched {
+                    // One fused pass over the whole mini-batch on the
+                    // lane-0 tape: assemble the block-diagonal batch
+                    // graph, run forward/backward once, and fold the
+                    // tape's gradients straight into the store. The
+                    // batched ops combine per-sample contributions in
+                    // batch order internally, so the result is bitwise
+                    // identical to the fan-out path below.
+                    let assemble_start = traced.then(Instant::now);
+                    let members: Vec<&GraphInput> =
+                        batch.iter().map(|&i| &inputs[i]).collect();
+                    let graph_batch = GraphBatch::new(&members);
+                    if let Some(start) = assemble_start {
+                        batch_graph_ns += start.elapsed().as_nanos() as u64;
+                    }
+                    let busy_start = traced.then(Instant::now);
+                    let mut tape = tapes[0].lock().expect("unpoisoned tape");
+                    tape.reset();
+                    let bind_start = busy_start.map(|_| Instant::now());
+                    let binding = model.store().bind(&mut tape);
+                    if let Some(start) = bind_start {
+                        bind_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
+                    // Same per-sample dropout streams as the fan-out
+                    // path, so both modes see identical noise.
+                    let mut sample_rngs: Vec<Rng64> = batch
+                        .iter()
+                        .map(|&i| Rng64::for_sample(self.config.seed, epoch as u64, i as u64))
+                        .collect();
+                    let lp = model.forward_batched(
+                        &mut tape,
+                        &binding,
+                        &graph_batch,
+                        true,
+                        &mut sample_rngs,
+                    );
+                    let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
+                    let row_losses = tape.nll_loss_rows(lp, batch_labels);
+                    let total = tape.sum(row_losses);
+                    let losses: Vec<f32> =
+                        (0..batch.len()).map(|j| tape.value(row_losses).get2(j, 0)).collect();
+                    tape.backward(total);
+                    if let Some(start) = busy_start {
+                        let us = start.elapsed().as_micros() as u64;
+                        worker_busy[0].fetch_add(us, Ordering::Relaxed);
+                        fanout_us += us;
+                    }
+
+                    let update_start = traced.then(Instant::now);
+                    let store = model.store_mut();
+                    store.zero_grads();
+                    // A single accumulate replays the per-sample reduce
+                    // chain: the tape gradient is already the batch-order
+                    // sum of per-sample contributions.
+                    store.accumulate_grads(&tape, &binding);
+                    drop(tape);
+                    for &loss in &losses {
+                        train_loss_total += loss;
+                    }
+                    if let Some(start) = update_start {
+                        reduce_ns += start.elapsed().as_nanos() as u64;
+                    }
+                    self.clip_and_step(
+                        store,
+                        &mut optimizer,
+                        batch.len(),
+                        traced,
+                        &mut clip_ns,
+                        &mut step_ns,
+                    );
+                    if let Some(start) = update_start {
+                        update_us += start.elapsed().as_micros() as u64;
+                    }
+                    continue;
+                }
                 let store = model.store();
                 let fanout_start = traced.then(Instant::now);
                 let losses: Vec<f32> = run_indexed(executor.as_ref(), batch.len(), |worker, j| {
@@ -277,19 +377,14 @@ impl Trainer {
                 if let Some(start) = update_start {
                     reduce_ns += start.elapsed().as_nanos() as u64;
                 }
-                let clip_start = update_start.map(|_| Instant::now());
-                if self.config.grad_clip > 0.0 {
-                    let clip = self.config.grad_clip * batch.len() as f32;
-                    store.clip_grad_norm(clip);
-                }
-                if let Some(start) = clip_start {
-                    clip_ns += start.elapsed().as_nanos() as u64;
-                }
-                let step_start = update_start.map(|_| Instant::now());
-                optimizer.step(store, batch.len());
-                if let Some(start) = step_start {
-                    step_ns += start.elapsed().as_nanos() as u64;
-                }
+                self.clip_and_step(
+                    store,
+                    &mut optimizer,
+                    batch.len(),
+                    traced,
+                    &mut clip_ns,
+                    &mut step_ns,
+                );
                 if let Some(start) = update_start {
                     update_us += start.elapsed().as_micros() as u64;
                 }
@@ -305,8 +400,18 @@ impl Trainer {
             for tape in &tapes {
                 tape.lock().expect("unpoisoned tape").set_profiling(false);
             }
-            let (val_loss, val_accuracy) =
-                evaluate_on_tapes(executor.as_ref(), &tapes, model, inputs, labels, val_idx);
+            let (val_loss, val_accuracy) = if self.config.batched {
+                evaluate_batched_on_tape(
+                    &tapes[0],
+                    self.config.batch_size,
+                    model,
+                    inputs,
+                    labels,
+                    val_idx,
+                )
+            } else {
+                evaluate_on_tapes(executor.as_ref(), &tapes, model, inputs, labels, val_idx)
+            };
             let eval_ns = eval_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
             let learning_rate = optimizer.learning_rate();
             scheduler.observe(val_loss, &mut optimizer);
@@ -383,6 +488,11 @@ impl Trainer {
                         (magic_obs::stage::OP_HOST_CLIP, num_batches(order.len(), self.config.batch_size), clip_ns),
                         (magic_obs::stage::OP_HOST_STEP, num_batches(order.len(), self.config.batch_size), step_ns),
                         (magic_obs::stage::OP_HOST_EVALUATE, 1, eval_ns),
+                        (
+                            magic_obs::stage::OP_HOST_BATCH_GRAPH,
+                            num_batches(order.len(), self.config.batch_size),
+                            batch_graph_ns,
+                        ),
                     ],
                 );
             }
@@ -408,6 +518,33 @@ impl Trainer {
             history.push(EpochStats { epoch, train_loss, val_loss, val_accuracy, learning_rate });
         }
         TrainOutcome { history, best_val_loss }
+    }
+
+    /// Global gradient clipping followed by one optimizer step — the
+    /// shared tail of the per-sample and batched update paths, so both
+    /// modes apply exactly the same float operations.
+    fn clip_and_step(
+        &self,
+        store: &mut ParamStore,
+        optimizer: &mut Adam,
+        batch_len: usize,
+        traced: bool,
+        clip_ns: &mut u64,
+        step_ns: &mut u64,
+    ) {
+        let clip_start = traced.then(Instant::now);
+        if self.config.grad_clip > 0.0 {
+            let clip = self.config.grad_clip * batch_len as f32;
+            store.clip_grad_norm(clip);
+        }
+        if let Some(start) = clip_start {
+            *clip_ns += start.elapsed().as_nanos() as u64;
+        }
+        let step_start = traced.then(Instant::now);
+        optimizer.step(store, batch_len);
+        if let Some(start) = step_start {
+            *step_ns += start.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Drains the per-lane tape profiles, merges them, and flushes one
@@ -539,6 +676,46 @@ fn evaluate_on_tapes(
     idx: &[usize],
 ) -> (f32, f64) {
     evaluate_inner(executor, Some(tapes), model, inputs, labels, idx)
+}
+
+/// Mean validation loss and accuracy on `idx`, running fused batch
+/// inference over `batch_size`-sized chunks on the trainer's warm
+/// lane-0 tape. Because batched prediction returns exactly the
+/// per-sample probabilities and losses are summed in index order, the
+/// result is bitwise identical to [`evaluate`].
+fn evaluate_batched_on_tape(
+    tape: &Mutex<Tape>,
+    batch_size: usize,
+    model: &Dgcnn,
+    inputs: &[GraphInput],
+    labels: &[usize],
+    idx: &[usize],
+) -> (f32, f64) {
+    if idx.is_empty() {
+        return (0.0, 0.0);
+    }
+    let _span =
+        magic_obs::span_fields(magic_obs::stage::EVALUATE, &[("samples", idx.len() as f64)]);
+    let mut tape = tape.lock().expect("unpoisoned tape");
+    let mut loss_total = 0.0f32;
+    let mut correct = 0usize;
+    for chunk in batches(idx, batch_size) {
+        let members: Vec<&GraphInput> = chunk.iter().map(|&i| &inputs[i]).collect();
+        let graph_batch = GraphBatch::new(&members);
+        let probs = model.predict_batch_with(&mut tape, &graph_batch);
+        for (row, &i) in probs.iter().zip(chunk.iter()) {
+            let p = row[labels[i]].clamp(1e-15, 1.0);
+            loss_total += -p.ln();
+            let arg = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            correct += usize::from(arg == labels[i]);
+        }
+    }
+    (loss_total / idx.len() as f32, correct as f64 / idx.len() as f64)
 }
 
 fn evaluate_inner(
@@ -703,6 +880,65 @@ mod tests {
                     "weights for {name} diverged with {workers} workers"
                 );
             }
+        }
+    }
+
+    /// The tentpole guarantee of the batched execution mode: fusing each
+    /// mini-batch into one block-diagonal pass changes nothing but the
+    /// wall-clock. The entire history, the best validation loss, and
+    /// every final weight are bitwise identical to the per-sample path —
+    /// and the batched path is itself run-to-run deterministic and
+    /// independent of the intra-op thread count.
+    #[test]
+    fn batched_mode_matches_per_sample_training_bitwise() {
+        use magic_autograd::first_bitwise_mismatch;
+        let (inputs, labels) = toy_data();
+        let train_idx: Vec<usize> = (0..16).collect();
+        let val_idx: Vec<usize> = (16..20).collect();
+
+        let run = |batched: bool, workers: usize| {
+            let config = DgcnnConfig::new(2, PoolingHead::sort_pool_weighted(8));
+            let mut model = Dgcnn::new(&config, 9);
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 4,
+                batch_size: 4,
+                learning_rate: 0.02,
+                seed: 3,
+                train_workers: workers,
+                batched,
+                ..TrainConfig::default()
+            });
+            let outcome = trainer.train(&mut model, &inputs, &labels, &train_idx, &val_idx);
+            (outcome, model)
+        };
+        let assert_same = |label: &str,
+                           (outcome, model): &(TrainOutcome, Dgcnn),
+                           (ref_outcome, ref_model): &(TrainOutcome, Dgcnn)| {
+            assert_eq!(outcome.history, ref_outcome.history, "history diverged: {label}");
+            assert_eq!(outcome.best_val_loss, ref_outcome.best_val_loss, "{label}");
+            for (name, value) in model.store().iter() {
+                let reference = ref_model.store();
+                let id = reference.find(name).expect("same parameter set");
+                assert_eq!(
+                    first_bitwise_mismatch(value, reference.value(id)),
+                    None,
+                    "weights for {name} diverged: {label}"
+                );
+            }
+        };
+
+        let per_sample = run(false, 1);
+        let batched = run(true, 1);
+        assert_same("batched vs per-sample", &batched, &per_sample);
+        // Run-to-run determinism of the batched path itself.
+        assert_same("batched rerun", &run(true, 1), &batched);
+        // The intra-op reduction tree is fixed, so threading the
+        // microkernels must not move a single bit either.
+        for threads in [2, 4] {
+            magic_tensor::set_intra_op_threads(threads);
+            let outcome = run(true, 1);
+            magic_tensor::set_intra_op_threads(1);
+            assert_same(&format!("batched with {threads} intra-op threads"), &outcome, &batched);
         }
     }
 

@@ -1,13 +1,14 @@
 //! The assembled DGCNN model.
 
 use crate::config::{DgcnnConfig, PoolingHead};
-use crate::input::GraphInput;
+use crate::input::{GraphBatch, GraphInput};
 use magic_autograd::{Tape, Var};
 use magic_nn::{
     AdaptiveMaxPool2d, Binding, Conv1dLayer, Conv2dLayer, Dropout, GraphConv, Linear, ParamStore,
     SortPooling, WeightedVertices,
 };
 use magic_tensor::Rng64;
+use std::sync::Arc;
 
 /// How the Eq. (1) adjacency product is computed.
 ///
@@ -239,9 +240,106 @@ impl Dgcnn {
         tape.log_softmax_rows(logits)
     }
 
+    /// Runs the forward pass for a whole mini-batch on one tape,
+    /// returning `(batch, num_classes)` log-probabilities — row `j` holds
+    /// sample `j`.
+    ///
+    /// Always propagates through the batch's block-diagonal CSR
+    /// adjacency (the sparse path; [`Propagation::Dense`] has no batched
+    /// equivalent). Every op either operates on disjoint per-sample
+    /// segments or unstacks shared-parameter gradients per sample, so
+    /// losses, predictions and accumulated gradients are bitwise
+    /// identical to running [`Dgcnn::forward`] on each sample separately.
+    ///
+    /// `rngs` supplies one dropout stream per sample (from
+    /// [`Rng64::for_sample`] in training), keeping mask bits independent
+    /// of batch composition.
+    pub fn forward_batched(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        batch: &GraphBatch,
+        training: bool,
+        rngs: &mut [Rng64],
+    ) -> Var {
+        assert_eq!(rngs.len(), batch.len(), "one dropout RNG stream per sample");
+        let bounds = batch.bounds();
+        let b = batch.len();
+        let concat = self.config.concat_channels();
+
+        // Graph convolution stack over the block-diagonal system.
+        let mut z = tape.leaf(batch.attributes().clone(), false);
+        let mut per_layer = Vec::with_capacity(self.graph_convs.len());
+        for conv in &self.graph_convs {
+            z = conv.forward_sparse_batched(
+                tape,
+                binding,
+                batch.adj_hat(),
+                batch.adj_hat_t(),
+                batch.inv_degree_arc(),
+                z,
+                bounds,
+            );
+            per_layer.push(z);
+        }
+        let z_concat = tape.concat_cols(&per_layer); // (Σ n_j, concat)
+
+        // Readout head, one fused op chain for the whole batch.
+        let features = match &self.head {
+            HeadLayers::SortPoolConv1d { sort, conv1, conv2 } => {
+                let z_sp = sort.forward_batched(tape, z_concat, bounds); // (B·k, concat)
+                let k = sort.k();
+                // Row-major flatten of the row-stacked sort output is the
+                // per-sample flattened signals laid end to end.
+                let flat = tape.reshape(z_sp, [1, b * k * concat]);
+                let c1 = conv1.forward_batched(tape, binding, flat, k * concat); // (ch0, B·k)
+                let pooled = tape.max_pool1d_batched(c1, 2, k); // (ch0, B·(k/2))
+                let c2 = conv2.forward_batched(tape, binding, pooled, k / 2); // (ch1, B·L)
+                let seg = tape.value(c2).cols() / b;
+                tape.unstack_columns(c2, seg) // (B, ch1·L)
+            }
+            HeadLayers::SortPoolWeighted { sort, weighted } => {
+                let z_sp = sort.forward_batched(tape, z_concat, bounds); // (B·k, concat)
+                weighted.forward_batched(tape, binding, z_sp) // (B, concat)
+            }
+            HeadLayers::AdaptiveMaxPool { pre_conv, pool, post_conv } => {
+                // The row-major (Σ n_j, concat) buffer *is* the
+                // column-stacked (1, Σ n_j·concat) image batch.
+                let dims: Arc<Vec<(usize, usize)>> =
+                    Arc::new(bounds.windows(2).map(|w| (w[1] - w[0], concat)).collect());
+                let image = tape.reshape(z_concat, [1, batch.total_vertices() * concat]);
+                // 3×3 stride-1 pad-1 preserves each sample's extent.
+                let c1 = pre_conv.forward_batched(tape, binding, image, Arc::clone(&dims));
+                let pooled = pool.forward_batched(tape, c1, &dims); // (ch, B·gh·gw)
+                let grid = Arc::new(vec![(pool.out_h(), pool.out_w()); b]);
+                let c2 = post_conv.forward_batched(tape, binding, pooled, grid);
+                tape.unstack_columns(c2, pool.out_h() * pool.out_w()) // (B, ch·gh·gw)
+            }
+        };
+
+        // Classifier perceptron: row-wise ops are already batch-safe.
+        let h = self.fc1.forward(tape, binding, features);
+        let h = tape.relu(h);
+        let h = self.dropout.forward_rows(tape, h, training, rngs);
+        let logits = self.fc2.forward(tape, binding, h);
+        tape.log_softmax_rows(logits)
+    }
+
     /// Class probabilities for one graph (inference mode).
     pub fn predict(&self, input: &GraphInput) -> Vec<f32> {
         self.predict_with(&mut Tape::new(), input)
+    }
+
+    /// Class probabilities for every graph in a batch, evaluated in one
+    /// fused forward pass on a caller-supplied (reset) tape. Bitwise
+    /// identical to calling [`Dgcnn::predict`] per sample.
+    pub fn predict_batch_with(&self, tape: &mut Tape, batch: &GraphBatch) -> Vec<Vec<f32>> {
+        tape.reset();
+        let binding = self.store.bind(tape);
+        let mut rngs = vec![Rng64::new(0); batch.len()]; // unused: dropout off
+        let lp = self.forward_batched(tape, &binding, batch, false, &mut rngs);
+        let v = tape.value(lp);
+        (0..batch.len()).map(|i| v.row(i).iter().map(|&x| x.exp()).collect()).collect()
     }
 
     /// Class probabilities for one graph, evaluated on a caller-supplied
@@ -428,6 +526,92 @@ mod tests {
         assert_send_sync::<Dgcnn>();
         assert_send_sync::<DgcnnConfig>();
         assert_send_sync::<GraphInput>();
+    }
+
+    /// Accumulated gradients of every parameter, in registration order.
+    fn grad_snapshot(store: &ParamStore) -> Vec<Vec<f32>> {
+        store
+            .iter()
+            .map(|(name, _)| store.grad(store.find(name).unwrap()).as_slice().to_vec())
+            .collect()
+    }
+
+    /// The batched forward must be bitwise identical to per-sample
+    /// execution — losses, log-probabilities, and every accumulated
+    /// parameter gradient — for all three heads, with dropout active.
+    #[test]
+    fn batched_forward_is_bitwise_identical_to_per_sample() {
+        for head in all_heads() {
+            let mut config = DgcnnConfig::new(4, head.clone());
+            config.dropout = 0.5;
+            let mut model = Dgcnn::new(&config, 13);
+            let inputs: Vec<GraphInput> =
+                (0..4).map(|i| tiny_input(6 + 7 * i, 40 + i as u64)).collect();
+            let labels = [0usize, 3, 1, 2];
+
+            // Per-sample: one tape per sample, gradients accumulated in
+            // sample order (the per-sample trainer's reduce chain).
+            let mut per_losses = Vec::new();
+            let mut per_lp = Vec::new();
+            for (i, input) in inputs.iter().enumerate() {
+                let mut rng = Rng64::for_sample(99, 0, i as u64);
+                let mut tape = Tape::new();
+                let binding = model.store().bind(&mut tape);
+                let lp = model.forward(&mut tape, &binding, input, true, &mut rng);
+                let loss = tape.nll_loss(lp, vec![labels[i]]);
+                per_lp.push(tape.value(lp).as_slice().to_vec());
+                per_losses.push(tape.value(loss).item());
+                tape.backward(loss);
+                model.store_mut().accumulate_grads(&tape, &binding);
+            }
+            let per_grads = grad_snapshot(model.store());
+            model.store_mut().zero_grads();
+
+            // Batched: one tape, one op chain, same RNG streams.
+            let refs: Vec<&GraphInput> = inputs.iter().collect();
+            let batch = GraphBatch::new(&refs);
+            let mut rngs: Vec<Rng64> =
+                (0..4).map(|i| Rng64::for_sample(99, 0, i as u64)).collect();
+            let mut tape = Tape::new();
+            let binding = model.store().bind(&mut tape);
+            let lp = model.forward_batched(&mut tape, &binding, &batch, true, &mut rngs);
+            let losses = tape.nll_loss_rows(lp, labels.to_vec());
+            let total = tape.sum(losses);
+            tape.backward(total);
+            model.store_mut().accumulate_grads(&tape, &binding);
+            let bat_grads = grad_snapshot(model.store());
+            model.store_mut().zero_grads();
+
+            for i in 0..inputs.len() {
+                assert_eq!(
+                    tape.value(lp).row(i),
+                    per_lp[i].as_slice(),
+                    "head {head:?}: log-probs of sample {i}"
+                );
+                assert_eq!(
+                    tape.value(losses).get2(i, 0),
+                    per_losses[i],
+                    "head {head:?}: loss of sample {i}"
+                );
+            }
+            assert_eq!(bat_grads, per_grads, "head {head:?}: gradient mismatch");
+        }
+    }
+
+    /// Fused batch inference returns exactly the per-sample predictions.
+    #[test]
+    fn predict_batch_matches_predict() {
+        for head in all_heads() {
+            let config = DgcnnConfig::new(5, head.clone());
+            let model = Dgcnn::new(&config, 17);
+            let inputs: Vec<GraphInput> = (0..3).map(|i| tiny_input(10 + 5 * i, i as u64)).collect();
+            let refs: Vec<&GraphInput> = inputs.iter().collect();
+            let batch = GraphBatch::new(&refs);
+            let batched = model.predict_batch_with(&mut Tape::new(), &batch);
+            for (input, got) in inputs.iter().zip(&batched) {
+                assert_eq!(got, &model.predict(input), "head {head:?}");
+            }
+        }
     }
 
     /// Shared-model inference from multiple threads gives the same

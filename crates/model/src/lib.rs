@@ -36,4 +36,4 @@ mod input;
 
 pub use config::{DgcnnConfig, PoolingHead};
 pub use dgcnn::{Dgcnn, Propagation};
-pub use input::GraphInput;
+pub use input::{GraphBatch, GraphInput};

@@ -63,6 +63,15 @@ impl Conv1dLayer {
         let y = tape.conv1d(x, binding.var(self.w), binding.var(self.b), self.stride);
         tape.relu(y)
     }
+
+    /// [`Conv1dLayer::forward`] over a mini-batch whose samples occupy
+    /// equal column segments of `seg_len` in `x` — the convolution runs
+    /// per segment (windows never straddle a boundary), with weight and
+    /// bias gradients unstacked per sample for bitwise parity.
+    pub fn forward_batched(&self, tape: &mut Tape, binding: &Binding, x: Var, seg_len: usize) -> Var {
+        let y = tape.conv1d_batched(x, binding.var(self.w), binding.var(self.b), self.stride, seg_len);
+        tape.relu(y)
+    }
 }
 
 /// A 2-D convolution over `(c_in, h, w)` feature maps, used by the
@@ -120,6 +129,28 @@ impl Conv2dLayer {
     /// Applies the convolution followed by ReLU.
     pub fn forward(&self, tape: &mut Tape, binding: &Binding, x: Var) -> Var {
         let y = tape.conv2d(x, binding.var(self.w), binding.var(self.b), self.stride, self.pad);
+        tape.relu(y)
+    }
+
+    /// [`Conv2dLayer::forward`] over a mini-batch of column-stacked
+    /// feature maps: `x` is `(c_in, Σ h_j·w_j)` and `dims` gives each
+    /// sample's spatial extent. Weight and bias gradients are unstacked
+    /// per sample for bitwise parity with per-sample execution.
+    pub fn forward_batched(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        x: Var,
+        dims: std::sync::Arc<Vec<(usize, usize)>>,
+    ) -> Var {
+        let y = tape.conv2d_batched(
+            x,
+            binding.var(self.w),
+            binding.var(self.b),
+            self.stride,
+            self.pad,
+            dims,
+        );
         tape.relu(y)
     }
 }

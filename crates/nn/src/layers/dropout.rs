@@ -34,6 +34,23 @@ impl Dropout {
             x
         }
     }
+
+    /// Batched variant: one row of `x` per sample, masked from that
+    /// sample's own RNG stream so the mask bits match per-sample
+    /// execution exactly regardless of batch composition.
+    pub fn forward_rows(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        training: bool,
+        rngs: &mut [Rng64],
+    ) -> Var {
+        if training && self.rate > 0.0 {
+            tape.dropout_rows(x, self.rate, rngs)
+        } else {
+            x
+        }
+    }
 }
 
 #[cfg(test)]

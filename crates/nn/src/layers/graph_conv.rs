@@ -91,6 +91,32 @@ impl GraphConv {
         ); // D̂⁻¹ (Â F)
         tape.relu(o)
     }
+
+    /// [`GraphConv::forward_sparse`] over a block-diagonal batch: `z` holds
+    /// the row-stacked vertex features of a whole mini-batch and `adj` is
+    /// the batch's block-diagonal `Â`. `bounds` marks each sample's row
+    /// segment so the shared weight's gradient is accumulated per sample,
+    /// keeping the result bitwise identical to per-sample execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_sparse_batched(
+        &self,
+        tape: &mut Tape,
+        binding: &Binding,
+        adj: &Arc<CsrMatrix>,
+        adj_t: &Arc<CsrMatrix>,
+        inv_degree: &Arc<Vec<f32>>,
+        z: Var,
+        bounds: &Arc<Vec<usize>>,
+    ) -> Var {
+        let f = tape.matmul_batched(z, binding.var(self.w), Arc::clone(bounds));
+        let o = tape.spmm_norm_batched(
+            Arc::clone(adj),
+            Arc::clone(adj_t),
+            Arc::clone(inv_degree),
+            f,
+        );
+        tape.relu(o)
+    }
 }
 
 /// Computes `Â = A + I` and the inverse augmented degree diagonal from a

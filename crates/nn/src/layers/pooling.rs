@@ -44,6 +44,27 @@ impl SortPooling {
         let gathered = tape.gather_rows(z_concat, keep);
         tape.pad_or_truncate_rows(gathered, self.k)
     }
+
+    /// [`SortPooling::forward`] over a row-stacked batch: `bounds` marks
+    /// each sample's vertex row segment in `z_concat`. Each segment is
+    /// sorted independently (global indices; ties break on the row index,
+    /// which an offset shift preserves, so the per-segment permutation is
+    /// exactly the per-sample one) and padded to `k` rows with the
+    /// `usize::MAX` sentinel. Returns `(batch·k, Σ c_t)` row-stacked.
+    pub fn forward_batched(&self, tape: &mut Tape, z_concat: Var, bounds: &[usize]) -> Var {
+        let indices: Vec<usize> = {
+            let v = tape.value(z_concat);
+            let mut idx = Vec::with_capacity((bounds.len() - 1) * self.k);
+            for w in bounds.windows(2) {
+                let order = v.argsort_rows_desc_lastcol_range(w[0], w[1]);
+                let kept = order.len().min(self.k);
+                idx.extend(order.into_iter().take(self.k));
+                idx.extend(std::iter::repeat_n(usize::MAX, self.k - kept));
+            }
+            idx
+        };
+        tape.gather_rows_pad(z_concat, indices)
+    }
 }
 
 /// The WeightedVertices layer of Section III-B (Eq. 3–4).
@@ -84,6 +105,15 @@ impl WeightedVertices {
         let e = tape.matmul(binding.var(self.w), z_sp);
         tape.relu(e)
     }
+
+    /// [`WeightedVertices::forward`] over a row-stacked batch of
+    /// SortPooling outputs `(batch·k, Σ c_t)`: one weighted sum per
+    /// `k`-row block, returning `(batch, Σ c_t)`. The shared weight's
+    /// gradient is accumulated per block for bitwise parity.
+    pub fn forward_batched(&self, tape: &mut Tape, binding: &Binding, z_sp: Var) -> Var {
+        let e = tape.matmul_row_blocks(binding.var(self.w), z_sp, self.k);
+        tape.relu(e)
+    }
 }
 
 /// The adaptive max pooling layer of Section III-C.
@@ -121,6 +151,13 @@ impl AdaptiveMaxPool2d {
     /// Applies the pooling on the tape.
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
         tape.adaptive_max_pool2d(x, self.out_h, self.out_w)
+    }
+
+    /// [`AdaptiveMaxPool2d::forward`] over a column-stacked batch:
+    /// `x` is `(c, Σ h_j·w_j)` with per-sample extents `dims`, pooled to
+    /// `(c, batch·out_h·out_w)`.
+    pub fn forward_batched(&self, tape: &mut Tape, x: Var, dims: &[(usize, usize)]) -> Var {
+        tape.adaptive_max_pool2d_batched(x, dims, self.out_h, self.out_w)
     }
 }
 

@@ -7,17 +7,34 @@
 //! same deterministic kernel without materializing `Tensor` temporaries
 //! or explicit transposes.
 
+use crate::simd;
 use crate::tensor::Tensor;
+use crate::threading;
+
+/// FLOP estimate shared by the three GEMM entry points, used to decide
+/// whether intra-op threading is worth its fan-out cost.
+fn gemm_work(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
 
 /// `out += a @ b` on raw row-major slices: `a` is `(m, k)`, `b` is
 /// `(k, n)`, `out` is `(m, n)`.
 ///
 /// This is the register-blocked ikj kernel behind [`Tensor::matmul`]: the
 /// k loop is unrolled by 4 (four `a` scalars held in registers against
-/// four consecutive `b` rows) and the j loop runs in 4-wide tiles with a
-/// scalar remainder. The accumulation order is a fixed function of the
-/// shapes alone — no data-dependent branches, in particular no zero
-/// skipping — so results are bitwise reproducible run to run.
+/// four consecutive `b` rows) and the j loop runs through the 8-lane
+/// [`crate::simd`] spans, whose per-element expression is a function of
+/// the element's `(i, p)` position alone — no data-dependent branches,
+/// in particular no zero skipping — so results are bitwise reproducible
+/// run to run. Because each output element's accumulation chain depends
+/// only on its own row of `a` and column of `b`, row-stacking or
+/// column-concatenating independent operands (batched execution) leaves
+/// every element bitwise unchanged.
+///
+/// Large calls fan out across [`crate::threading::intra_op_threads`]
+/// scoped threads by disjoint output-row ranges; each row is still
+/// reduced by one thread in serial order, so the result is bitwise
+/// independent of the thread count.
 ///
 /// Note this *accumulates* into `out`, which lets callers pre-initialize
 /// it with a bias term for free.
@@ -29,44 +46,30 @@ pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
     assert_eq!(a.len(), m * k, "gemm_into: a length mismatch");
     assert_eq!(b.len(), k * n, "gemm_into: b length mismatch");
     assert_eq!(out.len(), m * n, "gemm_into: out length mismatch");
-    let k4 = k / 4 * 4;
-    let n4 = n / 4 * 4;
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        let mut p = 0;
-        while p < k4 {
-            let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
-            let b0 = &b[p * n..(p + 1) * n];
-            let b1 = &b[(p + 1) * n..(p + 2) * n];
-            let b2 = &b[(p + 2) * n..(p + 3) * n];
-            let b3 = &b[(p + 3) * n..(p + 4) * n];
-            let mut j = 0;
-            while j < n4 {
-                orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-                orow[j + 1] +=
-                    (a0 * b0[j + 1] + a1 * b1[j + 1]) + (a2 * b2[j + 1] + a3 * b3[j + 1]);
-                orow[j + 2] +=
-                    (a0 * b0[j + 2] + a1 * b1[j + 2]) + (a2 * b2[j + 2] + a3 * b3[j + 2]);
-                orow[j + 3] +=
-                    (a0 * b0[j + 3] + a1 * b1[j + 3]) + (a2 * b2[j + 3] + a3 * b3[j + 3]);
-                j += 4;
-            }
-            while j < n {
-                orow[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
-                j += 1;
-            }
-            p += 4;
-        }
-        while p < k {
-            let ap = arow[p];
-            let brow = &b[p * n..(p + 1) * n];
-            for (oj, &bj) in orow.iter_mut().zip(brow) {
-                *oj += ap * bj;
-            }
-            p += 1;
-        }
+    if m == 0 || n == 0 {
+        return;
     }
+    let k4 = k / 4 * 4;
+    threading::partition_rows(m, n, gemm_work(m, k, n), out, |first, rows| {
+        for (di, orow) in rows.chunks_exact_mut(n).enumerate() {
+            let i = first + di;
+            let arow = &a[i * k..(i + 1) * k];
+            let mut p = 0;
+            while p < k4 {
+                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                simd::madd4_span(orow, a0, a1, a2, a3, b0, b1, b2, b3);
+                p += 4;
+            }
+            while p < k {
+                simd::axpy_span(orow, arow[p], &b[p * n..(p + 1) * n]);
+                p += 1;
+            }
+        }
+    });
 }
 
 /// `out += a @ bᵀ` on raw row-major slices: `a` is `(m, k)`, `b` is
@@ -74,9 +77,11 @@ pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [
 /// *transposed* without materializing the transpose.
 ///
 /// Each output element is one [`Tensor::dot`] of an `a` row against a `b`
-/// row, inheriting its four-accumulator chunking and fixed summation
+/// row, inheriting its eight-accumulator chunking and fixed summation
 /// order, so results are bitwise reproducible. This is the weight-gradient
-/// product of the im2col lowering (`gW = gOut · colsᵀ`).
+/// product of the im2col lowering (`gW = gOut · colsᵀ`). Large calls
+/// fan out by output rows like [`gemm_into`], bitwise independent of the
+/// thread count.
 ///
 /// # Panics
 ///
@@ -85,23 +90,30 @@ pub fn gemm_nt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mu
     assert_eq!(a.len(), m * k, "gemm_nt_into: a length mismatch");
     assert_eq!(b.len(), n * k, "gemm_nt_into: b length mismatch");
     assert_eq!(out.len(), m * n, "gemm_nt_into: out length mismatch");
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (oj, brow) in orow.iter_mut().zip(b.chunks_exact(k)) {
-            *oj += Tensor::dot(arow, brow);
-        }
+    if m == 0 || n == 0 {
+        return;
     }
+    threading::partition_rows(m, n, gemm_work(m, k, n), out, |first, rows| {
+        for (di, orow) in rows.chunks_exact_mut(n).enumerate() {
+            let i = first + di;
+            let arow = &a[i * k..(i + 1) * k];
+            for (oj, brow) in orow.iter_mut().zip(b.chunks_exact(k)) {
+                *oj += Tensor::dot(arow, brow);
+            }
+        }
+    });
 }
 
 /// `out += aᵀ @ b` on raw row-major slices: `a` is `(k, m)`, `b` is
 /// `(k, n)`, `out` is `(m, n)` — the first operand is consumed
 /// *transposed* without materializing the transpose.
 ///
-/// The loop order is i, then p, then a 4-wide-tiled j (an axpy of `b` row
-/// `p` scaled by `a[p, i]` into `out` row `i`), a fixed function of the
-/// shapes, so results are bitwise reproducible. This is the input-gradient
-/// product of the im2col lowering (`gCols = Wᵀ · gOut`).
+/// The loop order is i, then p, then an 8-lane [`crate::simd::axpy_span`]
+/// over j (`b` row `p` scaled by `a[p, i]` into `out` row `i`), a fixed
+/// function of the shapes, so results are bitwise reproducible. This is
+/// the input-gradient product of the im2col lowering (`gCols = Wᵀ·gOut`).
+/// Large calls fan out by output rows like [`gemm_into`], bitwise
+/// independent of the thread count.
 ///
 /// # Panics
 ///
@@ -110,26 +122,17 @@ pub fn gemm_tn_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mu
     assert_eq!(a.len(), k * m, "gemm_tn_into: a length mismatch");
     assert_eq!(b.len(), k * n, "gemm_tn_into: b length mismatch");
     assert_eq!(out.len(), m * n, "gemm_tn_into: out length mismatch");
-    let n4 = n / 4 * 4;
-    for i in 0..m {
-        let orow = &mut out[i * n..(i + 1) * n];
-        for p in 0..k {
-            let ap = a[p * m + i];
-            let brow = &b[p * n..(p + 1) * n];
-            let mut j = 0;
-            while j < n4 {
-                orow[j] += ap * brow[j];
-                orow[j + 1] += ap * brow[j + 1];
-                orow[j + 2] += ap * brow[j + 2];
-                orow[j + 3] += ap * brow[j + 3];
-                j += 4;
-            }
-            while j < n {
-                orow[j] += ap * brow[j];
-                j += 1;
+    if m == 0 || n == 0 {
+        return;
+    }
+    threading::partition_rows(m, n, gemm_work(m, k, n), out, |first, rows| {
+        for (di, orow) in rows.chunks_exact_mut(n).enumerate() {
+            let i = first + di;
+            for p in 0..k {
+                simd::axpy_span(orow, a[p * m + i], &b[p * n..(p + 1) * n]);
             }
         }
-    }
+    });
 }
 
 impl Tensor {
@@ -218,28 +221,17 @@ impl Tensor {
 
     /// Dot product of two equal-length slices.
     ///
-    /// Accumulates into four independent partial sums over 4-wide chunks
-    /// (breaking the serial dependence so the loop autovectorizes) and
-    /// combines them pairwise with the scalar tail:
-    /// `(acc0 + acc1) + (acc2 + acc3) + tail`. The order is fixed, so the
-    /// result is bitwise reproducible.
+    /// Delegates to the 8-lane [`crate::simd::dot_span`]: eight
+    /// independent partial sums (breaking the serial dependence so the
+    /// loop autovectorizes) combined in a fixed pairwise tree with a
+    /// sequential scalar tail. The order is fixed, so the result is
+    /// bitwise reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-        assert_eq!(a.len(), b.len(), "dot length mismatch");
-        let mut acc = [0.0f32; 4];
-        for (ca, cb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
-            acc[0] += ca[0] * cb[0];
-            acc[1] += ca[1] * cb[1];
-            acc[2] += ca[2] * cb[2];
-            acc[3] += ca[3] * cb[3];
-        }
-        let tail: f32 = a
-            .chunks_exact(4)
-            .remainder()
-            .iter()
-            .zip(b.chunks_exact(4).remainder())
-            .map(|(x, y)| x * y)
-            .sum();
-        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+        simd::dot_span(a, b)
     }
 }
 

@@ -95,7 +95,22 @@ impl Tensor {
     /// "vertices are first sorted by the last channel of the last layer in
     /// a decreasing order; ties are broken using earlier channels".
     pub fn argsort_rows_desc_lastcol(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.rows()).collect();
+        self.argsort_rows_desc_lastcol_range(0, self.rows())
+    }
+
+    /// [`Tensor::argsort_rows_desc_lastcol`] restricted to the row range
+    /// `start..end`, returning *global* row indices. A block-diagonal
+    /// batch sorts each sample's row segment independently with this;
+    /// because ties break on the row index and the range shift is
+    /// order-preserving, the permutation within the segment is exactly
+    /// the one the per-sample sort would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or exceeds the row count.
+    pub fn argsort_rows_desc_lastcol_range(&self, start: usize, end: usize) -> Vec<usize> {
+        assert!(start <= end && end <= self.rows(), "row range {start}..{end} out of bounds");
+        let mut idx: Vec<usize> = (start..end).collect();
         idx.sort_by(|&a, &b| {
             let ra = self.row(a);
             let rb = self.row(b);
@@ -180,5 +195,33 @@ mod tests {
     fn argsort_is_stable_for_fully_tied_rows() {
         let t = Tensor::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
         assert_eq!(t.argsort_rows_desc_lastcol(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ranged_argsort_matches_offset_sort_of_the_slab() {
+        // Two stacked "samples": rows 0..2 and rows 2..5. The ranged sort
+        // of each segment must equal the standalone sort of that segment
+        // shifted by the segment start.
+        let t = Tensor::from_rows(&[
+            &[0.0, 1.0],
+            &[0.0, 4.0],
+            &[1.0, 2.0],
+            &[2.0, 2.0],
+            &[0.0, 9.0],
+        ]);
+        let lower = Tensor::from_rows(&[&[0.0, 1.0], &[0.0, 4.0]]);
+        let upper = Tensor::from_rows(&[&[1.0, 2.0], &[2.0, 2.0], &[0.0, 9.0]]);
+        let shifted: Vec<usize> =
+            upper.argsort_rows_desc_lastcol().into_iter().map(|i| i + 2).collect();
+        assert_eq!(t.argsort_rows_desc_lastcol_range(0, 2), lower.argsort_rows_desc_lastcol());
+        assert_eq!(t.argsort_rows_desc_lastcol_range(2, 5), shifted);
+        assert_eq!(t.argsort_rows_desc_lastcol_range(0, 5), t.argsort_rows_desc_lastcol());
+        assert!(t.argsort_rows_desc_lastcol_range(3, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn ranged_argsort_rejects_out_of_bounds_end() {
+        Tensor::from_rows(&[&[1.0]]).argsort_rows_desc_lastcol_range(0, 2);
     }
 }

@@ -1,0 +1,183 @@
+//! The 8-lane microkernel spans behind the GEMM and SpMM kernels.
+//!
+//! Every hot inner loop of the `linalg` kernels and the CSR propagation
+//! in the `sparse` module bottoms out in one of the three span functions:
+//! a four-row multiply-add ([`madd4_span`]), a scaled row accumulation
+//! ([`axpy_span`]), and an eight-accumulator dot product ([`dot_span`]).
+//! Each walks its span in 8-wide tiles through fixed-size `[f32; 8]`
+//! array references, which gives the autovectorizer provably independent
+//! lanes with no bounds checks inside the tile — the layout LLVM lowers
+//! to packed SIMD arithmetic on every tier-1 target (SSE2 `mulps/addps`
+//! pairs on baseline x86-64, `vfmadd` on AVX2+FMA, `fmla` on AArch64).
+//!
+//! This module is deliberately **dependency-free** (it imports nothing,
+//! not even from this crate) so `scripts/ci.sh` can compile it standalone
+//! with `rustc --emit asm` and grep the assembly for packed instructions:
+//! the vectorization claim is inspected, not assumed. Keep it that way.
+//!
+//! # Determinism
+//!
+//! The per-element accumulation expressions are exactly those of the
+//! scalar kernels they replaced: `madd4_span` computes
+//! `(a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])` per element and
+//! `axpy_span` computes `a * b[j]`, both functions of the element's
+//! position alone. Tiling the `j` loop 8-wide therefore changes *nothing*
+//! about the float result — lane `j` never reads a neighbor — so the
+//! GEMM/SpMM outputs are bitwise identical whatever the span is batched
+//! with, which is what makes per-batch execution bitwise-equal to
+//! per-sample execution upstream. `dot_span` reduces through eight
+//! independent accumulators combined in a fixed pairwise tree, so it is
+//! bitwise reproducible run to run (but is *not* the same grouping as a
+//! sequential sum).
+
+/// Vector width the spans are tiled to. Eight `f32` lanes fill one AVX
+/// `ymm` register and two SSE/NEON registers.
+pub const LANES: usize = 8;
+
+/// `out[j] += (a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])` over the
+/// whole span — the register-blocked GEMM update of four `a` scalars
+/// against four `b` rows.
+///
+/// # Panics
+///
+/// Panics if any `b` span is shorter than `out`.
+// Four explicit scalar/row pairs (not slices-of-slices) are what lets
+// the autovectorizer keep all four accumulator streams in registers.
+#[allow(clippy::too_many_arguments)]
+pub fn madd4_span(
+    out: &mut [f32],
+    a0: f32,
+    a1: f32,
+    a2: f32,
+    a3: f32,
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    let n = out.len();
+    let n8 = n / LANES * LANES;
+    let mut j = 0;
+    while j < n8 {
+        let o: &mut [f32; LANES] = (&mut out[j..j + LANES]).try_into().unwrap();
+        let c0: &[f32; LANES] = (&b0[j..j + LANES]).try_into().unwrap();
+        let c1: &[f32; LANES] = (&b1[j..j + LANES]).try_into().unwrap();
+        let c2: &[f32; LANES] = (&b2[j..j + LANES]).try_into().unwrap();
+        let c3: &[f32; LANES] = (&b3[j..j + LANES]).try_into().unwrap();
+        for l in 0..LANES {
+            o[l] += (a0 * c0[l] + a1 * c1[l]) + (a2 * c2[l] + a3 * c3[l]);
+        }
+        j += LANES;
+    }
+    while j < n {
+        out[j] += (a0 * b0[j] + a1 * b1[j]) + (a2 * b2[j] + a3 * b3[j]);
+        j += 1;
+    }
+}
+
+/// `out[j] += a * b[j]` over the whole span — the GEMM k-remainder, the
+/// transposed-GEMM inner update, and the CSR SpMM row accumulation.
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than `out`.
+pub fn axpy_span(out: &mut [f32], a: f32, b: &[f32]) {
+    let n = out.len();
+    let n8 = n / LANES * LANES;
+    let mut j = 0;
+    while j < n8 {
+        let o: &mut [f32; LANES] = (&mut out[j..j + LANES]).try_into().unwrap();
+        let c: &[f32; LANES] = (&b[j..j + LANES]).try_into().unwrap();
+        for l in 0..LANES {
+            o[l] += a * c[l];
+        }
+        j += LANES;
+    }
+    while j < n {
+        out[j] += a * b[j];
+        j += 1;
+    }
+}
+
+/// Dot product of two equal-length spans through eight independent
+/// accumulators, combined pairwise:
+/// `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)) + tail`, with the sub-8
+/// remainder summed sequentially. The grouping is a fixed function of
+/// the length alone, so the result is bitwise reproducible.
+///
+/// # Panics
+///
+/// Panics if the spans differ in length.
+pub fn dot_span(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_span length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let mut j = 0;
+    let n8 = a.len() / LANES * LANES;
+    while j < n8 {
+        let ca: &[f32; LANES] = (&a[j..j + LANES]).try_into().unwrap();
+        let cb: &[f32; LANES] = (&b[j..j + LANES]).try_into().unwrap();
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+        j += LANES;
+    }
+    let mut tail = 0.0f32;
+    while j < a.len() {
+        tail += a[j] * b[j];
+        j += 1;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn madd4_matches_scalar_expression_bitwise() {
+        let n = 21; // exercises both the 8-wide tiles and the remainder
+        let b: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..n).map(|j| ((r * n + j) as f32).sin()).collect())
+            .collect();
+        let (a0, a1, a2, a3) = (0.7, -1.3, 0.01, 2.5);
+        let mut out = vec![0.5f32; n];
+        let mut want = vec![0.5f32; n];
+        madd4_span(&mut out, a0, a1, a2, a3, &b[0], &b[1], &b[2], &b[3]);
+        for j in 0..n {
+            want[j] += (a0 * b[0][j] + a1 * b[1][j]) + (a2 * b[2][j] + a3 * b[3][j]);
+        }
+        assert_eq!(out, want, "tiling must not change the per-element result");
+    }
+
+    #[test]
+    fn axpy_matches_scalar_expression_bitwise() {
+        let n = 13;
+        let b: Vec<f32> = (0..n).map(|j| (j as f32).cos()).collect();
+        let mut out = vec![1.0f32; n];
+        let mut want = vec![1.0f32; n];
+        axpy_span(&mut out, -0.37, &b);
+        for j in 0..n {
+            want[j] += -0.37 * b[j];
+        }
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn dot_span_exact_on_small_integers() {
+        for len in 0..20usize {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+            let want: f32 = a.iter().map(|x| x * x).sum();
+            assert_eq!(dot_span(&a, &a), want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_span_is_bitwise_deterministic() {
+        let a: Vec<f32> = (0..301).map(|i| (i as f32 * 0.11).sin()).collect();
+        let b: Vec<f32> = (0..301).map(|i| (i as f32 * 0.07).cos()).collect();
+        let first = dot_span(&a, &b);
+        for _ in 0..3 {
+            assert_eq!(first.to_bits(), dot_span(&a, &b).to_bits());
+        }
+    }
+}

@@ -126,6 +126,50 @@ impl CsrMatrix {
         (CsrMatrix::tracked(n, n, row_offsets, col_indices, values), inv_degree)
     }
 
+    /// Stacks independent CSR blocks into one block-diagonal matrix:
+    /// block `t` occupies rows `Σ_{s<t} rows_s ..` and columns
+    /// `Σ_{s<t} cols_s ..`, with zeros everywhere else (represented, of
+    /// course, by storing nothing).
+    ///
+    /// This is the batched-execution "batch graph": stacking a
+    /// mini-batch's augmented adjacencies block-diagonally lets one
+    /// [`CsrMatrix::spmm_row_scaled`] propagate every sample's
+    /// concatenated node features in a single call. Because SpMM
+    /// accumulates per output row in storage order and a block-diagonal
+    /// row holds exactly the nonzeros of its source block's row (columns
+    /// shifted into the block's span), the batched product is bitwise
+    /// identical to the per-sample products stacked row-wise.
+    ///
+    /// Ascending column order within rows is preserved, and
+    /// `block_diagonal(&blocks).transpose()` equals the block diagonal of
+    /// the transposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or the summed column count overflows
+    /// the `u32` column index space.
+    pub fn block_diagonal(blocks: &[&CsrMatrix]) -> CsrMatrix {
+        assert!(!blocks.is_empty(), "block_diagonal requires at least one block");
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        let mut col_indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_offsets.push(0);
+        let mut col_base = 0usize;
+        for b in blocks {
+            let nnz_base = *row_offsets.last().unwrap();
+            row_offsets.extend(b.row_offsets[1..].iter().map(|&o| nnz_base + o));
+            let shift =
+                u32::try_from(col_base).expect("block_diagonal exceeds u32 column space");
+            col_indices.extend(b.col_indices.iter().map(|&c| c + shift));
+            values.extend_from_slice(&b.values);
+            col_base += b.cols;
+        }
+        CsrMatrix::tracked(rows, cols, row_offsets, col_indices, values)
+    }
+
     /// Converts a dense matrix, keeping every nonzero entry (row-major,
     /// so columns come out ascending). Mainly for parity tests and
     /// tooling — production paths build from edges instead.
@@ -229,23 +273,27 @@ impl CsrMatrix {
         let c = dense.cols();
         let d = dense.as_slice();
         let mut out = Tensor::zeros([self.rows, c]);
-        let o = out.as_mut_slice();
-        for i in 0..self.rows {
-            let orow = &mut o[i * c..(i + 1) * c];
-            for p in self.row_offsets[i]..self.row_offsets[i + 1] {
-                let v = self.values[p];
-                let drow = &d[self.col_indices[p] as usize * c..][..c];
-                for (oj, &dj) in orow.iter_mut().zip(drow) {
-                    *oj += v * dj;
-                }
-            }
-            if let Some(s) = row_scale {
-                let f = s[i];
-                for oj in orow.iter_mut() {
-                    *oj *= f;
-                }
-            }
+        if self.rows == 0 || c == 0 {
+            return out;
         }
+        // Each output row is reduced by exactly one thread in storage
+        // order (see crate::threading), so the fan-out cannot change bits.
+        let work = 2 * self.nnz() as u64 * c as u64;
+        crate::threading::partition_rows(self.rows, c, work, out.as_mut_slice(), |first, rows| {
+            for (di, orow) in rows.chunks_exact_mut(c).enumerate() {
+                let i = first + di;
+                for p in self.row_offsets[i]..self.row_offsets[i + 1] {
+                    let drow = &d[self.col_indices[p] as usize * c..][..c];
+                    crate::simd::axpy_span(orow, self.values[p], drow);
+                }
+                if let Some(s) = row_scale {
+                    let f = s[i];
+                    for oj in orow.iter_mut() {
+                        *oj *= f;
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -451,6 +499,68 @@ mod tests {
         assert_eq!(mem::stats().current_bytes, before, "all CSR buffers freed");
         mem::disable();
         mem::reset();
+    }
+
+    #[test]
+    fn block_diagonal_matches_dense_block_layout() {
+        let (a, _) = CsrMatrix::augmented_from_edges(3, [(0, 1), (1, 2)]);
+        let (b, _) = CsrMatrix::augmented_from_edges(2, [(1, 0)]);
+        let bd = CsrMatrix::block_diagonal(&[&a, &b]);
+        assert_eq!(bd.rows(), 5);
+        assert_eq!(bd.cols(), 5);
+        assert_eq!(bd.nnz(), a.nnz() + b.nnz());
+        let dense = bd.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(dense.get2(i, j), a.to_dense().get2(i, j));
+            }
+            for j in 3..5 {
+                assert_eq!(dense.get2(i, j), 0.0, "off-diagonal block must be zero");
+                assert_eq!(dense.get2(j, i), 0.0);
+            }
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(dense.get2(3 + i, 3 + j), b.to_dense().get2(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn block_diagonal_transpose_commutes() {
+        let (a, _) = CsrMatrix::augmented_from_edges(4, PAPER_EDGES[..3].to_vec());
+        let (b, _) = CsrMatrix::augmented_from_edges(3, [(2, 0)]);
+        let t_of_bd = CsrMatrix::block_diagonal(&[&a, &b]).transpose();
+        let bd_of_t = CsrMatrix::block_diagonal(&[&a.transpose(), &b.transpose()]);
+        assert_eq!(t_of_bd, bd_of_t);
+    }
+
+    #[test]
+    fn block_diagonal_spmm_is_bitwise_equal_to_stacked_per_block_products() {
+        // The batched-execution contract: propagating concatenated node
+        // features through the block-diagonal Â must reproduce each
+        // sample's rows bit for bit.
+        let mut rng = Rng64::new(23);
+        let (a, inv_a) = CsrMatrix::augmented_from_edges(5, PAPER_EDGES);
+        let (b, inv_b) = CsrMatrix::augmented_from_edges(3, [(0, 2), (2, 1)]);
+        let fa = Tensor::rand_uniform([5, 4], -1.0, 1.0, &mut rng);
+        let fb = Tensor::rand_uniform([3, 4], -1.0, 1.0, &mut rng);
+
+        let bd = CsrMatrix::block_diagonal(&[&a, &b]);
+        let mut inv = inv_a.clone();
+        inv.extend_from_slice(&inv_b);
+        let stacked_in = Tensor::concat_rows(&[&fa, &fb]);
+        let batched = bd.spmm_row_scaled(&inv, &stacked_in);
+
+        let per_sample =
+            Tensor::concat_rows(&[&a.spmm_row_scaled(&inv_a, &fa), &b.spmm_row_scaled(&inv_b, &fb)]);
+        assert_eq!(batched, per_sample, "block-diagonal SpMM must be bitwise exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn block_diagonal_rejects_empty_input() {
+        CsrMatrix::block_diagonal(&[]);
     }
 
     #[test]

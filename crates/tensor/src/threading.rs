@@ -1,0 +1,138 @@
+//! Opt-in intra-op threading for large GEMM/SpMM calls.
+//!
+//! Per-sample training parallelizes *across* samples (one tape per
+//! worker lane), so kernels stay single-threaded. Batched execution
+//! inverts that: one tape runs few, large ops, and the parallelism has
+//! to come from inside the kernel. This module provides the row
+//! partitioner those kernels share, gated by a process-global thread
+//! budget ([`set_intra_op_threads`], default 1 = off).
+//!
+//! # Determinism contract
+//!
+//! Work is split by *output rows*: each thread owns a contiguous,
+//! disjoint range of output rows and runs the identical single-threaded
+//! row kernel over it. Every floating-point reduction (the k-loop of a
+//! GEMM row, the nonzero walk of an SpMM row) lives entirely inside one
+//! row and is therefore computed by exactly one thread, in the exact
+//! order the serial kernel uses — the reduction tree is a fixed function
+//! of the operand shapes and never of the thread count. Results are
+//! bitwise identical for any `set_intra_op_threads` value, which
+//! `worker_counts_do_not_change_gemm_bits` below pins.
+//!
+//! Small ops skip the fan-out entirely: below [`MIN_PARALLEL_WORK`]
+//! estimated FLOPs the thread-spawn overhead dwarfs the kernel, so the
+//! partitioner runs inline on the caller's thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static INTRA_OP_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Estimated FLOPs below which a kernel always runs inline (2·m·k·n for
+/// a GEMM). One MiFLOP ≈ 100–300 µs of single-core kernel time, an
+/// order of magnitude above the cost of spawning scoped threads.
+pub(crate) const MIN_PARALLEL_WORK: u64 = 1 << 20;
+
+/// Sets the process-global intra-op thread budget (clamped to ≥ 1).
+///
+/// `1` (the default) disables kernel fan-out. The batched trainer sets
+/// this from its worker knob; per-sample training leaves it at 1
+/// because its parallelism is across sample tapes.
+pub fn set_intra_op_threads(n: usize) {
+    INTRA_OP_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current intra-op thread budget.
+pub fn intra_op_threads() -> usize {
+    INTRA_OP_THREADS.load(Ordering::Relaxed)
+}
+
+/// Runs `f(first_row, rows)` over `out` split into contiguous chunks of
+/// whole rows (`row_len` elements each), fanning out across scoped
+/// threads when the budget and the `work` estimate allow it.
+///
+/// `f` must compute rows `first_row..first_row + rows.len() / row_len`
+/// of the output into `rows`, reading only shared inputs — the bitwise
+/// contract above relies on rows being computed independently.
+pub(crate) fn partition_rows(
+    m: usize,
+    row_len: usize,
+    work: u64,
+    out: &mut [f32],
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(out.len(), m * row_len);
+    let threads = intra_op_threads().min(m);
+    if threads <= 1 || work < MIN_PARALLEL_WORK {
+        f(0, out);
+        return;
+    }
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = out;
+        let mut row = 0;
+        while row < m {
+            let take = chunk.min(m - row);
+            let (head, tail) = rest.split_at_mut(take * row_len);
+            let first = row;
+            scope.spawn(move || f(first, head));
+            rest = tail;
+            row += take;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemm_into, Rng64, Tensor};
+
+    #[test]
+    fn budget_is_clamped_and_readable() {
+        set_intra_op_threads(0);
+        assert_eq!(intra_op_threads(), 1);
+        set_intra_op_threads(3);
+        assert_eq!(intra_op_threads(), 3);
+        set_intra_op_threads(1);
+    }
+
+    #[test]
+    fn partition_covers_every_row_exactly_once() {
+        // Work forced above the threshold so the fan-out path runs.
+        set_intra_op_threads(4);
+        let (m, n) = (37, 5);
+        let mut out = vec![0.0f32; m * n];
+        partition_rows(m, n, u64::MAX, &mut out, |first, rows| {
+            for (di, row) in rows.chunks_exact_mut(n).enumerate() {
+                for x in row.iter_mut() {
+                    *x += (first + di) as f32;
+                }
+            }
+        });
+        set_intra_op_threads(1);
+        for i in 0..m {
+            assert!(out[i * n..(i + 1) * n].iter().all(|&x| x == i as f32), "row {i}");
+        }
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_gemm_bits() {
+        // Large enough that 2·m·k·n clears MIN_PARALLEL_WORK, so threads
+        // genuinely fan out; the outputs must still be bitwise equal.
+        let mut rng = Rng64::new(21);
+        let (m, k, n) = (64, 96, 96);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let run = |threads: usize| {
+            set_intra_op_threads(threads);
+            let mut out = vec![0.0f32; m * n];
+            gemm_into(m, k, n, a.as_slice(), b.as_slice(), &mut out);
+            set_intra_op_threads(1);
+            out
+        };
+        let serial = run(1);
+        for threads in [2, 3, 4, 7] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+    }
+}

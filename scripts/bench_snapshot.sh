@@ -25,4 +25,10 @@ cargo bench -q -p magic-bench --bench conv_head
 echo "==> quick benchmark (CI gate baseline) -> results/BENCH_conv_head_quick.json"
 MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench conv_head
 
+echo "==> full benchmark -> results/BENCH_batched_forward.json"
+cargo bench -q -p magic-bench --bench batched_forward
+
+echo "==> quick benchmark (CI gate baseline) -> results/BENCH_batched_forward_quick.json"
+MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench batched_forward
+
 echo "==> snapshot complete; review and commit the updated results/BENCH_*.json"

@@ -67,4 +67,40 @@ else
     echo "no committed baseline at $CH_BASELINE; skipping perf gate"
 fi
 
+echo "==> perf gate: quick batched_forward bench vs committed baseline"
+# Same wide threshold as conv_head: the quick cells are single-digit
+# milliseconds on a 1-core container and swing with host load. 0.40
+# still catches the step change of losing the fused block-diagonal
+# path or the batched GEMM lowering.
+BF_BASELINE=results/BENCH_batched_forward_quick.json
+if [ -f "$BF_BASELINE" ]; then
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench batched_forward
+    ./target/release/magic bench diff \
+        "$BF_BASELINE" target/ci-bench/BENCH_batched_forward_quick.json \
+        --threshold 0.40 --require-same-machine
+else
+    echo "no committed baseline at $BF_BASELINE; skipping perf gate"
+fi
+
+echo "==> vectorization check: SIMD microkernel emits packed FP math"
+# Compile the microkernel module standalone at opt-level=3 and look for
+# packed multiply / FMA instructions in the emitted assembly. Guards
+# against a refactor silently de-vectorizing the 8-lane kernel (e.g. by
+# introducing a loop-carried dependence the autovectorizer can't break).
+# Skipped, not failed, if rustc can't emit asm for this target.
+SIMD_ASM="$(mktemp /tmp/simd_probe.XXXXXX.s)"
+trap 'rm -f "$SIMD_ASM"' EXIT
+if rustc --edition 2021 --crate-type lib -C opt-level=3 --emit asm \
+    -o "$SIMD_ASM" crates/tensor/src/simd.rs 2>/dev/null; then
+    if grep -Eq '\b(mulps|vmulps|vfmadd[0-9]*ps|fmla)\b' "$SIMD_ASM"; then
+        echo "packed FP instructions found in microkernel asm"
+    else
+        echo "ERROR: no packed FP instructions in microkernel asm" >&2
+        exit 1
+    fi
+else
+    echo "rustc --emit asm unavailable on this target; skipping vectorization check"
+fi
+
 echo "==> CI OK"

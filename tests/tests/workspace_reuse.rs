@@ -11,7 +11,7 @@
 
 use magic_autograd::Tape;
 use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
-use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
+use magic_model::{Dgcnn, DgcnnConfig, GraphBatch, GraphInput, PoolingHead};
 use magic_tensor::{Rng64, Tensor};
 
 /// Fixed-size inputs: same vertex count means identical tensor shapes
@@ -98,6 +98,52 @@ fn steady_state_epochs_never_miss_the_pool_sortpool_head() {
             tape.workspace_stats().misses,
             warm.misses,
             "epoch {e} allocated outside the pool"
+        );
+    }
+}
+
+/// The same contract for the batched execution mode: one tape carries a
+/// whole mini-batch per pass (block-diagonal SpMM, fused GEMM head), and
+/// its much larger buffers must recycle just as cleanly — zero new pool
+/// misses per steady-state epoch once the batch shapes have been seen.
+#[test]
+fn steady_state_batched_epochs_never_miss_the_pool() {
+    for head in [PoolingHead::adaptive_max_pool(3), PoolingHead::sort_pool_weighted(8)] {
+        let config = DgcnnConfig::new(2, head);
+        let model = Dgcnn::new(&config, 5);
+        let inputs: Vec<GraphInput> = (0..4).map(|i| fixed_size_input(60 + i)).collect();
+        let refs: Vec<&GraphInput> = inputs.iter().collect();
+        let batch = GraphBatch::new(&refs);
+        let labels: Vec<usize> = (0..4).map(|i| i % 2).collect();
+
+        let mut tape = Tape::new();
+        let epoch = |tape: &mut Tape, epoch_idx: u64| {
+            tape.reset();
+            let binding = model.store().bind(tape);
+            let mut rngs: Vec<Rng64> =
+                (0..4).map(|i| Rng64::for_sample(9, epoch_idx, i)).collect();
+            let lp = model.forward_batched(tape, &binding, &batch, true, &mut rngs);
+            let losses = tape.nll_loss_rows(lp, labels.clone());
+            let total = tape.sum(losses);
+            tape.backward(total);
+            tape.reset();
+        };
+
+        epoch(&mut tape, 0);
+        let warm = tape.workspace_stats();
+        assert!(warm.misses > 0, "cold pool must miss at least once");
+        for e in 1..4 {
+            epoch(&mut tape, e);
+            let stats = tape.workspace_stats();
+            assert_eq!(
+                stats.misses, warm.misses,
+                "batched epoch {e} allocated outside the pool ({} new misses)",
+                stats.misses - warm.misses
+            );
+        }
+        assert!(
+            tape.workspace_stats().hits > warm.hits,
+            "steady-state batched epochs must be served by the pool"
         );
     }
 }
