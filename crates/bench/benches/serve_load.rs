@@ -1,0 +1,203 @@
+//! Closed-loop load generator for the `magic serve` daemon: measures
+//! end-to-end request latency (p50/p99, exact, from raw samples) and
+//! saturation throughput across batch-window settings, written to
+//! `results/BENCH_serve.json`.
+//!
+//! Each window setting gets a fresh in-process server; a fixed pool of
+//! closed-loop clients (send → wait → send) hammers `/v1/predict` with
+//! raw `.asm` listings over loopback HTTP, so the measured path is the
+//! real one: parse → CFG → ACFG on the IO threads, micro-batched DGCNN
+//! forward on the model workers. `window_us = 0` is the
+//! latency-optimal setting (batches only form from genuine backlog);
+//! larger windows trade queueing latency for bigger fused batches.
+//!
+//! Environment knobs (used by `scripts/ci.sh`):
+//!
+//! * `MAGIC_BENCH_QUICK=1` — fewer windows/requests, written to
+//!   `BENCH_serve_quick.json`; sized for a CI gate, not for quotable
+//!   numbers.
+//! * `MAGIC_BENCH_INJECT_SLOWDOWN_US=<µs>` — sleeps inside each timed
+//!   request, for testing that the regression gate actually fails.
+
+use magic::MagicPipeline;
+use magic_bench::results::{machine_info, write_result};
+use magic_json::json;
+use magic_model::{Dgcnn, DgcnnConfig, PoolingHead};
+use magic_serve::{start, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One blocking request; returns the HTTP status code.
+fn predict_once(addr: SocketAddr, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    write!(
+        stream,
+        "POST /v1/predict HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status line")
+}
+
+/// Deterministic listings of varying size, so batches mix graph shapes
+/// the way real traffic would.
+fn listings() -> Vec<String> {
+    [4usize, 8, 12, 16, 6, 10]
+        .iter()
+        .map(|&blocks| {
+            let mut out = String::new();
+            let mut addr = 0x401000u64;
+            for b in 0..blocks {
+                let target = addr + 0x10;
+                out.push_str(&format!(".text:{addr:08X} loc_{addr:X}:\n"));
+                out.push_str(&format!(".text:{addr:08X}    cmp     eax, {b}\n"));
+                out.push_str(&format!(".text:{:08X}    jz      short loc_{target:X}\n", addr + 3));
+                out.push_str(&format!(".text:{:08X}    add     eax, 1\n", addr + 5));
+                addr = target;
+            }
+            out.push_str(&format!(".text:{addr:08X} loc_{addr:X}:\n"));
+            out.push_str(&format!(".text:{addr:08X}    retn\n"));
+            out
+        })
+        .collect()
+}
+
+fn pipeline() -> MagicPipeline {
+    let config = DgcnnConfig::new(4, PoolingHead::sort_pool_weighted(10));
+    MagicPipeline::new(
+        Dgcnn::new(&config, 42),
+        (0..4).map(|i| format!("Family{i}")).collect(),
+    )
+}
+
+struct RunResult {
+    latencies_ns: Vec<f64>,
+    elapsed: Duration,
+    total_requests: usize,
+}
+
+/// Runs `clients` closed-loop clients for `requests_per_client`
+/// requests each against a fresh server with the given batch window.
+fn run_window(
+    window_us: u64,
+    clients: usize,
+    requests_per_client: usize,
+    inject_us: u64,
+) -> RunResult {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        io_threads: clients.max(2),
+        max_batch: 16,
+        batch_window_us: window_us,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    };
+    let handle = start(pipeline(), config).expect("bind bench server");
+    let addr = handle.addr();
+    let bodies = Arc::new(listings());
+
+    // Warm-up outside the measurement: populate the workspace pools.
+    for body in bodies.iter() {
+        assert_eq!(predict_once(addr, body), 200, "warm-up request failed");
+    }
+
+    let begun = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                for r in 0..requests_per_client {
+                    let body = &bodies[(c + r) % bodies.len()];
+                    let sent = Instant::now();
+                    if inject_us > 0 {
+                        std::thread::sleep(Duration::from_micros(inject_us));
+                    }
+                    let status = predict_once(addr, body);
+                    assert_eq!(status, 200, "bench request shed or failed");
+                    latencies.push(sent.elapsed().as_nanos() as f64);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies_ns: Vec<f64> = Vec::with_capacity(clients * requests_per_client);
+    for t in threads {
+        latencies_ns.extend(t.join().unwrap());
+    }
+    let elapsed = begun.elapsed();
+    handle.shutdown();
+    latencies_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    RunResult { total_requests: latencies_ns.len(), latencies_ns, elapsed }
+}
+
+/// Exact quantile from the sorted sample vector (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    magic_obs::set_log_level(magic_obs::Level::Error);
+    let quick = std::env::var("MAGIC_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let inject_us: u64 = std::env::var("MAGIC_BENCH_INJECT_SLOWDOWN_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let (windows, clients, requests_per_client): (&[u64], usize, usize) = if quick {
+        (&[0, 2_000], 6, 30)
+    } else {
+        (&[0, 1_000, 4_000], 8, 150)
+    };
+
+    let mut rows = Vec::new();
+    for &window_us in windows {
+        let run = run_window(window_us, clients, requests_per_client, inject_us);
+        let p50 = quantile(&run.latencies_ns, 0.50);
+        let p99 = quantile(&run.latencies_ns, 0.99);
+        let throughput_rps = run.total_requests as f64 / run.elapsed.as_secs_f64();
+        println!(
+            "window {window_us:>5}us: p50 {:>9.0} ns, p99 {:>9.0} ns, {throughput_rps:>7.0} req/s \
+             ({} requests, {clients} clients)",
+            p50, p99, run.total_requests
+        );
+        rows.push(json!({
+            "window_us": window_us,
+            "clients": clients as u64,
+            "requests": run.total_requests as u64,
+            // The gated row: `magic bench diff` discovers objects with a
+            // median_ns key, and the p50 is the stable statistic here.
+            "latency_p50": { "median_ns": p50 },
+            // Reported but not gated: tail latency and throughput swing
+            // too much on a busy shared host to gate at any threshold.
+            "latency_p99_ns": p99,
+            "throughput_rps": throughput_rps,
+        }));
+    }
+
+    let name = if quick { "BENCH_serve_quick" } else { "BENCH_serve" };
+    write_result(
+        name,
+        &json!({
+            "bench": "serve_load",
+            "quick": quick,
+            "machine_info": machine_info(),
+            "server": {
+                "workers": 2,
+                "max_batch": 16,
+                "queue_depth": 64,
+                "listing_sizes": [4, 8, 12, 16, 6, 10],
+            },
+            "windows": rows,
+        }),
+    );
+}

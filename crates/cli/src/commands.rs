@@ -41,6 +41,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("extract") => cmd_extract(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
@@ -75,6 +76,13 @@ USAGE:
                  pass — bitwise identical, usually faster; pair with
                  --intra-op-threads to thread the kernels instead)
     magic predict --model <model.magic> <listing.asm>...
+    magic serve --model <model.magic> [--addr HOST:PORT] [--workers N]
+                [--io-threads N] [--max-batch N] [--batch-window-us U]
+                [--queue-depth N] [--deadline-ms MS]
+                (HTTP inference daemon fusing concurrent requests into
+                 micro-batches; POST listings to /v1/predict, health at
+                 /healthz, counters at /statsz, stop with
+                 POST /admin/shutdown. Protocol + tuning: docs/SERVING.md)
     magic info --model <model.magic>
     magic profile <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
                 [--train-workers N] [--batched] [--intra-op-threads N]
@@ -541,6 +549,60 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `magic serve` — load a trained model and run the micro-batching
+/// inference daemon until `POST /admin/shutdown` (or process kill).
+/// All flags default to [`magic_serve::ServeConfig::default`]; the
+/// operational semantics are documented in `docs/SERVING.md`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let model_path = take_flag(&mut args, "--model").ok_or("serve requires --model")?;
+    let mut config = magic_serve::ServeConfig::default();
+    if let Some(addr) = take_flag(&mut args, "--addr") {
+        config.addr = addr;
+    }
+    let mut numeric = |flag: &'static str, slot: &mut usize| -> Result<(), String> {
+        if let Some(v) = take_flag(&mut args, flag) {
+            *slot = v.parse().map_err(|_| format!("bad {flag}"))?;
+        }
+        Ok(())
+    };
+    numeric("--workers", &mut config.workers)?;
+    numeric("--io-threads", &mut config.io_threads)?;
+    numeric("--max-batch", &mut config.max_batch)?;
+    numeric("--queue-depth", &mut config.queue_depth)?;
+    if let Some(v) = take_flag(&mut args, "--batch-window-us") {
+        config.batch_window_us = v.parse().map_err(|_| "bad --batch-window-us")?;
+    }
+    if let Some(v) = take_flag(&mut args, "--deadline-ms") {
+        config.deadline_ms = v.parse().map_err(|_| "bad --deadline-ms")?;
+    }
+    if let Some(unknown) = args.first() {
+        return Err(format!("serve does not take {unknown:?}"));
+    }
+
+    let text = std::fs::read_to_string(&model_path)
+        .map_err(|e| format!("cannot read {model_path}: {e}"))?;
+    let (header, model) = deserialize_model(&text)?;
+    let pipeline = MagicPipeline::new(model, header.families);
+    let handle = magic_serve::start(pipeline, config.clone())
+        .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    magic_obs::log(
+        magic_obs::Level::Info,
+        format!(
+            "serving {} model on http://{} ({} worker(s), max batch {}, window {}us; \
+             stop with POST /admin/shutdown)",
+            header.corpus,
+            handle.addr(),
+            config.workers,
+            config.max_batch,
+            config.batch_window_us,
+        ),
+    );
+    handle.wait();
+    magic_obs::log(magic_obs::Level::Info, "drained and stopped");
+    Ok(())
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let model_path = take_flag(&mut args, "--model").ok_or("info requires --model")?;
@@ -798,6 +860,28 @@ mod tests {
         assert!(summary.events >= 4, "meta + extraction spans, got {}", summary.events);
         assert!(summary.stages.iter().any(|s| s.stage == magic_obs::stage::EXTRACT_ACFG));
         assert!(summary.command.as_deref().unwrap_or("").starts_with("magic extract"));
+    }
+
+    #[test]
+    fn serve_requires_a_model() {
+        assert!(dispatch(&["serve".to_string()])
+            .unwrap_err()
+            .contains("serve requires --model"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_before_binding() {
+        let bad_window: Vec<String> =
+            ["serve", "--model", "/tmp/x.magic", "--batch-window-us", "soon"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert_eq!(dispatch(&bad_window).unwrap_err(), "bad --batch-window-us");
+        let stray: Vec<String> = ["serve", "--model", "/tmp/x.magic", "extra"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(dispatch(&stray).unwrap_err().contains("does not take"));
     }
 
     #[test]

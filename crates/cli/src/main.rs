@@ -5,6 +5,7 @@
 //! magic extract <listing.asm> [--dot]        print the ACFG (or DOT)
 //! magic train --corpus mskcfg|yancfg [--scale S] [--epochs N] --out model.magic
 //! magic predict --model model.magic <listing.asm>...
+//! magic serve --model model.magic            micro-batching HTTP daemon
 //! magic info --model model.magic             show checkpoint metadata
 //! magic profile mskcfg|yancfg                per-op time/FLOP attribution
 //! magic report --trace trace.jsonl           aggregate a telemetry trace

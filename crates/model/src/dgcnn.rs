@@ -342,6 +342,35 @@ impl Dgcnn {
         (0..batch.len()).map(|i| v.row(i).iter().map(|&x| x.exp()).collect()).collect()
     }
 
+    /// Fused batch inference over graphs in arbitrary arrival order —
+    /// the shared entry point for online batching (`magic serve`) and
+    /// offline batch scoring.
+    ///
+    /// Sorts the inputs by vertex count (largest first, stable) before
+    /// assembling the block-diagonal [`GraphBatch`], so the fused batch
+    /// layout depends only on the *set* of graphs, not on the order they
+    /// arrived in, and the first warm-up batch touches the pool's
+    /// largest size classes early. Results come back in **input order**
+    /// and are bitwise identical to calling [`Dgcnn::predict`] on each
+    /// graph alone (the per-sample-parity invariant of the batched
+    /// forward makes the sort order unobservable in the outputs).
+    pub fn predict_batch_sorted(
+        &self,
+        tape: &mut Tape,
+        inputs: &[&GraphInput],
+    ) -> Vec<Vec<f32>> {
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(inputs[i].vertex_count()));
+        let sorted: Vec<&GraphInput> = order.iter().map(|&i| inputs[i]).collect();
+        let batch = GraphBatch::new(&sorted);
+        let probs = self.predict_batch_with(tape, &batch);
+        let mut out = vec![Vec::new(); inputs.len()];
+        for (slot, row) in probs.into_iter().enumerate() {
+            out[order[slot]] = row;
+        }
+        out
+    }
+
     /// Class probabilities for one graph, evaluated on a caller-supplied
     /// tape. Resets the tape first, so a warm training-lane tape can serve
     /// evaluation from its recycled workspace buffers instead of paying a
@@ -611,6 +640,31 @@ mod tests {
             for (input, got) in inputs.iter().zip(&batched) {
                 assert_eq!(got, &model.predict(input), "head {head:?}");
             }
+        }
+    }
+
+    /// The sorted batch entry returns input-order results that are
+    /// bitwise equal to per-sample prediction, for any arrival order.
+    #[test]
+    fn predict_batch_sorted_preserves_input_order_bitwise() {
+        let config = DgcnnConfig::new(4, PoolingHead::adaptive_max_pool(3));
+        let model = Dgcnn::new(&config, 21);
+        // Deliberately unsorted sizes, with a duplicate size to exercise
+        // the stable tie-break.
+        let inputs: Vec<GraphInput> =
+            [9usize, 25, 4, 25, 14].iter().enumerate().map(|(i, &n)| tiny_input(n, i as u64)).collect();
+        let refs: Vec<&GraphInput> = inputs.iter().collect();
+        let mut tape = Tape::new();
+        let sorted = model.predict_batch_sorted(&mut tape, &refs);
+        for (input, got) in inputs.iter().zip(&sorted) {
+            assert_eq!(got, &model.predict(input));
+        }
+        // A different arrival order of the same set gives the same
+        // per-input answers.
+        let rev: Vec<&GraphInput> = inputs.iter().rev().collect();
+        let rev_out = model.predict_batch_sorted(&mut tape, &rev);
+        for (a, b) in sorted.iter().zip(rev_out.iter().rev()) {
+            assert_eq!(a, b);
         }
     }
 

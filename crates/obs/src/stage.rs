@@ -53,6 +53,15 @@ pub const CHECKPOINT_LOAD: &str = "checkpoint.load";
 /// Classify one listing through a trained pipeline.
 pub const PREDICT: &str = "pipeline.predict";
 
+/// One HTTP request handled by `magic serve`, from parsed request line
+/// to response written.
+pub const SERVE_REQUEST: &str = "serve.request";
+
+/// One fused micro-batch executed by a `magic serve` model worker:
+/// block-diagonal assembly + batched forward. Fields: `batch` (number
+/// of requests fused), `vertices` (total vertex count).
+pub const SERVE_BATCH_EXECUTE: &str = "serve.batch_execute";
+
 // ---- counters ----------------------------------------------------------
 
 /// Instructions accepted by the listing parser.
@@ -66,6 +75,13 @@ pub const C_CFG_EDGES: &str = "cfg.edges";
 
 /// Training samples processed (one delta per epoch).
 pub const C_TRAIN_SAMPLES: &str = "train.samples";
+
+/// Predict requests accepted into the `magic serve` batching queue.
+pub const C_SERVE_REQUESTS: &str = "serve.requests";
+
+/// Predict requests load-shed with HTTP 503 because the bounded queue
+/// was full (or the server was draining for shutdown).
+pub const C_SERVE_SHED: &str = "serve.shed";
 
 // ---- histograms --------------------------------------------------------
 
@@ -106,6 +122,22 @@ pub const H_POOL_HITS: &str = "train.pool_hits";
 /// `epoch`. After the first (warm-up) epoch this should be zero for a
 /// fixed workload shape.
 pub const H_POOL_MISSES: &str = "train.pool_misses";
+
+/// Number of requests fused into one `magic serve` micro-batch, one
+/// observation per executed batch. The mean is the effective batching
+/// factor; compare against `--max-batch` to see whether the window or
+/// the cap is binding.
+pub const H_SERVE_BATCH_SIZE: &str = "serve.batch_size";
+
+/// End-to-end request latency observed by `magic serve` (enqueue →
+/// response written), in microseconds, one observation per 2xx
+/// response.
+pub const H_SERVE_LATENCY_US: &str = "serve.latency_us";
+
+/// Queue depth sampled at each successful enqueue — the backlog a new
+/// request joins. Persistent values near `--queue-depth` mean the
+/// server is saturated and about to shed.
+pub const H_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
 // ---- op profile (schema v2) --------------------------------------------
 

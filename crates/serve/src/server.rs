@@ -1,0 +1,408 @@
+//! The serving runtime: listener, IO thread pool, and model workers
+//! around the micro-batching queue.
+//!
+//! ```text
+//! accept loop ──► mpsc<TcpStream> ──► IO threads (parse HTTP, extract
+//!     ACFG, build GraphInput) ──► BoundedQueue<Job> ──► model workers
+//!     (pop_batch → predict_batch_sorted on a warm tape) ──► per-job
+//!     reply channel ──► the IO thread writes the HTTP response
+//! ```
+//!
+//! Each model worker owns one long-lived [`Tape`], so after the first
+//! few batches every workspace checkout is a pool hit — the serving
+//! counterpart of the training-loop zero-steady-state-allocation
+//! contract (asserted by the serve integration tests via `/statsz`).
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`] or
+//! `POST /admin/shutdown`) closes the queue so new work sheds with 503,
+//! lets the workers drain every queued job to a real response, unblocks
+//! the accept loop with a loopback self-connect, and joins all threads.
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::protocol::{encode_error, encode_prediction, parse_predict_body, RequestInput};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::ServeStats;
+use magic::MagicPipeline;
+use magic_autograd::Tape;
+use magic_model::GraphInput;
+use magic_obs::stage;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one server instance. Defaults match the CLI
+/// defaults documented in `docs/SERVING.md`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8787`. Port 0 picks an ephemeral
+    /// port (the bound address is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// IO threads reading requests and writing responses. Also the cap
+    /// on concurrently in-flight requests, and therefore on the batch
+    /// sizes the queue can accumulate.
+    pub io_threads: usize,
+    /// Model workers, each owning one warm tape. One worker maximizes
+    /// batching; more trade batch size for parallel forward passes.
+    pub workers: usize,
+    /// Most requests fused into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker lingers for stragglers after the first job of
+    /// a batch, in microseconds. `0` = never wait (latency-optimal,
+    /// batches only form from genuine backlog).
+    pub batch_window_us: u64,
+    /// Bounded queue capacity; a full queue sheds with HTTP 503.
+    pub queue_depth: usize,
+    /// Per-request deadline. Requests still queued when it expires are
+    /// answered 504 instead of occupying a batch slot.
+    pub deadline_ms: u64,
+    /// Largest accepted request body; larger uploads get HTTP 413.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8787".to_string(),
+            io_threads: 8,
+            workers: 2,
+            max_batch: 16,
+            batch_window_us: 2_000,
+            queue_depth: 64,
+            deadline_ms: 10_000,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// What a model worker sends back for one job.
+enum Reply {
+    /// Per-family probabilities plus the size of the batch that carried
+    /// this request.
+    Probs { probs: Vec<f32>, batch_size: usize },
+    /// The deadline passed before the job reached a forward pass.
+    Expired,
+}
+
+/// One queued prediction. The IO thread that enqueued it blocks on the
+/// other end of `reply` and owns the latency measurement.
+struct Job {
+    input: GraphInput,
+    deadline: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    pipeline: MagicPipeline,
+    queue: BoundedQueue<Job>,
+    stats: ServeStats,
+    draining: AtomicBool,
+    bound_addr: SocketAddr,
+    /// Test/bench knob: sleep this long inside every batch execution,
+    /// making saturation (503) and drain behavior deterministic.
+    inject_execute_delay: Duration,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // The accept loop blocks in `accept`; a throwaway loopback
+        // connection wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.bound_addr);
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] (or hit `POST /admin/shutdown` and
+/// then [`ServerHandle::wait`]).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.bound_addr
+    }
+
+    /// Requests a graceful shutdown and blocks until every in-flight
+    /// request has been answered and all threads have exited.
+    pub fn shutdown(self) {
+        self.shared.begin_drain();
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down (normally via
+    /// `POST /admin/shutdown` starting the drain).
+    pub fn wait(self) {
+        self.join_threads();
+    }
+
+    fn join_threads(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the serving threads.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn start(pipeline: MagicPipeline, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let bound_addr = listener.local_addr()?;
+    let inject_execute_delay = std::env::var("MAGIC_SERVE_INJECT_EXECUTE_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::ZERO);
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_depth),
+        stats: ServeStats::new(),
+        draining: AtomicBool::new(false),
+        bound_addr,
+        inject_execute_delay,
+        config,
+        pipeline,
+    });
+
+    let mut threads = Vec::new();
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    for worker in 0..shared.config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-model-{worker}"))
+                .spawn(move || model_worker_loop(&shared))?,
+        );
+    }
+    for io in 0..shared.config.io_threads.max(1) {
+        let shared = Arc::clone(&shared);
+        let conn_rx = Arc::clone(&conn_rx);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-io-{io}"))
+                .spawn(move || io_loop(&shared, &conn_rx))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                // `conn_tx` moves in here; when the accept loop exits it
+                // drops, which ends the IO threads after they drain.
+                .spawn(move || accept_loop(&shared, &listener, conn_tx))?,
+        );
+    }
+    Ok(ServerHandle { shared, threads })
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, conn_tx: mpsc::Sender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            // The wake-up self-connect (or a late client) lands here;
+            // drop it and stop accepting.
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+fn io_loop(shared: &Shared, conn_rx: &Mutex<mpsc::Receiver<TcpStream>>) {
+    loop {
+        let stream = match conn_rx.lock().unwrap().recv() {
+            Ok(s) => s,
+            Err(_) => return, // accept loop gone: drain complete
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _span = magic_obs::span(stage::SERVE_REQUEST);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match read_request(&mut reader, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_)) => return,
+        Err(e @ HttpError::Malformed(_)) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut writer, 400, &[], &encode_error(&e.to_string()));
+            return;
+        }
+        Err(e @ HttpError::BodyTooLarge { .. }) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut writer, 413, &[], &encode_error(&e.to_string()));
+            return;
+        }
+    };
+
+    let (status, extra, body) = route(shared, &request);
+    let _ = write_response(&mut writer, status, &extra, &body);
+}
+
+type Response = (u16, Vec<(&'static str, String)>, String);
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    let draining = shared.draining.load(Ordering::SeqCst);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let status = if draining { "draining" } else { "ok" };
+            (200, Vec::new(), format!("{{\"status\":\"{status}\"}}"))
+        }
+        ("GET", "/statsz") => {
+            (200, Vec::new(), shared.stats.render(shared.queue.depth(), draining))
+        }
+        ("POST", "/admin/shutdown") => {
+            shared.begin_drain();
+            (200, Vec::new(), "{\"status\":\"draining\"}".to_string())
+        }
+        ("POST", "/v1/predict") => handle_predict(shared, request),
+        (_, "/healthz" | "/statsz" | "/admin/shutdown" | "/v1/predict") => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            (405, Vec::new(), encode_error("method not allowed"))
+        }
+        (_, path) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            (404, Vec::new(), encode_error(&format!("no such endpoint: {path}")))
+        }
+    }
+}
+
+fn shed(shared: &Shared, why: &str) -> Response {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    magic_obs::counter(stage::C_SERVE_SHED, 1.0);
+    (503, vec![("retry-after", "1".to_string())], encode_error(why))
+}
+
+fn handle_predict(shared: &Shared, request: &Request) -> Response {
+    let input = match parse_predict_body(&request.body) {
+        Ok(input) => input,
+        Err(why) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            return (400, Vec::new(), encode_error(&why));
+        }
+    };
+    // Extraction (parse → CFG → ACFG) runs here on the IO thread, in
+    // parallel across the IO pool; only the forward pass is batched.
+    let acfg = match input {
+        RequestInput::Listing(listing) => match magic::extract_acfg(&listing) {
+            Ok(acfg) => acfg,
+            Err(e) => {
+                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                return (400, Vec::new(), encode_error(&e.to_string()));
+            }
+        },
+        RequestInput::Acfg(acfg) => acfg,
+    };
+    let graph_input = GraphInput::from_acfg(&acfg);
+
+    if shared.draining.load(Ordering::SeqCst) {
+        return shed(shared, "server is draining for shutdown");
+    }
+    let enqueued = Instant::now();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        input: graph_input,
+        deadline: enqueued + Duration::from_millis(shared.config.deadline_ms),
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            magic_obs::counter(stage::C_SERVE_REQUESTS, 1.0);
+            magic_obs::histogram(stage::H_SERVE_QUEUE_DEPTH, depth as f64);
+        }
+        Err(PushError::Full) => return shed(shared, "queue full"),
+        Err(PushError::Closed) => return shed(shared, "server is draining for shutdown"),
+    }
+    // A worker is guaranteed to answer every popped job, and the close
+    // protocol drains the queue before workers exit, so this only fails
+    // if a worker thread died mid-batch.
+    match reply_rx.recv() {
+        Ok(Reply::Probs { probs, batch_size }) => {
+            let queue_us = enqueued.elapsed().as_micros() as u64;
+            shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
+            shared.stats.record_latency_us(queue_us);
+            magic_obs::histogram(stage::H_SERVE_LATENCY_US, queue_us as f64);
+            let body = encode_prediction(
+                shared.pipeline.family_names(),
+                &probs,
+                batch_size,
+                queue_us,
+            );
+            (200, Vec::new(), body)
+        }
+        Ok(Reply::Expired) => {
+            shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            (504, Vec::new(), encode_error("deadline exceeded before execution"))
+        }
+        Err(_) => {
+            shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+            (500, Vec::new(), encode_error("model worker lost"))
+        }
+    }
+}
+
+fn model_worker_loop(shared: &Shared) {
+    let mut tape = Tape::new();
+    let window = Duration::from_micros(shared.config.batch_window_us);
+    while let Some(jobs) = shared.queue.pop_batch(shared.config.max_batch, window) {
+        if jobs.is_empty() {
+            continue;
+        }
+        let now = Instant::now();
+        let (live, expired): (Vec<Job>, Vec<Job>) =
+            jobs.into_iter().partition(|j| j.deadline > now);
+        for job in expired {
+            let _ = job.reply.send(Reply::Expired);
+        }
+        if live.is_empty() {
+            continue;
+        }
+        if !shared.inject_execute_delay.is_zero() {
+            std::thread::sleep(shared.inject_execute_delay);
+        }
+        let inputs: Vec<&GraphInput> = live.iter().map(|j| &j.input).collect();
+        let vertices: usize = inputs.iter().map(|i| i.vertex_count()).sum();
+        let before = tape.workspace_stats();
+        let probs = {
+            let _span = magic_obs::span_fields(
+                stage::SERVE_BATCH_EXECUTE,
+                &[("batch", live.len() as f64), ("vertices", vertices as f64)],
+            );
+            shared.pipeline.model().predict_batch_sorted(&mut tape, &inputs)
+        };
+        let after = tape.workspace_stats();
+        shared.stats.pool_hits.fetch_add(after.hits - before.hits, Ordering::Relaxed);
+        shared.stats.pool_misses.fetch_add(after.misses - before.misses, Ordering::Relaxed);
+        shared.stats.record_batch(live.len());
+        magic_obs::histogram(stage::H_SERVE_BATCH_SIZE, live.len() as f64);
+        let batch_size = live.len();
+        for (job, probs) in live.into_iter().zip(probs) {
+            let _ = job.reply.send(Reply::Probs { probs, batch_size });
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Lock-free serving counters behind the `/statsz` endpoint.
+//!
+//! Every field is a relaxed atomic: IO threads and model workers bump
+//! them on the hot path without coordination, and `/statsz` renders a
+//! racy-but-consistent-enough snapshot. Latencies go into a log₂
+//! histogram, so the reported `p50`/`p99` are upper bounds accurate to
+//! within one power of two — plenty for "is the window tuned sanely"
+//! decisions; the load generator in `magic-bench` computes exact
+//! percentiles from raw samples for the benchmark record.
+
+use magic_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const LATENCY_BUCKETS: usize = 40;
+
+/// Shared serving counters; one instance per server, `Arc`-shared
+/// across IO threads, model workers, and the `/statsz` handler.
+pub struct ServeStats {
+    /// Predict requests accepted into the queue.
+    pub requests: AtomicU64,
+    /// Predict responses answered 200.
+    pub predictions: AtomicU64,
+    /// Requests shed with 503 (queue full or draining).
+    pub shed: AtomicU64,
+    /// Requests expired with 504 (deadline passed before execution).
+    pub timeouts: AtomicU64,
+    /// Requests refused with a 4xx (bad body, bad route, oversized).
+    pub client_errors: AtomicU64,
+    /// Requests failed with 500 (e.g. worker reply channel lost).
+    pub internal_errors: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    /// Requests summed over executed batches (`batched_requests /
+    /// batches` is the effective batching factor).
+    pub batched_requests: AtomicU64,
+    /// Largest batch executed so far.
+    pub max_batch: AtomicU64,
+    /// Workspace-pool hits accumulated from worker tapes (per-batch
+    /// deltas of `Tape::workspace_stats`).
+    pub pool_hits: AtomicU64,
+    /// Workspace-pool misses accumulated from worker tapes. Flat after
+    /// warm-up for a steady workload — the zero-steady-state-alloc
+    /// contract, asserted by the serve integration tests.
+    pub pool_misses: AtomicU64,
+    latency_count: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeStats {
+    /// Creates a zeroed stats block.
+    pub fn new() -> Self {
+        ServeStats {
+            requests: AtomicU64::new(0),
+            predictions: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            internal_errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one end-to-end request latency (enqueue → response).
+    pub fn record_latency_us(&self, us: u64) {
+        let idx = if us == 0 { 0 } else { 64 - us.leading_zeros() as usize };
+        let idx = idx.min(LATENCY_BUCKETS - 1);
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records an executed batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Upper-bound estimate of the `q`-quantile latency in µs
+    /// (`0.0 < q <= 1.0`), from the log₂ histogram. Returns 0 with no
+    /// observations.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let count = self.latency_count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.latency_buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket idx holds latencies in [2^(idx-1), 2^idx).
+                return (1u64 << idx).saturating_sub(1).max(1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Renders the `/statsz` JSON document. `queue_depth` and
+    /// `draining` are sampled by the caller at render time.
+    pub fn render(&self, queue_depth: usize, draining: bool) -> String {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let batches = load(&self.batches);
+        let fused = load(&self.batched_requests);
+        let mean_batch =
+            if batches == 0 { 0.0 } else { fused as f64 / batches as f64 };
+        let count = load(&self.latency_count);
+        let mean_latency =
+            if count == 0 { 0.0 } else { load(&self.latency_sum_us) as f64 / count as f64 };
+        let body = json!({
+            "requests": load(&self.requests),
+            "predictions": load(&self.predictions),
+            "shed": load(&self.shed),
+            "timeouts": load(&self.timeouts),
+            "client_errors": load(&self.client_errors),
+            "internal_errors": load(&self.internal_errors),
+            "queue_depth": queue_depth as u64,
+            "draining": draining,
+            "batches": load(&self.batches),
+            "mean_batch_size": mean_batch,
+            "max_batch_size": load(&self.max_batch),
+            "pool_hits": load(&self.pool_hits),
+            "pool_misses": load(&self.pool_misses),
+            "latency_us": {
+                "count": count,
+                "mean": mean_latency,
+                "p50": self.latency_quantile_us(0.50),
+                "p99": self.latency_quantile_us(0.99),
+            },
+        });
+        magic_json::to_string(&body)
+    }
+}
+
+/// Parses a rendered `/statsz` body back into a JSON value — the
+/// client-side half used by tests and the load generator.
+pub fn parse_statsz(body: &str) -> Result<Value, String> {
+    magic_json::from_str(body).map_err(|e| format!("bad statsz body: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_log2_upper_bounds() {
+        let stats = ServeStats::new();
+        for _ in 0..99 {
+            stats.record_latency_us(100); // bucket [64, 128)
+        }
+        stats.record_latency_us(5_000); // bucket [4096, 8192)
+        assert_eq!(stats.latency_quantile_us(0.50), 127);
+        assert_eq!(stats.latency_quantile_us(0.99), 127);
+        assert_eq!(stats.latency_quantile_us(1.0), 8_191);
+    }
+
+    #[test]
+    fn empty_stats_render_zeroes() {
+        let stats = ServeStats::new();
+        let v = parse_statsz(&stats.render(0, false)).unwrap();
+        assert_eq!(v["requests"].as_u64(), Some(0));
+        assert_eq!(v["latency_us"]["p99"].as_u64(), Some(0));
+        assert_eq!(v["draining"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn batch_accounting_tracks_mean_and_max() {
+        let stats = ServeStats::new();
+        stats.record_batch(1);
+        stats.record_batch(3);
+        stats.record_batch(8);
+        let v = parse_statsz(&stats.render(2, true)).unwrap();
+        assert_eq!(v["batches"].as_u64(), Some(3));
+        assert_eq!(v["mean_batch_size"].as_f64(), Some(4.0));
+        assert_eq!(v["max_batch_size"].as_u64(), Some(8));
+        assert_eq!(v["queue_depth"].as_u64(), Some(2));
+        assert_eq!(v["draining"].as_bool(), Some(true));
+    }
+}

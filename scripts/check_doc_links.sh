@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Doc-link checker: fails on dangling *relative* markdown links in
+# README.md and docs/*.md. External (http/https/mailto) links and pure
+# #anchors are skipped — this guards the repo's internal cross-reference
+# graph (README ↔ docs/*.md ↔ scripts/ ↔ results/), which otherwise rots
+# silently when files move.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+for doc in README.md docs/*.md; do
+    dir="$(dirname "$doc")"
+    # Markdown link targets: the (...) of [text](target) or [text](target "title").
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"      # drop any #anchor
+        path="${path%% *}"        # drop any "title"
+        [ -z "$path" ] && continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "ERROR: $doc links to missing file: $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "doc links OK ($checked relative links checked)"

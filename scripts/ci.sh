@@ -83,6 +83,25 @@ else
     echo "no committed baseline at $BF_BASELINE; skipping perf gate"
 fi
 
+echo "==> perf gate: quick serve_load bench vs committed baseline"
+# Wide threshold like the other sub-ms gates: loopback HTTP latency on
+# a busy container swings run-to-run. The gated row is the p50 of the
+# closed-loop load generator; 0.40 still fails hard on the step change
+# of losing micro-batching or warm-tape reuse in the serving path.
+SV_BASELINE=results/BENCH_serve_quick.json
+if [ -f "$SV_BASELINE" ]; then
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench serve_load
+    ./target/release/magic bench diff \
+        "$SV_BASELINE" target/ci-bench/BENCH_serve_quick.json \
+        --threshold 0.40 --require-same-machine
+else
+    echo "no committed baseline at $SV_BASELINE; skipping perf gate"
+fi
+
+echo "==> doc link check: no dangling relative links in README.md / docs/"
+scripts/check_doc_links.sh
+
 echo "==> vectorization check: SIMD microkernel emits packed FP math"
 # Compile the microkernel module standalone at opt-level=3 and look for
 # packed multiply / FMA instructions in the emitted assembly. Guards

@@ -45,9 +45,97 @@ pub fn permute_acfg(acfg: &Acfg, perm: &[usize]) -> Acfg {
     Acfg::new(g, attrs)
 }
 
+/// Generates a parseable IDA-style listing whose CFG has roughly
+/// `blocks + 1` basic blocks — variable-size inputs for the `magic
+/// serve` integration tests.
+pub fn synthetic_listing(blocks: usize) -> String {
+    let mut out = String::new();
+    let mut addr = 0x401000u64;
+    for b in 0..blocks {
+        let target = addr + 0x10;
+        out.push_str(&format!(".text:{addr:08X} loc_{addr:X}:\n"));
+        out.push_str(&format!(".text:{addr:08X}    cmp     eax, {b}\n"));
+        out.push_str(&format!(".text:{:08X}    jz      short loc_{target:X}\n", addr + 3));
+        out.push_str(&format!(".text:{:08X}    add     eax, 1\n", addr + 5));
+        addr = target;
+    }
+    out.push_str(&format!(".text:{addr:08X} loc_{addr:X}:\n"));
+    out.push_str(&format!(".text:{addr:08X}    retn\n"));
+    out
+}
+
+/// A blocking one-request HTTP client for exercising `magic serve` from
+/// tests and the load-generator bench (one connection per request, as
+/// the server's `Connection: close` protocol expects).
+pub mod serve_client {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// A parsed response: status code, lowercased header pairs, body.
+    pub struct HttpResponse {
+        /// HTTP status code.
+        pub status: u16,
+        /// Header `(name, value)` pairs, names lowercased.
+        pub headers: Vec<(String, String)>,
+        /// Response body.
+        pub body: String,
+    }
+
+    impl HttpResponse {
+        /// Case-insensitive header lookup.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// Sends one request and reads the complete response.
+    ///
+    /// # Panics
+    ///
+    /// Panics on connect/IO failures or an unparseable response — in a
+    /// test, any of those is a failed assertion anyway.
+    pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> HttpResponse {
+        let mut stream = TcpStream::connect(addr).expect("connect to test server");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("response has a header block");
+        let mut lines = head.lines();
+        let status = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        HttpResponse { status, headers, body: body.to_string() }
+    }
+
+    /// POSTs a body to `/v1/predict`.
+    pub fn predict(addr: SocketAddr, body: &str) -> HttpResponse {
+        request(addr, "POST", "/v1/predict", body)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthetic_listing_extracts_to_requested_size() {
+        let small = magic::extract_acfg(&synthetic_listing(2)).unwrap();
+        let large = magic::extract_acfg(&synthetic_listing(12)).unwrap();
+        assert!(large.vertex_count() > small.vertex_count());
+        assert!(small.vertex_count() >= 3);
+    }
 
     #[test]
     fn permute_identity_is_noop() {
