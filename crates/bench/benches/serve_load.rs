@@ -20,12 +20,15 @@
 //!   request, for testing that the regression gate actually fails.
 
 use magic::MagicPipeline;
-use magic_bench::results::{machine_info, write_result};
+use magic_bench::results::{machine_info, results_dir, write_result};
 use magic_json::json;
 use magic_model::{Dgcnn, DgcnnConfig, PoolingHead};
+use magic_obs::serve_report::ServeLogSummary;
+use magic_serve::metrics::scrape_labeled;
 use magic_serve::{start, ServeConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +44,17 @@ fn predict_once(addr: SocketAddr, body: &str) -> u16 {
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
     raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status line")
+}
+
+/// One blocking GET; returns the response body (used to scrape
+/// `/metrics` while the load is running).
+fn get_body(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    write!(stream, "GET {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: 0\r\n\r\n")
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default()
 }
 
 /// Deterministic listings of varying size, so batches mix graph shapes
@@ -78,23 +92,40 @@ struct RunResult {
     latencies_ns: Vec<f64>,
     elapsed: Duration,
     total_requests: usize,
+    /// `/metrics` scrapes completed while the load was in flight.
+    metrics_scrapes: u64,
+    /// Windowed interpolated p50/p99 (µs) from the final mid-load
+    /// `/metrics` scrape.
+    windowed_p50_us: f64,
+    windowed_p99_us: f64,
+    /// Exact server-side p50/p99 (µs) over the same requests, from the
+    /// access log — the ground truth the windowed estimates chase.
+    access_log_p50_us: u64,
+    access_log_p99_us: u64,
 }
 
 /// Runs `clients` closed-loop clients for `requests_per_client`
-/// requests each against a fresh server with the given batch window.
+/// requests each against a fresh server with the given batch window,
+/// with the full telemetry surface on: `--access-log` streaming to
+/// `<results>/serve_access_w<window>.jsonl` and a scraper thread
+/// hitting `GET /metrics` throughout the run.
 fn run_window(
     window_us: u64,
     clients: usize,
     requests_per_client: usize,
     inject_us: u64,
 ) -> RunResult {
+    let access_log = results_dir().join(format!("serve_access_w{window_us}.jsonl"));
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    std::fs::remove_file(&access_log).ok();
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
-        io_threads: clients.max(2),
+        io_threads: clients.max(2) + 1, // +1 keeps the scraper off the client path
         max_batch: 16,
         batch_window_us: window_us,
         queue_depth: 64,
+        access_log: Some(access_log.to_str().expect("utf-8 results path").to_string()),
         ..ServeConfig::default()
     };
     let handle = start(pipeline(), config).expect("bind bench server");
@@ -105,6 +136,23 @@ fn run_window(
     for body in bodies.iter() {
         assert_eq!(predict_once(addr, body), 200, "warm-up request failed");
     }
+
+    // Scraper: polls `/metrics` while the clients run, so the measured
+    // latency includes realistic observability traffic.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            let mut last = String::new();
+            while !stop.load(Ordering::Relaxed) {
+                last = get_body(addr, "/metrics");
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            (scrapes, last)
+        })
+    };
 
     let begun = Instant::now();
     let threads: Vec<_> = (0..clients)
@@ -131,9 +179,35 @@ fn run_window(
         latencies_ns.extend(t.join().unwrap());
     }
     let elapsed = begun.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let (metrics_scrapes, last_scrape) = scraper.join().unwrap();
+    let windowed_p50_us =
+        scrape_labeled(&last_scrape, "magic_serve_latency_us", "quantile=\"0.5\"").unwrap_or(0.0);
+    let windowed_p99_us =
+        scrape_labeled(&last_scrape, "magic_serve_latency_us", "quantile=\"0.99\"").unwrap_or(0.0);
     handle.shutdown();
+
+    // Ground truth from the flushed access log: exact nearest-rank
+    // percentiles over every 200 predict's server-side total_us.
+    let text = std::fs::read_to_string(&access_log).expect("read access log");
+    let summary = ServeLogSummary::from_lines(text.lines()).expect("valid access log");
+    let total = summary
+        .stages
+        .iter()
+        .find(|r| r.stage == "total")
+        .expect("total stage row");
+
     latencies_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    RunResult { total_requests: latencies_ns.len(), latencies_ns, elapsed }
+    RunResult {
+        total_requests: latencies_ns.len(),
+        latencies_ns,
+        elapsed,
+        metrics_scrapes,
+        windowed_p50_us,
+        windowed_p99_us,
+        access_log_p50_us: total.p50_us,
+        access_log_p99_us: total.p99_us,
+    }
 }
 
 /// Exact quantile from the sorted sample vector (nearest-rank).
@@ -170,6 +244,15 @@ fn main() {
              ({} requests, {clients} clients)",
             p50, p99, run.total_requests
         );
+        println!(
+            "               telemetry: {} /metrics scrapes mid-run; windowed p50/p99 \
+             {:.0}/{:.0} us vs access-log exact {}/{} us",
+            run.metrics_scrapes,
+            run.windowed_p50_us,
+            run.windowed_p99_us,
+            run.access_log_p50_us,
+            run.access_log_p99_us
+        );
         rows.push(json!({
             "window_us": window_us,
             "clients": clients as u64,
@@ -181,6 +264,18 @@ fn main() {
             // too much on a busy shared host to gate at any threshold.
             "latency_p99_ns": p99,
             "throughput_rps": throughput_rps,
+            // Recorded, not gated: the windowed /metrics estimate next
+            // to the access log's exact server-side percentile. The
+            // deterministic ±1-bucket agreement is asserted in
+            // tests/tests/serve_telemetry.rs; these numbers let a human
+            // eyeball the same property under real load.
+            "telemetry": {
+                "metrics_scrapes": run.metrics_scrapes,
+                "windowed_p50_us": run.windowed_p50_us,
+                "windowed_p99_us": run.windowed_p99_us,
+                "access_log_p50_us": run.access_log_p50_us,
+                "access_log_p99_us": run.access_log_p99_us,
+            },
         }));
     }
 

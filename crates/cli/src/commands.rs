@@ -79,10 +79,15 @@ USAGE:
     magic serve --model <model.magic> [--addr HOST:PORT] [--workers N]
                 [--io-threads N] [--max-batch N] [--batch-window-us U]
                 [--queue-depth N] [--deadline-ms MS]
+                [--access-log <access.jsonl>] [--metrics-window S]
                 (HTTP inference daemon fusing concurrent requests into
                  micro-batches; POST listings to /v1/predict, health at
-                 /healthz, counters at /statsz, stop with
-                 POST /admin/shutdown. Protocol + tuning: docs/SERVING.md)
+                 /healthz, counters at /statsz, Prometheus text at
+                 /metrics, slow-request exemplars at /debug/slow, stop
+                 with POST /admin/shutdown. --access-log streams one
+                 JSONL lifecycle event per request; --metrics-window
+                 sets the sliding quantile window (default 60 s).
+                 Protocol + tuning: docs/SERVING.md)
     magic info --model <model.magic>
     magic profile <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
                 [--train-workers N] [--batched] [--intra-op-threads N]
@@ -92,6 +97,10 @@ USAGE:
     magic report --trace <trace.jsonl> [--flamegraph]
                 (aggregate a trace; --flamegraph emits collapsed-stack
                 lines for flamegraph.pl / inferno / speedscope)
+    magic report --serve <access.jsonl>
+                (aggregate a `magic serve --access-log` file into
+                per-status counts, an exact stage-latency breakdown,
+                and a slowest-requests table)
     magic bench diff <old.json> <new.json> [--threshold F]
                 [--require-same-machine]
                 (compare results/BENCH_*.json files; exit non-zero when
@@ -442,13 +451,24 @@ fn render_profile(summary: &TraceSummary) -> String {
     out
 }
 
-/// Aggregates a `magic-trace/1` or `/2` JSONL file into per-stage
+/// Aggregates a `magic-trace` JSONL file (v1 through v3) into per-stage
 /// timing, counter, histogram, and op-profile tables — or, with
-/// `--flamegraph`, emits collapsed-stack lines for flamegraph tooling.
+/// `--flamegraph`, emits collapsed-stack lines for flamegraph tooling,
+/// or, with `--serve <access.jsonl>`, aggregates a serve access log
+/// into status/stage-latency/slowest-request tables.
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let flamegraph = take_switch(&mut args, "--flamegraph");
-    let path = take_flag(&mut args, "--trace").ok_or("report requires --trace <trace.jsonl>")?;
+    if let Some(path) = take_flag(&mut args, "--serve") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let summary = magic_obs::serve_report::ServeLogSummary::from_lines(text.lines())
+            .map_err(|e| format!("{path}: {e}"))?;
+        print!("{}", summary.render());
+        return Ok(());
+    }
+    let path = take_flag(&mut args, "--trace")
+        .ok_or("report requires --trace <trace.jsonl> or --serve <access.jsonl>")?;
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if flamegraph {
@@ -576,6 +596,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = take_flag(&mut args, "--deadline-ms") {
         config.deadline_ms = v.parse().map_err(|_| "bad --deadline-ms")?;
     }
+    if let Some(v) = take_flag(&mut args, "--metrics-window") {
+        config.metrics_window_s = v.parse().map_err(|_| "bad --metrics-window")?;
+    }
+    config.access_log = take_flag(&mut args, "--access-log");
     if let Some(unknown) = args.first() {
         return Err(format!("serve does not take {unknown:?}"));
     }
@@ -877,11 +901,47 @@ mod tests {
                 .map(|s| s.to_string())
                 .collect();
         assert_eq!(dispatch(&bad_window).unwrap_err(), "bad --batch-window-us");
+        let bad_metrics: Vec<String> =
+            ["serve", "--model", "/tmp/x.magic", "--metrics-window", "minute"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        assert_eq!(dispatch(&bad_metrics).unwrap_err(), "bad --metrics-window");
         let stray: Vec<String> = ["serve", "--model", "/tmp/x.magic", "extra"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         assert!(dispatch(&stray).unwrap_err().contains("does not take"));
+    }
+
+    #[test]
+    fn report_serve_aggregates_an_access_log() {
+        let dir = std::env::temp_dir().join("magic-cli-report-serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let event = magic_obs::Event::ServeAccess {
+            id: 1,
+            ts_us: 10,
+            status: 200,
+            path: "/v1/predict".into(),
+            batch: 2,
+            bytes_in: 64,
+            bytes_out: 128,
+            parse_us: 5,
+            extract_us: 40,
+            queue_us: 700,
+            execute_us: 300,
+            write_us: 3,
+            total_us: 1_100,
+            family: Some("Family0".into()),
+        };
+        std::fs::write(&path, event.to_jsonl_line() + "\n").unwrap();
+        let args: Vec<String> = ["report", "--serve", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        dispatch(&args).unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

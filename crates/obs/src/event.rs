@@ -9,16 +9,17 @@ use magic_json::{Map, Value};
 
 /// Version stamp written into every event line (the `"v"` field).
 ///
-/// Version 2 added the [`Event::OpProfile`] event; every v1 event is
-/// unchanged, so readers accept both versions (see
-/// [`MIN_SCHEMA_VERSION`]).
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 2 added the [`Event::OpProfile`] event; version 3 added the
+/// [`Event::ServeAccess`] access-log event. Every older event is
+/// unchanged across bumps, so readers accept all versions back to
+/// [`MIN_SCHEMA_VERSION`].
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version readers still accept.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Schema identifier written into the stream's `meta` header event.
-pub const SCHEMA_NAME: &str = "magic-trace/2";
+pub const SCHEMA_NAME: &str = "magic-trace/3";
 
 /// One structured telemetry event.
 ///
@@ -105,6 +106,43 @@ pub enum Event {
         bytes_out: u64,
         /// Small numeric annotations (epoch index, …).
         fields: Vec<(String, f64)>,
+    },
+    /// One served request's full lifecycle record (schema v3): the
+    /// access-log line `magic serve --access-log` emits after the
+    /// response bytes are on the wire. Aggregate offline with
+    /// `magic report --serve` ([`crate::serve_report`]).
+    ServeAccess {
+        /// Process-unique request id (also echoed in the predict
+        /// response body, so clients can correlate).
+        id: u64,
+        /// Microseconds since the trace epoch, stamped when the
+        /// response write completed.
+        ts_us: u64,
+        /// HTTP status the request was answered with.
+        status: u16,
+        /// Request path (`/v1/predict`, `/statsz`, …).
+        path: String,
+        /// Size of the fused batch that carried the forward pass
+        /// (0 when no forward pass ran, e.g. errors or admin routes).
+        batch: u64,
+        /// Request body bytes read.
+        bytes_in: u64,
+        /// Response body bytes written.
+        bytes_out: u64,
+        /// Time reading + decoding the HTTP request and body, µs.
+        parse_us: u64,
+        /// Time in ACFG extraction (parse → CFG → attributes), µs.
+        extract_us: u64,
+        /// Time from enqueue until a model worker picked the job, µs.
+        queue_us: u64,
+        /// Time inside the batched forward pass, µs.
+        execute_us: u64,
+        /// Time writing the response bytes, µs.
+        write_us: u64,
+        /// End-to-end accept → response-written duration, µs.
+        total_us: u64,
+        /// Predicted family, present on 200 predict responses.
+        family: Option<String>,
     },
 }
 
@@ -197,6 +235,40 @@ impl Event {
                     map.insert("fields", fields_to_json(fields));
                 }
             }
+            Event::ServeAccess {
+                id,
+                ts_us,
+                status,
+                path,
+                batch,
+                bytes_in,
+                bytes_out,
+                parse_us,
+                extract_us,
+                queue_us,
+                execute_us,
+                write_us,
+                total_us,
+                family,
+            } => {
+                map.insert("t", Value::String("serve_access".into()));
+                map.insert("id", Value::Number(*id as f64));
+                map.insert("ts_us", Value::Number(*ts_us as f64));
+                map.insert("status", Value::Number(*status as f64));
+                map.insert("path", Value::String(path.clone()));
+                map.insert("batch", Value::Number(*batch as f64));
+                map.insert("bytes_in", Value::Number(*bytes_in as f64));
+                map.insert("bytes_out", Value::Number(*bytes_out as f64));
+                map.insert("parse_us", Value::Number(*parse_us as f64));
+                map.insert("extract_us", Value::Number(*extract_us as f64));
+                map.insert("queue_us", Value::Number(*queue_us as f64));
+                map.insert("execute_us", Value::Number(*execute_us as f64));
+                map.insert("write_us", Value::Number(*write_us as f64));
+                map.insert("total_us", Value::Number(*total_us as f64));
+                if let Some(family) = family {
+                    map.insert("family", Value::String(family.clone()));
+                }
+            }
         }
         Value::Object(map)
     }
@@ -260,6 +332,22 @@ impl Event {
                 flops: value["flops"].as_u64().unwrap_or(0),
                 bytes_out: value["bytes_out"].as_u64().unwrap_or(0),
                 fields: fields_from_json(&value["fields"]),
+            }),
+            "serve_access" => Ok(Event::ServeAccess {
+                id: value["id"].as_u64().ok_or("missing request id")?,
+                ts_us: ts_us()?,
+                status: value["status"].as_u64().ok_or("missing status")? as u16,
+                path: value["path"].as_str().unwrap_or_default().to_string(),
+                batch: value["batch"].as_u64().unwrap_or(0),
+                bytes_in: value["bytes_in"].as_u64().unwrap_or(0),
+                bytes_out: value["bytes_out"].as_u64().unwrap_or(0),
+                parse_us: value["parse_us"].as_u64().unwrap_or(0),
+                extract_us: value["extract_us"].as_u64().unwrap_or(0),
+                queue_us: value["queue_us"].as_u64().unwrap_or(0),
+                execute_us: value["execute_us"].as_u64().unwrap_or(0),
+                write_us: value["write_us"].as_u64().unwrap_or(0),
+                total_us: value["total_us"].as_u64().ok_or("missing total_us")?,
+                family: value["family"].as_str().map(str::to_string),
             }),
             other => Err(format!("unknown event type {other:?}")),
         }
@@ -348,14 +436,76 @@ mod tests {
             bytes_out: 65_536,
             fields: vec![("epoch".into(), 2.0)],
         });
+        roundtrip(Event::ServeAccess {
+            id: 42,
+            ts_us: 1_000,
+            status: 200,
+            path: "/v1/predict".into(),
+            batch: 4,
+            bytes_in: 1_024,
+            bytes_out: 256,
+            parse_us: 12,
+            extract_us: 340,
+            queue_us: 1_800,
+            execute_us: 950,
+            write_us: 8,
+            total_us: 3_110,
+            family: Some("Ramnit".into()),
+        });
+        roundtrip(Event::ServeAccess {
+            id: 43,
+            ts_us: 2_000,
+            status: 400,
+            path: "/v1/predict".into(),
+            batch: 0,
+            bytes_in: 16,
+            bytes_out: 40,
+            parse_us: 5,
+            extract_us: 0,
+            queue_us: 0,
+            execute_us: 0,
+            write_us: 3,
+            total_us: 8,
+            family: None,
+        });
     }
 
     #[test]
     fn unknown_version_and_type_are_rejected() {
-        assert!(Event::from_jsonl_line(r#"{"v":3,"t":"meta"}"#).is_err());
+        assert!(Event::from_jsonl_line(r#"{"v":4,"t":"meta"}"#).is_err());
         assert!(Event::from_jsonl_line(r#"{"v":0,"t":"meta"}"#).is_err());
         assert!(Event::from_jsonl_line(r#"{"v":1,"t":"frob"}"#).is_err());
         assert!(Event::from_jsonl_line("not json").is_err());
+    }
+
+    #[test]
+    fn lenient_readers_skip_unknown_types_on_accepted_versions() {
+        // A hypothetical v3 minor addition this reader doesn't know:
+        // skipped, not fatal.
+        assert_eq!(Event::from_jsonl_line_lenient(r#"{"v":3,"t":"frob"}"#), Ok(None));
+        // But an unknown *version* is still fatal.
+        assert!(Event::from_jsonl_line_lenient(r#"{"v":4,"t":"meta"}"#).is_err());
+    }
+
+    #[test]
+    fn absent_family_is_omitted_from_the_wire() {
+        let event = Event::ServeAccess {
+            id: 1,
+            ts_us: 0,
+            status: 503,
+            path: "/v1/predict".into(),
+            batch: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            parse_us: 0,
+            extract_us: 0,
+            queue_us: 0,
+            execute_us: 0,
+            write_us: 0,
+            total_us: 1,
+            family: None,
+        };
+        assert!(!event.to_jsonl_line().contains("family"));
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub fn collapsed_from_events(events: impl Iterator<Item = Event>) -> Vec<String>
                 };
                 *weights.entry(path).or_insert(0) += us;
             }
-            Event::Meta { .. } | Event::Counter { .. } | Event::Histogram { .. } => {}
+            Event::Meta { .. }
+            | Event::Counter { .. }
+            | Event::Histogram { .. }
+            | Event::ServeAccess { .. } => {}
         }
     }
 

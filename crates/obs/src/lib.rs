@@ -9,14 +9,22 @@
 //!
 //! * [`NullRecorder`] — discards everything; with *no* recorder
 //!   installed, instrumentation costs one relaxed atomic load.
-//! * [`JsonlRecorder`] — streams `magic-trace/2` JSON lines (one event
+//! * [`JsonlRecorder`] — streams `magic-trace/3` JSON lines (one event
 //!   per line, written with `magic-json`) to a file or writer. The CLI's
 //!   `--trace <path>` flag installs this, and `magic report --trace`
 //!   aggregates the result via [`report::TraceSummary`] (readers accept
-//!   v1 and v2 traces).
+//!   v1 through v3 traces).
 //!
 //! The event schema ([`Event`]) and stage-name registry ([`stage`]) are
 //! a versioned public contract, documented in `docs/OBSERVABILITY.md`.
+//!
+//! Live telemetry (as opposed to post-hoc trace files) is served by the
+//! [`timeseries`] module: sliding-window counters and log-linear
+//! histograms with interpolated quantiles, used by `magic serve` to
+//! back its `/metrics` and `/statsz` endpoints. The `magic serve
+//! --access-log` JSONL stream ([`Event::ServeAccess`], schema v3) is
+//! aggregated offline by [`serve_report::ServeLogSummary`]
+//! (`magic report --serve`).
 //!
 //! Telemetry is observational only: instrumented code takes no RNG
 //! draws and makes no numeric decisions based on it, so a traced
@@ -53,7 +61,9 @@ pub mod flamegraph;
 mod recorder;
 pub mod report;
 mod runtime;
+pub mod serve_report;
 pub mod stage;
+pub mod timeseries;
 
 pub use event::{Event, MIN_SCHEMA_VERSION, SCHEMA_NAME, SCHEMA_VERSION};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder};

@@ -161,7 +161,8 @@ impl TraceSummary {
                 | Event::SpanEnd { ts_us, .. }
                 | Event::Counter { ts_us, .. }
                 | Event::Histogram { ts_us, .. }
-                | Event::OpProfile { ts_us, .. } => Some(*ts_us),
+                | Event::OpProfile { ts_us, .. }
+                | Event::ServeAccess { ts_us, .. } => Some(*ts_us),
             };
             if let Some(ts) = ts {
                 first_ts = Some(first_ts.map_or(ts, |f| f.min(ts)));
@@ -216,6 +217,31 @@ impl TraceSummary {
                     entry.self_ns += self_ns;
                     entry.flops += flops;
                     entry.bytes_out += bytes_out;
+                }
+                Event::ServeAccess { status, total_us, .. } => {
+                    // Access-log lines embedded in a general trace fold
+                    // into the existing tables: a per-status counter
+                    // plus an end-to-end latency histogram. The full
+                    // stage breakdown lives in `magic report --serve`
+                    // ([`crate::serve_report::ServeLogSummary`]).
+                    let name = format!("serve.access.{status}");
+                    let entry = counters
+                        .entry(name.clone())
+                        .or_insert(CounterStats { name, count: 0, total: 0.0 });
+                    entry.count += 1;
+                    entry.total += 1.0;
+                    let name = "serve.access.total_us".to_string();
+                    let entry = histograms.entry(name.clone()).or_insert(HistogramStats {
+                        name,
+                        count: 0,
+                        total: 0.0,
+                        min: f64::INFINITY,
+                        max: f64::NEG_INFINITY,
+                    });
+                    entry.count += 1;
+                    entry.total += total_us as f64;
+                    entry.min = entry.min.min(total_us as f64);
+                    entry.max = entry.max.max(total_us as f64);
                 }
             }
         }

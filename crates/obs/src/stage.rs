@@ -139,6 +139,29 @@ pub const H_SERVE_LATENCY_US: &str = "serve.latency_us";
 /// server is saturated and about to shed.
 pub const H_SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 
+/// Time one predict request spent reading + decoding HTTP, in
+/// microseconds (the `parse` lifecycle stage; schema v3).
+pub const H_SERVE_PARSE_US: &str = "serve.parse_us";
+
+/// Time one predict request spent in ACFG extraction (listing parse →
+/// CFG → attributes) on the IO thread, in microseconds (the `extract`
+/// lifecycle stage; schema v3).
+pub const H_SERVE_EXTRACT_US: &str = "serve.extract_us";
+
+/// Time one predict request waited in the batching queue before a model
+/// worker picked it up, in microseconds (the `queue` lifecycle stage;
+/// schema v3). Grows with `--batch-window-us` by design.
+pub const H_SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+
+/// Time one predict request spent inside the fused forward pass, in
+/// microseconds (the `execute` lifecycle stage; schema v3). Shared by
+/// every request in the batch.
+pub const H_SERVE_EXECUTE_US: &str = "serve.execute_us";
+
+/// Time one predict request spent writing its response bytes, in
+/// microseconds (the `write` lifecycle stage; schema v3).
+pub const H_SERVE_WRITE_US: &str = "serve.write_us";
+
 // ---- op profile (schema v2) --------------------------------------------
 
 /// Host-side pseudo-op kinds used by `op_profile` events (phase

@@ -178,8 +178,21 @@ pub fn write_response(
     extra_headers: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", extra_headers, body)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the `/metrics`
+/// endpoint answers in the Prometheus text exposition format rather
+/// than JSON.
+pub fn write_response_typed(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n",
         reason_phrase(status),
         body.len()
     );

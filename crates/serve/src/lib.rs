@@ -5,10 +5,11 @@
 //!
 //! The crate is std-only, like the rest of the workspace: the HTTP/1.1
 //! codec ([`http`]), the bounded batching queue ([`queue`]), the
-//! `/statsz` counters ([`stats`]), and the JSON wire protocol
-//! ([`protocol`]) are all hand-rolled. [`server::start`] wires them
-//! into a listener + IO pool + model-worker runtime; the `magic serve`
-//! CLI subcommand is a thin flag-parsing shell around it.
+//! `/statsz` counters and windowed telemetry ([`stats`]), the
+//! Prometheus `/metrics` exposition ([`metrics`]), and the JSON wire
+//! protocol ([`protocol`]) are all hand-rolled. [`server::start`] wires
+//! them into a listener + IO pool + model-worker runtime; the
+//! `magic serve` CLI subcommand is a thin flag-parsing shell around it.
 //!
 //! Batching relies on a proven invariant of the PR 6 batched forward:
 //! fusing graphs into one [`magic_model::GraphBatch`] is bitwise
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;

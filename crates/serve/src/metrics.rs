@@ -1,0 +1,310 @@
+//! Prometheus text exposition for `GET /metrics`.
+//!
+//! Renders the [`ServeStats`] block in the Prometheus text format
+//! (version 0.0.4): `# HELP`/`# TYPE` headers followed by one sample
+//! per line. The metric-name registry below is a pinned public
+//! contract (golden-tested, documented in `docs/OBSERVABILITY.md`);
+//! renaming or dropping a metric is a breaking change for scrape
+//! configs and dashboards.
+//!
+//! Conventions:
+//!
+//! * `*_total` counters are cumulative since server start.
+//! * `magic_serve_latency_us{quantile=...}` and
+//!   `magic_serve_stage_us{stage=...,quantile=...}` are **windowed**
+//!   interpolated quantiles over the last `--metrics-window` seconds —
+//!   summary-style labels, but deliberately not lifetime summaries,
+//!   because "p99 right now" is the operable signal. The latency
+//!   `_count`/`_sum` pair stays cumulative (usable for `rate()`);
+//!   stage `_count`/`_sum` are window-scoped.
+//! * Rates (`*_rate_per_s`) are pre-divided sliding-window gauges for
+//!   dashboards without PromQL.
+
+use crate::stats::{LifecycleStage, ServeStats};
+use std::fmt::Write as _;
+
+/// `Content-Type` of the exposition body.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// The windowed quantiles exported for latency and stage series.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")];
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn sample_u64(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn sample_f64(out: &mut String, name: &str, value: f64) {
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the full `/metrics` document. `queue_depth`,
+/// `queue_high_water`, and `draining` are sampled by the caller at
+/// scrape time (they live outside [`ServeStats`]).
+pub fn render_metrics(
+    stats: &ServeStats,
+    queue_depth: usize,
+    queue_high_water: u64,
+    draining: bool,
+) -> String {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut out = String::with_capacity(4096);
+
+    header(&mut out, "magic_serve_uptime_seconds", "Seconds since server start.", "gauge");
+    sample_u64(&mut out, "magic_serve_uptime_seconds", stats.uptime_s());
+
+    let counters: [(&str, &str, u64); 10] = [
+        (
+            "magic_serve_requests_total",
+            "Predict requests accepted into the queue.",
+            stats.requests.load(Relaxed),
+        ),
+        (
+            "magic_serve_predictions_total",
+            "Predict requests answered 200.",
+            stats.predictions.load(Relaxed),
+        ),
+        (
+            "magic_serve_shed_total",
+            "Requests shed with 503 (queue full or draining).",
+            stats.shed.load(Relaxed),
+        ),
+        (
+            "magic_serve_timeouts_total",
+            "Requests expired with 504 before execution.",
+            stats.timeouts.load(Relaxed),
+        ),
+        (
+            "magic_serve_client_errors_total",
+            "Requests refused with a 4xx status.",
+            stats.client_errors.load(Relaxed),
+        ),
+        (
+            "magic_serve_internal_errors_total",
+            "Requests failed with 500.",
+            stats.internal_errors.load(Relaxed),
+        ),
+        (
+            "magic_serve_batches_total",
+            "Fused micro-batches executed.",
+            stats.batches.load(Relaxed),
+        ),
+        (
+            "magic_serve_batched_requests_total",
+            "Requests summed over executed batches.",
+            stats.batched_requests.load(Relaxed),
+        ),
+        (
+            "magic_serve_pool_hits_total",
+            "Workspace-pool checkouts served from recycled buffers.",
+            stats.pool_hits.load(Relaxed),
+        ),
+        (
+            "magic_serve_pool_misses_total",
+            "Workspace-pool checkouts that heap-allocated (flat after warm-up).",
+            stats.pool_misses.load(Relaxed),
+        ),
+    ];
+    for (name, help, value) in counters {
+        header(&mut out, name, help, "counter");
+        sample_u64(&mut out, name, value);
+    }
+
+    let gauges: [(&str, &str, u64); 4] = [
+        (
+            "magic_serve_max_batch_size",
+            "Largest batch executed so far.",
+            stats.max_batch.load(Relaxed),
+        ),
+        (
+            "magic_serve_queue_depth",
+            "Requests waiting in the batching queue right now.",
+            queue_depth as u64,
+        ),
+        (
+            "magic_serve_queue_high_water",
+            "Deepest the batching queue has ever been.",
+            queue_high_water,
+        ),
+        (
+            "magic_serve_draining",
+            "1 while the server drains for shutdown (stop routing to it).",
+            draining as u64,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        header(&mut out, name, help, "gauge");
+        sample_u64(&mut out, name, value);
+    }
+
+    let (req_rate, shed_rate, batch_rate) = stats.window_rates();
+    let rates: [(&str, &str, f64); 3] = [
+        (
+            "magic_serve_request_rate_per_s",
+            "Accepted predict requests per second over the sliding window.",
+            req_rate,
+        ),
+        (
+            "magic_serve_shed_rate_per_s",
+            "Shed requests per second over the sliding window.",
+            shed_rate,
+        ),
+        (
+            "magic_serve_batch_rate_per_s",
+            "Executed batches per second over the sliding window.",
+            batch_rate,
+        ),
+    ];
+    for (name, help, value) in rates {
+        header(&mut out, name, help, "gauge");
+        sample_f64(&mut out, name, value);
+    }
+
+    header(
+        &mut out,
+        "magic_serve_latency_us",
+        "End-to-end 200-predict latency in microseconds; quantiles are windowed \
+         and interpolated, _count/_sum cumulative.",
+        "summary",
+    );
+    let latency = stats.latency_snapshot();
+    for (q, label) in QUANTILES {
+        let _ = writeln!(
+            out,
+            "magic_serve_latency_us{{quantile=\"{label}\"}} {}",
+            latency.quantile(q)
+        );
+    }
+    let (count, sum) = stats.latency_totals();
+    sample_u64(&mut out, "magic_serve_latency_us_sum", sum);
+    sample_u64(&mut out, "magic_serve_latency_us_count", count);
+
+    header(
+        &mut out,
+        "magic_serve_stage_us",
+        "Per-lifecycle-stage latency in microseconds over the sliding window; \
+         quantiles interpolated, _count/_sum window-scoped.",
+        "summary",
+    );
+    for stage in LifecycleStage::ALL {
+        let snap = stats.stage_snapshot(stage);
+        let name = stage.name();
+        for (q, label) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "magic_serve_stage_us{{stage=\"{name}\",quantile=\"{label}\"}} {}",
+                snap.quantile(q)
+            );
+        }
+        let _ = writeln!(out, "magic_serve_stage_us_sum{{stage=\"{name}\"}} {}", snap.sum());
+        let _ = writeln!(out, "magic_serve_stage_us_count{{stage=\"{name}\"}} {}", snap.count());
+    }
+
+    out
+}
+
+/// Pulls one un-labelled numeric sample out of an exposition body —
+/// the client-side helper tests and the load bench use to read a
+/// scraped value back.
+pub fn scrape_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| !l.starts_with('#') && l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Pulls one labelled sample (`name{labels} value`) by exact label
+/// string, e.g. `scrape_labeled(body, "magic_serve_latency_us",
+/// "quantile=\"0.99\"")`.
+pub fn scrape_labeled(body: &str, name: &str, labels: &str) -> Option<f64> {
+    let prefix = format!("{name}{{{labels}}} ");
+    body.lines()
+        .find(|l| l.starts_with(&prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_obs::timeseries::{Clock, ManualClock};
+    use std::sync::Arc;
+
+    fn manual_stats() -> (ServeStats, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (ServeStats::with_window(60, Arc::clone(&clock) as Arc<dyn Clock>), clock)
+    }
+
+    #[test]
+    fn every_pinned_metric_name_is_present() {
+        let (stats, _clock) = manual_stats();
+        let body = render_metrics(&stats, 0, 0, false);
+        for name in [
+            "magic_serve_uptime_seconds",
+            "magic_serve_requests_total",
+            "magic_serve_predictions_total",
+            "magic_serve_shed_total",
+            "magic_serve_timeouts_total",
+            "magic_serve_client_errors_total",
+            "magic_serve_internal_errors_total",
+            "magic_serve_batches_total",
+            "magic_serve_batched_requests_total",
+            "magic_serve_pool_hits_total",
+            "magic_serve_pool_misses_total",
+            "magic_serve_max_batch_size",
+            "magic_serve_queue_depth",
+            "magic_serve_queue_high_water",
+            "magic_serve_draining",
+            "magic_serve_request_rate_per_s",
+            "magic_serve_shed_rate_per_s",
+            "magic_serve_batch_rate_per_s",
+            "magic_serve_latency_us",
+            "magic_serve_stage_us",
+        ] {
+            assert!(body.contains(&format!("# TYPE {name} ")), "missing {name}\n{body}");
+        }
+    }
+
+    #[test]
+    fn samples_reflect_recorded_activity() {
+        let (stats, clock) = manual_stats();
+        stats.record_request();
+        stats.record_request();
+        stats.record_shed();
+        stats.record_latency_us(1_000);
+        stats.record_latency_us(3_000);
+        clock.advance_us(1_000_000);
+        let body = render_metrics(&stats, 5, 9, true);
+        assert_eq!(scrape_value(&body, "magic_serve_requests_total"), Some(2.0));
+        assert_eq!(scrape_value(&body, "magic_serve_shed_total"), Some(1.0));
+        assert_eq!(scrape_value(&body, "magic_serve_queue_depth"), Some(5.0));
+        assert_eq!(scrape_value(&body, "magic_serve_queue_high_water"), Some(9.0));
+        assert_eq!(scrape_value(&body, "magic_serve_draining"), Some(1.0));
+        assert_eq!(scrape_value(&body, "magic_serve_latency_us_count"), Some(2.0));
+        assert_eq!(scrape_value(&body, "magic_serve_latency_us_sum"), Some(4_000.0));
+        let p99 = scrape_labeled(&body, "magic_serve_latency_us", "quantile=\"0.99\"").unwrap();
+        assert!((2_816.0..3_072.0).contains(&p99), "p99 {p99} outside the 3000 bucket");
+    }
+
+    #[test]
+    fn stage_series_carry_per_stage_labels() {
+        let (stats, _clock) = manual_stats();
+        stats.record_stage_us(LifecycleStage::Execute, 500);
+        let body = render_metrics(&stats, 0, 0, false);
+        assert_eq!(
+            scrape_labeled(&body, "magic_serve_stage_us_count", "stage=\"execute\""),
+            Some(1.0)
+        );
+        assert_eq!(
+            scrape_labeled(&body, "magic_serve_stage_us_count", "stage=\"parse\""),
+            Some(0.0)
+        );
+        let p50 = scrape_labeled(&body, "magic_serve_stage_us", "stage=\"execute\",quantile=\"0.5\"")
+            .unwrap();
+        assert!((480.0..512.0).contains(&p50), "p50 {p50} outside the 500 bucket");
+    }
+}

@@ -13,9 +13,9 @@
 //! "attributes": [[f; 11], ...]}` with one 11-channel Table I attribute
 //! row per vertex, in *raw count* scale (the server applies the same
 //! `ln(1 + x)` scaling training used). A successful response is
-//! `{"family", "probability", "scores", "batch_size", "queue_us"}`;
-//! errors are `{"error": "..."}`. Full schema and status-code semantics
-//! are documented in `docs/SERVING.md`.
+//! `{"family", "probability", "scores", "batch_size", "queue_us",
+//! "request_id"}`; errors are `{"error": "..."}`. Full schema and
+//! status-code semantics are documented in `docs/SERVING.md`.
 
 use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
 use magic_json::{json, Value};
@@ -161,7 +161,9 @@ pub fn acfg_from_json(value: &Value) -> Result<Acfg, String> {
 /// them back recovers the model's `f32` outputs bit-for-bit.
 /// `batch_size` reports how many requests were fused into the batch
 /// that served this one; `queue_us` is the time the request spent
-/// queued + batched + executed, server-side.
+/// queued + batched + executed, server-side. `request_id` is the
+/// server-assigned id echoed back so a client can correlate its
+/// response with the access log and `GET /debug/slow`.
 ///
 /// # Examples
 ///
@@ -169,17 +171,19 @@ pub fn acfg_from_json(value: &Value) -> Result<Acfg, String> {
 /// use magic_serve::protocol::encode_prediction;
 ///
 /// let families = ["Ramnit".to_string(), "Vundo".to_string()];
-/// let body = encode_prediction(&families, &[0.25f32, 0.75], 4, 1930);
+/// let body = encode_prediction(&families, &[0.25f32, 0.75], 4, 1930, 7);
 /// let v = magic_json::from_str(&body).unwrap();
 /// assert_eq!(v["family"], "Vundo");
 /// assert_eq!(v["scores"]["Ramnit"].as_f64(), Some(0.25));
 /// assert_eq!(v["batch_size"].as_u64(), Some(4));
+/// assert_eq!(v["request_id"].as_u64(), Some(7));
 /// ```
 pub fn encode_prediction(
     families: &[String],
     probs: &[f32],
     batch_size: usize,
     queue_us: u64,
+    request_id: u64,
 ) -> String {
     assert_eq!(families.len(), probs.len(), "one probability per family");
     let (best, p) = probs
@@ -197,6 +201,7 @@ pub fn encode_prediction(
         "scores": Value::Object(scores),
         "batch_size": batch_size as u64,
         "queue_us": queue_us,
+        "request_id": request_id,
     });
     magic_json::to_string(&body)
 }
@@ -292,7 +297,7 @@ mod tests {
     fn prediction_scores_roundtrip_bitwise_through_json() {
         let families: Vec<String> = ["A", "B", "C"].iter().map(|s| s.to_string()).collect();
         let probs = [0.123_456_79_f32, 0.5, 0.376_543_2];
-        let body = encode_prediction(&families, &probs, 3, 42);
+        let body = encode_prediction(&families, &probs, 3, 42, 9);
         let v = magic_json::from_str(&body).unwrap();
         assert_eq!(v["family"], "B");
         for (name, &p) in families.iter().zip(&probs) {
@@ -300,5 +305,6 @@ mod tests {
             assert_eq!(back.to_bits(), p.to_bits(), "{name} did not roundtrip");
         }
         assert_eq!(v["queue_us"].as_u64(), Some(42));
+        assert_eq!(v["request_id"].as_u64(), Some(9));
     }
 }

@@ -28,6 +28,7 @@ pub enum PushError {
 struct QueueState<T> {
     jobs: VecDeque<T>,
     closed: bool,
+    high_water: usize,
 }
 
 /// A bounded multi-producer queue whose consumers pop *batches*.
@@ -47,7 +48,7 @@ impl<T> BoundedQueue<T> {
     /// every request shed).
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
-            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false, high_water: 0 }),
             available: Condvar::new(),
             capacity: capacity.max(1),
         }
@@ -66,6 +67,7 @@ impl<T> BoundedQueue<T> {
         }
         state.jobs.push_back(job);
         let depth = state.jobs.len();
+        state.high_water = state.high_water.max(depth);
         drop(state);
         self.available.notify_one();
         Ok(depth)
@@ -153,6 +155,13 @@ impl<T> BoundedQueue<T> {
     pub fn depth(&self) -> usize {
         self.state.lock().unwrap().jobs.len()
     }
+
+    /// Deepest the queue has ever been — how close the server came to
+    /// shedding. Monotone; surfaced as `queue_high_water` in `/statsz`
+    /// and `/metrics`.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().unwrap().high_water
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +176,21 @@ mod tests {
         assert_eq!(q.try_push(2), Ok(2));
         assert_eq!(q.try_push(3), Err(PushError::Full));
         assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_the_deepest_backlog_monotonically() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.high_water(), 0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.high_water(), 3);
+        q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.high_water(), 3, "draining must not lower the mark");
+        q.try_push(4).unwrap();
+        assert_eq!(q.high_water(), 3, "a shallower backlog must not lower the mark");
     }
 
     #[test]

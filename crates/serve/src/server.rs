@@ -13,19 +13,33 @@
 //! counterpart of the training-loop zero-steady-state-allocation
 //! contract (asserted by the serve integration tests via `/statsz`).
 //!
+//! Every request is assigned a process-unique id and stamped through
+//! its lifecycle stages (`parse → extract → queue → execute → write`);
+//! the stamps feed the windowed stage histograms behind `/statsz` and
+//! `GET /metrics`, the slow-request exemplar ring behind
+//! `GET /debug/slow`, and — when `--access-log` is set — one
+//! [`Event::ServeAccess`](magic_obs::Event) JSONL line per request.
+//! Telemetry is observational only: it takes no locks on the model
+//! path and never changes what the model computes, so predictions are
+//! bitwise identical with it on or off.
+//!
 //! Graceful shutdown ([`ServerHandle::shutdown`] or
 //! `POST /admin/shutdown`) closes the queue so new work sheds with 503,
 //! lets the workers drain every queued job to a real response, unblocks
 //! the accept loop with a loopback self-connect, and joins all threads.
+//! While draining, `GET /healthz` answers 503 `{"status":"draining"}`
+//! so load balancers stop routing to the instance.
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response_typed, HttpError, Request};
+use crate::metrics::{render_metrics, METRICS_CONTENT_TYPE};
 use crate::protocol::{encode_error, encode_prediction, parse_predict_body, RequestInput};
 use crate::queue::{BoundedQueue, PushError};
-use crate::stats::ServeStats;
+use crate::stats::{LifecycleStage, ServeStats, SlowExemplar};
 use magic::MagicPipeline;
 use magic_autograd::Tape;
 use magic_model::GraphInput;
-use magic_obs::stage;
+use magic_obs::timeseries::MonotonicClock;
+use magic_obs::{stage, Event, JsonlRecorder, Recorder};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,6 +74,12 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Largest accepted request body; larger uploads get HTTP 413.
     pub max_body_bytes: usize,
+    /// Path to append the JSONL access log to (`--access-log`). `None`
+    /// disables access logging.
+    pub access_log: Option<String>,
+    /// Span of the sliding telemetry window behind `/metrics` and the
+    /// `/statsz` quantiles, in seconds (`--metrics-window`).
+    pub metrics_window_s: u64,
 }
 
 impl Default for ServeConfig {
@@ -73,15 +93,26 @@ impl Default for ServeConfig {
             queue_depth: 64,
             deadline_ms: 10_000,
             max_body_bytes: 16 * 1024 * 1024,
+            access_log: None,
+            metrics_window_s: 60,
         }
     }
 }
 
 /// What a model worker sends back for one job.
 enum Reply {
-    /// Per-family probabilities plus the size of the batch that carried
-    /// this request.
-    Probs { probs: Vec<f32>, batch_size: usize },
+    /// A served prediction plus its worker-side stage timings.
+    Probs {
+        /// Per-family probabilities for this job's graph.
+        probs: Vec<f32>,
+        /// Number of requests fused into the carrying batch.
+        batch_size: usize,
+        /// Time this job waited in the queue before its batch popped, µs.
+        queue_wait_us: u64,
+        /// Wall-clock of the batch forward pass, µs (shared by every
+        /// job in the batch).
+        execute_us: u64,
+    },
     /// The deadline passed before the job reached a forward pass.
     Expired,
 }
@@ -90,8 +121,24 @@ enum Reply {
 /// other end of `reply` and owns the latency measurement.
 struct Job {
     input: GraphInput,
+    enqueued: Instant,
     deadline: Instant,
     reply: mpsc::Sender<Reply>,
+}
+
+/// Per-request lifecycle stamps, carried from `read_request` through
+/// response write and then flushed into the windowed stage histograms,
+/// the slow-exemplar ring, and the access log.
+struct RequestTrace {
+    id: u64,
+    path: String,
+    bytes_in: u64,
+    parse_us: u64,
+    extract_us: u64,
+    queue_us: u64,
+    execute_us: u64,
+    batch: u64,
+    family: Option<String>,
 }
 
 struct Shared {
@@ -101,6 +148,7 @@ struct Shared {
     stats: ServeStats,
     draining: AtomicBool,
     bound_addr: SocketAddr,
+    access_log: Option<JsonlRecorder>,
     /// Test/bench knob: sleep this long inside every batch execution,
     /// making saturation (503) and drain behavior deterministic.
     inject_execute_delay: Duration,
@@ -149,6 +197,9 @@ impl ServerHandle {
         for t in self.threads {
             let _ = t.join();
         }
+        if let Some(log) = &self.shared.access_log {
+            log.flush();
+        }
     }
 }
 
@@ -156,7 +207,8 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Returns the bind error if the address is unavailable.
+/// Returns the bind error if the address is unavailable, or the open
+/// error if the configured access log cannot be created.
 pub fn start(pipeline: MagicPipeline, config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let bound_addr = listener.local_addr()?;
@@ -165,11 +217,20 @@ pub fn start(pipeline: MagicPipeline, config: ServeConfig) -> std::io::Result<Se
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_millis)
         .unwrap_or(Duration::ZERO);
+    let access_log = match &config.access_log {
+        Some(path) => {
+            let recorder = JsonlRecorder::create(path)?;
+            recorder.record(&Event::Meta { command: "magic serve".to_string() });
+            Some(recorder)
+        }
+        None => None,
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_depth),
-        stats: ServeStats::new(),
+        stats: ServeStats::with_window(config.metrics_window_s, Arc::new(MonotonicClock::new())),
         draining: AtomicBool::new(false),
         bound_addr,
+        access_log,
         inject_execute_delay,
         config,
         pipeline,
@@ -239,48 +300,161 @@ fn io_loop(shared: &Shared, conn_rx: &Mutex<mpsc::Receiver<TcpStream>>) {
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _span = magic_obs::span(stage::SERVE_REQUEST);
+    let accepted = Instant::now();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
-    let request = match read_request(&mut reader, shared.config.max_body_bytes) {
-        Ok(request) => request,
+    let mut trace = RequestTrace {
+        id: shared.stats.next_request_id(),
+        path: "-".to_string(),
+        bytes_in: 0,
+        parse_us: 0,
+        extract_us: 0,
+        queue_us: 0,
+        execute_us: 0,
+        batch: 0,
+        family: None,
+    };
+    let result = read_request(&mut reader, shared.config.max_body_bytes);
+    trace.parse_us = accepted.elapsed().as_micros() as u64;
+    let (status, content_type, extra, body) = match result {
+        Ok(request) => {
+            trace.path = request.path.clone();
+            trace.bytes_in = request.body.len() as u64;
+            let content_type = if request.method == "GET" && request.path == "/metrics" {
+                METRICS_CONTENT_TYPE
+            } else {
+                "application/json"
+            };
+            let (status, extra, body) = route(shared, &request, &mut trace);
+            (status, content_type, extra, body)
+        }
         Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_)) => return,
         Err(e @ HttpError::Malformed(_)) => {
             shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(&mut writer, 400, &[], &encode_error(&e.to_string()));
-            return;
+            (400, "application/json", Vec::new(), encode_error(&e.to_string()))
         }
         Err(e @ HttpError::BodyTooLarge { .. }) => {
             shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(&mut writer, 413, &[], &encode_error(&e.to_string()));
-            return;
+            (413, "application/json", Vec::new(), encode_error(&e.to_string()))
         }
     };
+    let write_start = Instant::now();
+    let _ = write_response_typed(&mut writer, status, content_type, &extra, &body);
+    let write_us = write_start.elapsed().as_micros() as u64;
+    let total_us = accepted.elapsed().as_micros() as u64;
+    finish_request(shared, trace, status, write_us, total_us, body.len() as u64);
+}
 
-    let (status, extra, body) = route(shared, &request);
-    let _ = write_response(&mut writer, status, &extra, &body);
+/// Flushes one finished request into the windowed telemetry, the
+/// slow-exemplar ring, and the access log.
+fn finish_request(
+    shared: &Shared,
+    trace: RequestTrace,
+    status: u16,
+    write_us: u64,
+    total_us: u64,
+    bytes_out: u64,
+) {
+    let is_predict = trace.path == "/v1/predict";
+    if is_predict && status == 200 {
+        // End-to-end latency + stage breakdown feed the windowed
+        // quantiles; only successful predictions count, so tail shifts
+        // are model-path signal rather than error-path noise.
+        shared.stats.record_latency_us(total_us);
+        magic_obs::histogram(stage::H_SERVE_LATENCY_US, total_us as f64);
+        let stages = [
+            (LifecycleStage::Parse, stage::H_SERVE_PARSE_US, trace.parse_us),
+            (LifecycleStage::Extract, stage::H_SERVE_EXTRACT_US, trace.extract_us),
+            (LifecycleStage::QueueWait, stage::H_SERVE_QUEUE_WAIT_US, trace.queue_us),
+            (LifecycleStage::Execute, stage::H_SERVE_EXECUTE_US, trace.execute_us),
+            (LifecycleStage::Write, stage::H_SERVE_WRITE_US, write_us),
+        ];
+        for (lifecycle, name, us) in stages {
+            shared.stats.record_stage_us(lifecycle, us);
+            magic_obs::histogram(name, us as f64);
+        }
+    }
+    if is_predict {
+        // 504s and 500s are slow-by-definition and belong in the
+        // exemplar ring alongside slow 200s.
+        shared.stats.offer_slow(SlowExemplar {
+            id: trace.id,
+            ts_us: shared.stats.now_us(),
+            status,
+            batch: trace.batch,
+            stages_us: [
+                trace.parse_us,
+                trace.extract_us,
+                trace.queue_us,
+                trace.execute_us,
+                write_us,
+            ],
+            total_us,
+            family: trace.family.clone(),
+        });
+    }
+    if let Some(log) = &shared.access_log {
+        log.record(&Event::ServeAccess {
+            id: trace.id,
+            ts_us: shared.stats.now_us(),
+            status,
+            path: trace.path,
+            batch: trace.batch,
+            bytes_in: trace.bytes_in,
+            bytes_out,
+            parse_us: trace.parse_us,
+            extract_us: trace.extract_us,
+            queue_us: trace.queue_us,
+            execute_us: trace.execute_us,
+            write_us,
+            total_us,
+            family: trace.family,
+        });
+    }
 }
 
 type Response = (u16, Vec<(&'static str, String)>, String);
 
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(shared: &Shared, request: &Request, trace: &mut RequestTrace) -> Response {
     let draining = shared.draining.load(Ordering::SeqCst);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let status = if draining { "draining" } else { "ok" };
-            (200, Vec::new(), format!("{{\"status\":\"{status}\"}}"))
+            // 503 while draining so load balancers take the instance
+            // out of rotation during the shutdown grace period.
+            if draining {
+                (503, Vec::new(), "{\"status\":\"draining\"}".to_string())
+            } else {
+                (200, Vec::new(), "{\"status\":\"ok\"}".to_string())
+            }
         }
         ("GET", "/statsz") => {
-            (200, Vec::new(), shared.stats.render(shared.queue.depth(), draining))
+            let body = shared.stats.render(
+                shared.queue.depth(),
+                shared.queue.high_water() as u64,
+                draining,
+            );
+            (200, Vec::new(), body)
         }
+        ("GET", "/metrics") => {
+            let body = render_metrics(
+                &shared.stats,
+                shared.queue.depth(),
+                shared.queue.high_water() as u64,
+                draining,
+            );
+            (200, Vec::new(), body)
+        }
+        ("GET", "/debug/slow") => (200, Vec::new(), shared.stats.render_slow()),
         ("POST", "/admin/shutdown") => {
             shared.begin_drain();
             (200, Vec::new(), "{\"status\":\"draining\"}".to_string())
         }
-        ("POST", "/v1/predict") => handle_predict(shared, request),
-        (_, "/healthz" | "/statsz" | "/admin/shutdown" | "/v1/predict") => {
+        ("POST", "/v1/predict") => handle_predict(shared, request, trace),
+        (_, "/healthz" | "/statsz" | "/metrics" | "/debug/slow" | "/admin/shutdown"
+        | "/v1/predict") => {
             shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
             (405, Vec::new(), encode_error("method not allowed"))
         }
@@ -292,12 +466,12 @@ fn route(shared: &Shared, request: &Request) -> Response {
 }
 
 fn shed(shared: &Shared, why: &str) -> Response {
-    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    shared.stats.record_shed();
     magic_obs::counter(stage::C_SERVE_SHED, 1.0);
     (503, vec![("retry-after", "1".to_string())], encode_error(why))
 }
 
-fn handle_predict(shared: &Shared, request: &Request) -> Response {
+fn handle_predict(shared: &Shared, request: &Request, trace: &mut RequestTrace) -> Response {
     let input = match parse_predict_body(&request.body) {
         Ok(input) => input,
         Err(why) => {
@@ -307,6 +481,7 @@ fn handle_predict(shared: &Shared, request: &Request) -> Response {
     };
     // Extraction (parse → CFG → ACFG) runs here on the IO thread, in
     // parallel across the IO pool; only the forward pass is batched.
+    let extract_start = Instant::now();
     let acfg = match input {
         RequestInput::Listing(listing) => match magic::extract_acfg(&listing) {
             Ok(acfg) => acfg,
@@ -318,6 +493,7 @@ fn handle_predict(shared: &Shared, request: &Request) -> Response {
         RequestInput::Acfg(acfg) => acfg,
     };
     let graph_input = GraphInput::from_acfg(&acfg);
+    trace.extract_us = extract_start.elapsed().as_micros() as u64;
 
     if shared.draining.load(Ordering::SeqCst) {
         return shed(shared, "server is draining for shutdown");
@@ -326,12 +502,13 @@ fn handle_predict(shared: &Shared, request: &Request) -> Response {
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         input: graph_input,
+        enqueued,
         deadline: enqueued + Duration::from_millis(shared.config.deadline_ms),
         reply: reply_tx,
     };
     match shared.queue.try_push(job) {
         Ok(depth) => {
-            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            shared.stats.record_request();
             magic_obs::counter(stage::C_SERVE_REQUESTS, 1.0);
             magic_obs::histogram(stage::H_SERVE_QUEUE_DEPTH, depth as f64);
         }
@@ -342,17 +519,27 @@ fn handle_predict(shared: &Shared, request: &Request) -> Response {
     // protocol drains the queue before workers exit, so this only fails
     // if a worker thread died mid-batch.
     match reply_rx.recv() {
-        Ok(Reply::Probs { probs, batch_size }) => {
+        Ok(Reply::Probs { probs, batch_size, queue_wait_us, execute_us }) => {
             let queue_us = enqueued.elapsed().as_micros() as u64;
             shared.stats.predictions.fetch_add(1, Ordering::Relaxed);
-            shared.stats.record_latency_us(queue_us);
-            magic_obs::histogram(stage::H_SERVE_LATENCY_US, queue_us as f64);
+            trace.queue_us = queue_wait_us;
+            trace.execute_us = execute_us;
+            trace.batch = batch_size as u64;
             let body = encode_prediction(
                 shared.pipeline.family_names(),
                 &probs,
                 batch_size,
                 queue_us,
+                trace.id,
             );
+            trace.family = {
+                let names = shared.pipeline.family_names();
+                probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| names[i].clone())
+            };
             (200, Vec::new(), body)
         }
         Ok(Reply::Expired) => {
@@ -382,6 +569,7 @@ fn model_worker_loop(shared: &Shared) {
         if live.is_empty() {
             continue;
         }
+        let execute_start = Instant::now();
         if !shared.inject_execute_delay.is_zero() {
             std::thread::sleep(shared.inject_execute_delay);
         }
@@ -395,6 +583,7 @@ fn model_worker_loop(shared: &Shared) {
             );
             shared.pipeline.model().predict_batch_sorted(&mut tape, &inputs)
         };
+        let execute_us = execute_start.elapsed().as_micros() as u64;
         let after = tape.workspace_stats();
         shared.stats.pool_hits.fetch_add(after.hits - before.hits, Ordering::Relaxed);
         shared.stats.pool_misses.fetch_add(after.misses - before.misses, Ordering::Relaxed);
@@ -402,7 +591,13 @@ fn model_worker_loop(shared: &Shared) {
         magic_obs::histogram(stage::H_SERVE_BATCH_SIZE, live.len() as f64);
         let batch_size = live.len();
         for (job, probs) in live.into_iter().zip(probs) {
-            let _ = job.reply.send(Reply::Probs { probs, batch_size });
+            let queue_wait_us = now.saturating_duration_since(job.enqueued).as_micros() as u64;
+            let _ = job.reply.send(Reply::Probs {
+                probs,
+                batch_size,
+                queue_wait_us,
+                execute_us,
+            });
         }
     }
 }

@@ -1,20 +1,106 @@
-//! Lock-free serving counters behind the `/statsz` endpoint.
+//! Serving counters and windowed telemetry behind `/statsz`,
+//! `/metrics`, and `/debug/slow`.
 //!
-//! Every field is a relaxed atomic: IO threads and model workers bump
-//! them on the hot path without coordination, and `/statsz` renders a
-//! racy-but-consistent-enough snapshot. Latencies go into a log₂
-//! histogram, so the reported `p50`/`p99` are upper bounds accurate to
-//! within one power of two — plenty for "is the window tuned sanely"
-//! decisions; the load generator in `magic-bench` computes exact
-//! percentiles from raw samples for the benchmark record.
+//! Two kinds of state live here, both updated lock-free on the hot
+//! path:
+//!
+//! * **Cumulative-since-start counters** (requests, predictions, shed,
+//!   …): relaxed atomics, rendered as a racy-but-consistent-enough
+//!   snapshot. These answer "how much, ever" and survive in `/statsz`
+//!   unchanged for continuity.
+//! * **Windowed series** ([`magic_obs::timeseries`]): sliding-window
+//!   rates (req/s, shed/s, batches/s) and log-linear latency histograms
+//!   per lifecycle stage, answering "how much, *now*". Quantiles are
+//!   interpolated inside the winning bucket — exact to within one
+//!   bucket (≤ 12.5% relative error), far tighter than the power-of-two
+//!   upper bounds `/statsz` reported before `statsz_version` 2.
+//!
+//! Time comes from an injectable [`Clock`] so windowed behavior is
+//! deterministic under test; production uses a [`MonotonicClock`]
+//! anchored at server start.
+//!
+//! The slowest requests are retained as exemplars in a bounded top-K
+//! ring ([`SlowExemplar`]) and served at `GET /debug/slow`, so "what
+//! was slow in the last minute" has concrete request ids and stage
+//! breakdowns attached, not just a percentile.
 
 use magic_json::{json, Value};
+use magic_obs::timeseries::{Clock, MonotonicClock, WindowedCounter, WindowedHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-const LATENCY_BUCKETS: usize = 40;
+/// Version stamp of the `/statsz` document layout. Bumped to 2 when
+/// the windowed interpolated quantiles replaced the log₂ upper bounds
+/// and `uptime_s`/`rates`/`stages_us` were added.
+pub const STATSZ_VERSION: u64 = 2;
 
-/// Shared serving counters; one instance per server, `Arc`-shared
-/// across IO threads, model workers, and the `/statsz` handler.
+/// Slots retained in the slow-request exemplar ring.
+const SLOW_CAPACITY: usize = 16;
+
+/// The five traced lifecycle stages of one predict request, in
+/// pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleStage {
+    /// Reading + decoding the HTTP request and body.
+    Parse,
+    /// ACFG extraction (listing parse → CFG → attributes).
+    Extract,
+    /// Waiting in the batching queue for a model worker.
+    QueueWait,
+    /// Inside the fused batched forward pass.
+    Execute,
+    /// Writing the response bytes.
+    Write,
+}
+
+impl LifecycleStage {
+    /// All stages in pipeline order.
+    pub const ALL: [LifecycleStage; 5] = [
+        LifecycleStage::Parse,
+        LifecycleStage::Extract,
+        LifecycleStage::QueueWait,
+        LifecycleStage::Execute,
+        LifecycleStage::Write,
+    ];
+
+    /// Stable short name used in `/statsz`, `/metrics` labels, and the
+    /// access-log schema docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            LifecycleStage::Parse => "parse",
+            LifecycleStage::Extract => "extract",
+            LifecycleStage::QueueWait => "queue",
+            LifecycleStage::Execute => "execute",
+            LifecycleStage::Write => "write",
+        }
+    }
+}
+
+/// One retained slow-request exemplar: the stage breakdown of a
+/// high-latency request, kept so tail percentiles have an explainable
+/// witness.
+#[derive(Debug, Clone)]
+pub struct SlowExemplar {
+    /// Request id (correlates with the access log and the predict
+    /// response body).
+    pub id: u64,
+    /// Clock timestamp when the response write completed, µs.
+    pub ts_us: u64,
+    /// HTTP status answered.
+    pub status: u16,
+    /// Batch size that carried the forward pass.
+    pub batch: u64,
+    /// Stage durations, µs, in [`LifecycleStage::ALL`] order.
+    pub stages_us: [u64; 5],
+    /// End-to-end accept → response-written duration, µs.
+    pub total_us: u64,
+    /// Predicted family for 200 responses.
+    pub family: Option<String>,
+}
+
+/// Shared serving counters + windowed telemetry; one instance per
+/// server, `Arc`-shared across IO threads, model workers, and the
+/// stats endpoints.
 pub struct ServeStats {
     /// Predict requests accepted into the queue.
     pub requests: AtomicU64,
@@ -44,7 +130,15 @@ pub struct ServeStats {
     pub pool_misses: AtomicU64,
     latency_count: AtomicU64,
     latency_sum_us: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS],
+    next_request_id: AtomicU64,
+    clock: Arc<dyn Clock>,
+    started_us: u64,
+    requests_window: WindowedCounter,
+    shed_window: WindowedCounter,
+    batches_window: WindowedCounter,
+    latency_window: WindowedHistogram,
+    stage_windows: [WindowedHistogram; 5],
+    slow: Mutex<Vec<SlowExemplar>>,
 }
 
 impl Default for ServeStats {
@@ -54,8 +148,21 @@ impl Default for ServeStats {
 }
 
 impl ServeStats {
-    /// Creates a zeroed stats block.
+    /// Creates a zeroed stats block with the default 60 s window and a
+    /// monotonic clock anchored "now".
     pub fn new() -> Self {
+        Self::with_window(60, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Creates a stats block whose sliding windows span `window_s`
+    /// seconds (1 s slots, clamped to at least 1) reading time from
+    /// `clock` — inject a
+    /// [`ManualClock`](magic_obs::timeseries::ManualClock) for
+    /// deterministic tests.
+    pub fn with_window(window_s: u64, clock: Arc<dyn Clock>) -> Self {
+        let slots = window_s.max(1) as usize;
+        const SLOT_US: u64 = 1_000_000;
+        let started_us = clock.now_us();
         ServeStats {
             requests: AtomicU64::new(0),
             predictions: AtomicU64::new(0),
@@ -70,49 +177,143 @@ impl ServeStats {
             pool_misses: AtomicU64::new(0),
             latency_count: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            next_request_id: AtomicU64::new(1),
+            started_us,
+            requests_window: WindowedCounter::new(slots, SLOT_US),
+            shed_window: WindowedCounter::new(slots, SLOT_US),
+            batches_window: WindowedCounter::new(slots, SLOT_US),
+            latency_window: WindowedHistogram::new(slots, SLOT_US),
+            stage_windows: std::array::from_fn(|_| WindowedHistogram::new(slots, SLOT_US)),
+            slow: Mutex::new(Vec::with_capacity(SLOW_CAPACITY)),
+            clock,
         }
     }
 
-    /// Records one end-to-end request latency (enqueue → response).
-    pub fn record_latency_us(&self, us: u64) {
-        let idx = if us == 0 { 0 } else { 64 - us.leading_zeros() as usize };
-        let idx = idx.min(LATENCY_BUCKETS - 1);
-        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    /// Current clock reading, µs since the clock origin. Also the
+    /// timestamp written into access-log events.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
     }
 
-    /// Records an executed batch of `size` requests.
+    /// Seconds this stats block (≈ the server) has been alive.
+    pub fn uptime_s(&self) -> u64 {
+        (self.now_us().saturating_sub(self.started_us)) / 1_000_000
+    }
+
+    /// The sliding-window span, in seconds.
+    pub fn window_s(&self) -> u64 {
+        self.requests_window.window_us() / 1_000_000
+    }
+
+    /// Allocates the next process-unique request id.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records one accepted predict request (cumulative + windowed).
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests_window.add(self.now_us(), 1);
+    }
+
+    /// Records one shed request (cumulative + windowed).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed_window.add(self.now_us(), 1);
+    }
+
+    /// Records one end-to-end request latency (accept → response
+    /// written) for a 200 predict response: cumulative count/sum plus
+    /// the windowed histogram backing the interpolated quantiles.
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_window.record(self.now_us(), us);
+    }
+
+    /// Records one lifecycle-stage duration into its windowed series.
+    pub fn record_stage_us(&self, stage: LifecycleStage, us: u64) {
+        self.stage_windows[stage as usize].record(self.now_us(), us);
+    }
+
+    /// Records an executed batch of `size` requests (cumulative +
+    /// windowed batch rate).
     pub fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        self.batches_window.add(self.now_us(), 1);
     }
 
-    /// Upper-bound estimate of the `q`-quantile latency in µs
-    /// (`0.0 < q <= 1.0`), from the log₂ histogram. Returns 0 with no
-    /// observations.
-    pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        let count = self.latency_count.load(Ordering::Relaxed);
-        if count == 0 {
-            return 0;
+    /// Offers a finished request to the slow-exemplar ring: kept if the
+    /// ring has room or the request is slower than the current fastest
+    /// retained exemplar (top-K by `total_us`, K = 16).
+    pub fn offer_slow(&self, exemplar: SlowExemplar) {
+        let mut slow = self.slow.lock().unwrap();
+        if slow.len() < SLOW_CAPACITY {
+            slow.push(exemplar);
+            return;
         }
-        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for (idx, bucket) in self.latency_buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket idx holds latencies in [2^(idx-1), 2^idx).
-                return (1u64 << idx).saturating_sub(1).max(1);
-            }
+        let (min_idx, min) = match slow
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.total_us)
+        {
+            Some((i, e)) => (i, e.total_us),
+            None => return,
+        };
+        if exemplar.total_us > min {
+            slow[min_idx] = exemplar;
         }
-        u64::MAX
     }
 
-    /// Renders the `/statsz` JSON document. `queue_depth` and
-    /// `draining` are sampled by the caller at render time.
-    pub fn render(&self, queue_depth: usize, draining: bool) -> String {
+    /// Windowed interpolated quantile of end-to-end 200-predict
+    /// latency, µs. Returns 0 with no observations in the window.
+    pub fn latency_quantile_us(&self, q: f64) -> f64 {
+        self.latency_window.snapshot(self.now_us()).quantile(q)
+    }
+
+    /// Sliding-window rates per second: `(requests, shed, batches)`.
+    pub fn window_rates(&self) -> (f64, f64, f64) {
+        let now = self.now_us();
+        (
+            self.requests_window.rate_per_sec(now),
+            self.shed_window.rate_per_sec(now),
+            self.batches_window.rate_per_sec(now),
+        )
+    }
+
+    /// Windowed snapshot of one stage's latency histogram.
+    pub fn stage_snapshot(
+        &self,
+        stage: LifecycleStage,
+    ) -> magic_obs::timeseries::WindowSnapshot {
+        self.stage_windows[stage as usize].snapshot(self.now_us())
+    }
+
+    /// Windowed snapshot of the end-to-end latency histogram.
+    pub fn latency_snapshot(&self) -> magic_obs::timeseries::WindowSnapshot {
+        self.latency_window.snapshot(self.now_us())
+    }
+
+    /// Cumulative 200-predict latency count and sum (µs).
+    pub fn latency_totals(&self) -> (u64, u64) {
+        (
+            self.latency_count.load(Ordering::Relaxed),
+            self.latency_sum_us.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Renders the `/statsz` JSON document. `queue_depth`,
+    /// `queue_high_water`, and `draining` are sampled by the caller at
+    /// render time.
+    ///
+    /// Layout (`statsz_version` 2): cumulative counters and
+    /// `latency_us.count`/`mean` keep their v1 meaning; `p50`/`p90`/
+    /// `p99` are *windowed* interpolated quantiles over the last
+    /// `window_s` seconds, and `rates`/`stages_us` are new windowed
+    /// sections.
+    pub fn render(&self, queue_depth: usize, queue_high_water: u64, draining: bool) -> String {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let batches = load(&self.batches);
         let fused = load(&self.batched_requests);
@@ -121,7 +322,23 @@ impl ServeStats {
         let count = load(&self.latency_count);
         let mean_latency =
             if count == 0 { 0.0 } else { load(&self.latency_sum_us) as f64 / count as f64 };
+        let latency = self.latency_snapshot();
+        let (req_rate, shed_rate, batch_rate) = self.window_rates();
+        let mut stages = magic_json::Map::new();
+        for stage in LifecycleStage::ALL {
+            let snap = self.stage_snapshot(stage);
+            stages.insert(
+                stage.name(),
+                json!({
+                    "count": snap.count(),
+                    "p50": snap.quantile(0.50),
+                    "p99": snap.quantile(0.99),
+                }),
+            );
+        }
         let body = json!({
+            "statsz_version": STATSZ_VERSION,
+            "uptime_s": self.uptime_s(),
             "requests": load(&self.requests),
             "predictions": load(&self.predictions),
             "shed": load(&self.shed),
@@ -129,20 +346,58 @@ impl ServeStats {
             "client_errors": load(&self.client_errors),
             "internal_errors": load(&self.internal_errors),
             "queue_depth": queue_depth as u64,
+            "queue_high_water": queue_high_water,
             "draining": draining,
             "batches": load(&self.batches),
             "mean_batch_size": mean_batch,
             "max_batch_size": load(&self.max_batch),
             "pool_hits": load(&self.pool_hits),
             "pool_misses": load(&self.pool_misses),
+            "window_s": self.window_s(),
+            "rates": {
+                "req_per_s": req_rate,
+                "shed_per_s": shed_rate,
+                "batches_per_s": batch_rate,
+            },
             "latency_us": {
                 "count": count,
                 "mean": mean_latency,
-                "p50": self.latency_quantile_us(0.50),
-                "p99": self.latency_quantile_us(0.99),
+                "p50": latency.quantile(0.50),
+                "p90": latency.quantile(0.90),
+                "p99": latency.quantile(0.99),
             },
+            "stages_us": Value::Object(stages),
         });
         magic_json::to_string(&body)
+    }
+
+    /// Renders the `GET /debug/slow` JSON document: retained slow
+    /// exemplars, slowest first.
+    pub fn render_slow(&self) -> String {
+        let mut slow = self.slow.lock().unwrap().clone();
+        slow.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.id.cmp(&b.id)));
+        let rows: Vec<Value> = slow
+            .iter()
+            .map(|e| {
+                let mut stages = magic_json::Map::new();
+                for (stage, &us) in LifecycleStage::ALL.iter().zip(e.stages_us.iter()) {
+                    stages.insert(stage.name(), Value::Number(us as f64));
+                }
+                json!({
+                    "id": e.id,
+                    "ts_us": e.ts_us,
+                    "status": e.status as u64,
+                    "batch": e.batch,
+                    "total_us": e.total_us,
+                    "stages_us": Value::Object(stages),
+                    "family": match &e.family {
+                        Some(f) => Value::String(f.clone()),
+                        None => Value::Null,
+                    },
+                })
+            })
+            .collect();
+        magic_json::to_string(&json!({ "slow": Value::Array(rows) }))
     }
 }
 
@@ -155,26 +410,72 @@ pub fn parse_statsz(body: &str) -> Result<Value, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use magic_obs::timeseries::{bucket_bounds, bucket_index, ManualClock};
+
+    fn manual_stats() -> (ServeStats, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        (ServeStats::with_window(60, Arc::clone(&clock) as Arc<dyn Clock>), clock)
+    }
 
     #[test]
-    fn quantiles_are_log2_upper_bounds() {
-        let stats = ServeStats::new();
-        for _ in 0..99 {
-            stats.record_latency_us(100); // bucket [64, 128)
+    fn windowed_quantiles_interpolate_within_one_bucket() {
+        let (stats, _clock) = manual_stats();
+        for i in 1..=99u64 {
+            stats.record_latency_us(i * 100); // 100 .. 9_900 µs
         }
-        stats.record_latency_us(5_000); // bucket [4096, 8192)
-        assert_eq!(stats.latency_quantile_us(0.50), 127);
-        assert_eq!(stats.latency_quantile_us(0.99), 127);
-        assert_eq!(stats.latency_quantile_us(1.0), 8_191);
+        stats.record_latency_us(50_000);
+        // Exact p50 = 5_000, p99 = 9_900; estimates must land in the
+        // log-linear bucket holding the exact value.
+        for (q, exact) in [(0.50, 5_000u64), (0.99, 9_900u64)] {
+            let est = stats.latency_quantile_us(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            assert!(
+                est >= lo as f64 && est < hi as f64,
+                "q={q}: {est} outside [{lo}, {hi}) around {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_windowed_but_count_is_cumulative() {
+        let (stats, clock) = manual_stats();
+        stats.record_latency_us(8_000);
+        clock.advance_us(120_000_000); // 2 minutes: outside the window
+        stats.record_latency_us(100);
+        let v = parse_statsz(&stats.render(0, 0, false)).unwrap();
+        assert_eq!(v["latency_us"]["count"].as_u64(), Some(2), "cumulative count");
+        // The 8 ms observation has aged out; windowed p99 tracks only
+        // the recent 100 µs one.
+        let p99 = v["latency_us"]["p99"].as_f64().unwrap();
+        assert!(p99 < 150.0, "p99 {p99} should reflect only the in-window sample");
+        assert_eq!(v["uptime_s"].as_u64(), Some(120));
+    }
+
+    #[test]
+    fn statsz_document_carries_version_uptime_and_rates() {
+        let (stats, clock) = manual_stats();
+        for _ in 0..120 {
+            stats.record_request();
+        }
+        clock.advance_us(30_000_000);
+        let v = parse_statsz(&stats.render(3, 7, false)).unwrap();
+        assert_eq!(v["statsz_version"].as_u64(), Some(STATSZ_VERSION));
+        assert_eq!(v["uptime_s"].as_u64(), Some(30));
+        assert_eq!(v["window_s"].as_u64(), Some(60));
+        assert_eq!(v["queue_depth"].as_u64(), Some(3));
+        assert_eq!(v["queue_high_water"].as_u64(), Some(7));
+        // 120 requests over a 60 s window = 2/s.
+        assert_eq!(v["rates"]["req_per_s"].as_f64(), Some(2.0));
     }
 
     #[test]
     fn empty_stats_render_zeroes() {
         let stats = ServeStats::new();
-        let v = parse_statsz(&stats.render(0, false)).unwrap();
+        let v = parse_statsz(&stats.render(0, 0, false)).unwrap();
         assert_eq!(v["requests"].as_u64(), Some(0));
-        assert_eq!(v["latency_us"]["p99"].as_u64(), Some(0));
+        assert_eq!(v["latency_us"]["p99"].as_f64(), Some(0.0));
         assert_eq!(v["draining"].as_bool(), Some(false));
+        assert_eq!(v["stages_us"]["queue"]["count"].as_u64(), Some(0));
     }
 
     #[test]
@@ -183,11 +484,92 @@ mod tests {
         stats.record_batch(1);
         stats.record_batch(3);
         stats.record_batch(8);
-        let v = parse_statsz(&stats.render(2, true)).unwrap();
+        let v = parse_statsz(&stats.render(2, 2, true)).unwrap();
         assert_eq!(v["batches"].as_u64(), Some(3));
         assert_eq!(v["mean_batch_size"].as_f64(), Some(4.0));
         assert_eq!(v["max_batch_size"].as_u64(), Some(8));
         assert_eq!(v["queue_depth"].as_u64(), Some(2));
         assert_eq!(v["draining"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_ascending() {
+        let stats = ServeStats::new();
+        let a = stats.next_request_id();
+        let b = stats.next_request_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn slow_ring_keeps_the_top_k_by_latency() {
+        let stats = ServeStats::new();
+        for i in 0..40u64 {
+            stats.offer_slow(SlowExemplar {
+                id: i,
+                ts_us: i,
+                status: 200,
+                batch: 1,
+                stages_us: [1, 2, 3, 4, 5],
+                total_us: i * 10,
+                family: Some("Family0".into()),
+            });
+        }
+        let v: Value = magic_json::from_str(&stats.render_slow()).unwrap();
+        let rows = v["slow"].as_array().unwrap();
+        assert_eq!(rows.len(), 16);
+        // Slowest first, and only the slowest 16 of the 40 survive.
+        assert_eq!(rows[0]["total_us"].as_u64(), Some(390));
+        assert_eq!(rows[15]["total_us"].as_u64(), Some(240));
+        assert_eq!(rows[0]["stages_us"]["execute"].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn parse_statsz_rejects_malformed_and_truncated_bodies() {
+        assert!(parse_statsz("").is_err());
+        assert!(parse_statsz("not json at all").is_err());
+        assert!(parse_statsz("{\"requests\": 1").is_err()); // truncated
+        assert!(parse_statsz("{\"requests\":}").is_err());
+        // Valid JSON parses even if fields are missing — readers index
+        // defensively.
+        let v = parse_statsz("{}").unwrap();
+        assert!(v["requests"].as_u64().is_none());
+    }
+
+    #[test]
+    fn concurrent_recording_reconciles_with_render() {
+        let (stats, _clock) = manual_stats();
+        let stats = Arc::new(stats);
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for i in 0..2_500u64 {
+                        stats.record_request();
+                        stats.record_latency_us(t * 500 + i % 1_000 + 1);
+                        stats.record_batch(((i % 7) + 1) as usize);
+                        stats.record_stage_us(LifecycleStage::QueueWait, i % 100);
+                    }
+                })
+            })
+            .collect();
+        // Hammer render concurrently with the writers: totals observed
+        // mid-flight never overshoot, and the document always parses.
+        for _ in 0..50 {
+            let v = parse_statsz(&stats.render(0, 0, false)).unwrap();
+            assert!(v["requests"].as_u64().unwrap() <= 10_000);
+            assert!(v["latency_us"]["count"].as_u64().unwrap() <= 10_000);
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let v = parse_statsz(&stats.render(0, 0, false)).unwrap();
+        assert_eq!(v["requests"].as_u64(), Some(10_000));
+        assert_eq!(v["latency_us"]["count"].as_u64(), Some(10_000));
+        assert_eq!(v["batches"].as_u64(), Some(10_000));
+        assert_eq!(v["stages_us"]["queue"]["count"].as_u64(), Some(10_000));
+        // The windowed histogram agrees with the cumulative counter
+        // because the manual clock never advanced: every observation is
+        // still inside the window.
+        assert_eq!(stats.latency_snapshot().count(), 10_000);
     }
 }

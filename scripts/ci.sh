@@ -99,6 +99,33 @@ else
     echo "no committed baseline at $SV_BASELINE; skipping perf gate"
 fi
 
+echo "==> access-log schema validation: magic report --serve on bench logs"
+# The serve_load bench streams a schema-v3 access log per window into
+# MAGIC_RESULTS_DIR (one ServeAccess line per request, plus a Meta
+# header). Replaying each log through the offline reporter proves every
+# line round-trips under the bumped schema: a hard decode error fails
+# the command, and a silently-skipped line shows up as "malformed" in
+# the summary header and fails the grep below. If the serve perf gate
+# was skipped (no committed baseline), run the quick bench here just to
+# produce the logs.
+if ! ls target/ci-bench/serve_access_w*.jsonl >/dev/null 2>&1; then
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench serve_load
+fi
+for log in target/ci-bench/serve_access_w*.jsonl; do
+    out="$(./target/release/magic report --serve "$log")"
+    if echo "$out" | grep -q "malformed"; then
+        echo "ERROR: $log has malformed access-log lines" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if ! echo "$out" | grep -Eq "^access log: [1-9][0-9]* request"; then
+        echo "ERROR: $log aggregated zero requests" >&2
+        exit 1
+    fi
+    echo "$log: $(echo "$out" | head -n 1)"
+done
+
 echo "==> doc link check: no dangling relative links in README.md / docs/"
 scripts/check_doc_links.sh
 
