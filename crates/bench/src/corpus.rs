@@ -1,10 +1,21 @@
 //! Corpus preparation: synthetic listings/CFGs through the real MAGIC
 //! extraction pipeline, ready for training.
 
+use magic::corpus_cache::{self, CacheSpec, CorpusKind, DEFAULT_SHARDS};
+use magic::executor::{executor_for, run_indexed};
 use magic::pipeline::extract_acfgs_parallel;
 use magic_graph::Acfg;
 use magic_model::GraphInput;
 use magic_synth::{MskcfgGenerator, YancfgGenerator, MSKCFG_FAMILIES, YANCFG_FAMILIES};
+use std::path::Path;
+
+/// Builds the `GraphInput`s for a slice of ACFGs across all cores,
+/// preserving order (the CSR/feature build dominates post-extraction
+/// prepare time).
+fn inputs_parallel(acfgs: &[Acfg]) -> Vec<GraphInput> {
+    let executor = executor_for(0);
+    run_indexed(executor.as_ref(), acfgs.len(), |_worker, i| GraphInput::from_acfg(&acfgs[i]))
+}
 
 /// A fully prepared corpus: raw ACFGs (for the feature baselines),
 /// model-ready graph inputs, labels and family names.
@@ -54,7 +65,7 @@ pub fn prepare_mskcfg(seed: u64, scale: f64) -> PreparedCorpus {
         acfgs.push(acfg);
         labels.push(sample.label);
     }
-    let inputs = acfgs.iter().map(GraphInput::from_acfg).collect();
+    let inputs = inputs_parallel(&acfgs);
     PreparedCorpus {
         acfgs,
         inputs,
@@ -74,12 +85,34 @@ pub fn prepare_yancfg(seed: u64, scale: f64) -> PreparedCorpus {
         acfgs.push(sample.acfg);
         labels.push(sample.label);
     }
-    let inputs = acfgs.iter().map(GraphInput::from_acfg).collect();
+    let inputs = inputs_parallel(&acfgs);
     PreparedCorpus {
         acfgs,
         inputs,
         labels,
         class_names: YANCFG_FAMILIES.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Prepares a corpus through the `magic-acfg/1` shard cache: builds the
+/// cache under `dir` on first use (a matching fingerprint is a no-op),
+/// then loads it back with the streaming shard reader. The result is
+/// bitwise identical to [`prepare_mskcfg`]/[`prepare_yancfg`].
+///
+/// # Panics
+///
+/// Panics if the cache cannot be built or read — in a bench, either is
+/// a failed run.
+pub fn prepare_cached(corpus: CorpusKind, seed: u64, scale: f64, dir: &Path) -> PreparedCorpus {
+    let spec = CacheSpec { corpus, seed, scale, shards: DEFAULT_SHARDS };
+    corpus_cache::build(dir, &spec, 0, false).expect("cache build failed");
+    let loaded =
+        corpus_cache::load(dir, Some(spec.fingerprint()), 0).expect("cache load failed");
+    PreparedCorpus {
+        acfgs: loaded.acfgs,
+        inputs: loaded.inputs,
+        labels: loaded.labels,
+        class_names: loaded.class_names,
     }
 }
 
@@ -95,6 +128,22 @@ mod tests {
         assert_eq!(corpus.acfgs.len(), corpus.labels.len());
         assert_eq!(corpus.class_names.len(), 9);
         assert!(corpus.graph_sizes().iter().all(|&n| n >= 2));
+    }
+
+    #[test]
+    fn cached_prepare_matches_direct_prepare_bitwise() {
+        let dir = std::env::temp_dir()
+            .join(format!("magic-bench-prepare-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let direct = prepare_yancfg(5, 0.002);
+        let cached = prepare_cached(CorpusKind::Yancfg, 5, 0.002, &dir);
+        assert_eq!(direct.labels, cached.labels);
+        assert_eq!(direct.len(), cached.len());
+        for (a, b) in direct.inputs.iter().zip(&cached.inputs) {
+            assert_eq!(a.vertex_count(), b.vertex_count());
+            assert_eq!(a.attributes().as_slice(), b.attributes().as_slice());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

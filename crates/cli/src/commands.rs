@@ -3,10 +3,11 @@
 use std::sync::Arc;
 
 use crate::checkpoint_file::{deserialize_model, serialize_model, ModelHeader};
+use magic::corpus_cache::{self, CacheSpec, CorpusKind, DEFAULT_SHARDS};
 use magic::pipeline::{extract_acfg, MagicPipeline};
 use magic::trainer::{TrainConfig, TrainOutcome, Trainer};
 use magic::tuning::{HeadKind, HyperParams};
-use magic_data::stratified_kfold;
+use magic_data::{stratified_kfold, StreamedCorpus};
 use magic_graph::GraphStats;
 use magic_model::{Dgcnn, GraphInput};
 use magic_obs::{report::TraceSummary, JsonlRecorder};
@@ -39,6 +40,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
 
     let result = match args.first().map(String::as_str) {
         Some("extract") => cmd_extract(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("predict") => cmd_predict(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -68,13 +70,31 @@ magic — DGCNN malware classification over control flow graphs
 
 USAGE:
     magic extract <listing.asm> [--dot]
+    magic extract --corpus <mskcfg|yancfg> --cache-dir <dir> [--seed S]
+                [--scale S] [--shards N] [--workers N] [--force]
+                (corpus mode: extract the whole synthetic corpus into a
+                 magic-acfg/1 shard cache — same as `magic cache build`)
+    magic cache build --corpus <mskcfg|yancfg> --cache-dir <dir> [--seed S]
+                [--scale S] [--shards N] [--workers N] [--force]
+                (shard generation + extraction across workers and write
+                 binary ACFG shards keyed by the (corpus, seed, scale)
+                 fingerprint; a rerun with a matching fingerprint is a
+                 no-op. Format spec: DESIGN.md)
+    magic cache info --cache-dir <dir>
+                (validate every shard checksum and print the manifest:
+                 fingerprint, samples, per-shard records/bytes)
     magic train --corpus <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
                 [--train-workers N] [--batched] [--intra-op-threads N]
+                [--cache-dir <dir>] [--cache <ram|stream>]
                 --out <model.magic>
                 (--train-workers 0 = auto; results are identical for any N.
                  --batched fuses each mini-batch into one block-diagonal
                  pass — bitwise identical, usually faster; pair with
-                 --intra-op-threads to thread the kernels instead)
+                 --intra-op-threads to thread the kernels instead.
+                 --cache-dir trains from the shard cache, building it
+                 first if missing; --cache stream keeps shards on disk
+                 and prefetches batches on a background thread — bitwise
+                 identical to the in-memory path)
     magic predict --model <model.magic> <listing.asm>...
     magic serve --model <model.magic> [--addr HOST:PORT] [--workers N]
                 [--io-threads N] [--max-batch N] [--batch-window-us U]
@@ -91,6 +111,7 @@ USAGE:
     magic info --model <model.magic>
     magic profile <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
                 [--train-workers N] [--batched] [--intra-op-threads N]
+                [--cache-dir <dir>] [--cache <ram|stream>]
                 [--trace <out.jsonl>]
                 (train under the op profiler; print per-op time/FLOP
                 attribution, unattributed remainder, and peak memory)
@@ -138,8 +159,13 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
 
 fn cmd_extract(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
+    // Corpus mode: extract the whole synthetic corpus into a shard
+    // cache instead of one listing — equivalent to `magic cache build`.
+    if args.iter().any(|a| a == "--corpus") {
+        return cmd_cache_build(&args);
+    }
     let dot = take_switch(&mut args, "--dot");
-    let path = args.first().ok_or("extract requires a listing path")?;
+    let path = args.first().ok_or("extract requires a listing path or --corpus")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
     if dot {
@@ -161,6 +187,83 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `magic cache <build|info>` — manage the sharded binary ACFG cache.
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_cache_build(&args[1..]),
+        Some("info") => cmd_cache_info(&args[1..]),
+        _ => Err("cache requires a subcommand: build | info".into()),
+    }
+}
+
+/// Parses the shared cache identity flags (`--corpus --seed --scale
+/// --shards`) into a [`CacheSpec`], with the same seed/scale defaults
+/// as `train`.
+fn parse_cache_spec(args: &mut Vec<String>) -> Result<CacheSpec, String> {
+    let corpus = take_flag(args, "--corpus").ok_or("cache build requires --corpus")?;
+    Ok(CacheSpec {
+        corpus: CorpusKind::parse(&corpus)?,
+        seed: take_flag(args, "--seed")
+            .map(|s| s.parse().map_err(|_| "bad --seed"))
+            .transpose()?
+            .unwrap_or(7),
+        scale: take_flag(args, "--scale")
+            .map(|s| s.parse().map_err(|_| "bad --scale"))
+            .transpose()?
+            .unwrap_or(0.01),
+        shards: take_flag(args, "--shards")
+            .map(|s| s.parse().map_err(|_| "bad --shards"))
+            .transpose()?
+            .unwrap_or(DEFAULT_SHARDS),
+    })
+}
+
+fn cmd_cache_build(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let spec = parse_cache_spec(&mut args)?;
+    let dir = take_flag(&mut args, "--cache-dir").ok_or("cache build requires --cache-dir")?;
+    let workers: usize = take_flag(&mut args, "--workers")
+        .map(|s| s.parse().map_err(|_| "bad --workers"))
+        .transpose()?
+        .unwrap_or(0);
+    let force = take_switch(&mut args, "--force");
+
+    let outcome = corpus_cache::build(std::path::Path::new(&dir), &spec, workers, force)
+        .map_err(|e| e.to_string())?;
+    let m = &outcome.manifest;
+    println!(
+        "{} cache {dir}: corpus {}, fingerprint {:016x}, {} samples in {} shard(s), {:.2} MiB",
+        if outcome.rebuilt { "built" } else { "up-to-date" },
+        m.corpus,
+        m.fingerprint,
+        m.samples,
+        m.shards.len(),
+        outcome.bytes as f64 / (1024.0 * 1024.0),
+    );
+    Ok(())
+}
+
+fn cmd_cache_info(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let dir = take_flag(&mut args, "--cache-dir").ok_or("cache info requires --cache-dir")?;
+    // Opening the streamed view checksums every shard, so a clean exit
+    // doubles as an integrity check.
+    let corpus = StreamedCorpus::open(std::path::Path::new(&dir), None)
+        .map_err(|e| format!("{dir}: {e}"))?;
+    let m = corpus.manifest();
+    println!("cache {dir} (magic-acfg/1, all shard checksums verified)");
+    println!("  corpus:      {} (seed {}, scale {})", m.corpus, m.seed, m.scale);
+    println!("  fingerprint: {:016x}", m.fingerprint);
+    println!("  samples:     {} across {} class(es)", m.samples, m.class_names.len());
+    for (i, shard) in m.shards.iter().enumerate() {
+        println!(
+            "  shard {i:>3}:   {} — {} record(s), {} bytes",
+            shard.file, shard.records, shard.bytes
+        );
+    }
+    Ok(())
+}
+
 /// Knobs shared by `train` and `profile`, parsed with identical
 /// defaults from either argument list.
 struct TrainKnobs {
@@ -170,12 +273,22 @@ struct TrainKnobs {
     train_workers: usize,
     batched: bool,
     intra_op_threads: usize,
+    /// Shard-cache directory; corpus is built there on first use.
+    cache_dir: Option<String>,
+    /// With a cache: stream shards from disk instead of loading to RAM.
+    stream: bool,
 }
 
 impl TrainKnobs {
     fn parse(args: &mut Vec<String>, default_epochs: usize) -> Result<Self, String> {
         Ok(TrainKnobs {
             batched: take_switch(args, "--batched"),
+            cache_dir: take_flag(args, "--cache-dir"),
+            stream: match take_flag(args, "--cache").as_deref() {
+                None | Some("ram") => false,
+                Some("stream") => true,
+                Some(other) => return Err(format!("bad --cache {other:?} (ram|stream)")),
+            },
             intra_op_threads: take_flag(args, "--intra-op-threads")
                 .map(|s| s.parse().map_err(|_| "bad --intra-op-threads"))
                 .transpose()?
@@ -241,17 +354,63 @@ fn build_corpus(corpus: &str, seed: u64, scale: f64) -> Result<CorpusData, Strin
     }
 }
 
-/// Builds the corpus, instantiates the Table II best architecture for
-/// it, and trains on fold 0 of a stratified 5-fold split — the common
-/// core of `magic train` and `magic profile`.
+/// Where training samples come from: decoded in RAM, or streamed from
+/// shard files with background prefetch.
+enum CorpusSource {
+    Ram(Vec<GraphInput>),
+    Stream(StreamedCorpus),
+}
+
+/// Builds or loads the corpus, instantiates the Table II best
+/// architecture for it, and trains on fold 0 of a stratified 5-fold
+/// split — the common core of `magic train` and `magic profile`.
 fn run_training(
     corpus: &str,
     knobs: &TrainKnobs,
 ) -> Result<(Dgcnn, ModelHeader, TrainOutcome), String> {
-    let (inputs, labels, families) = build_corpus(corpus, knobs.seed, knobs.scale)?;
+    let (source, labels, families) = if let Some(dir) = &knobs.cache_dir {
+        let spec = CacheSpec {
+            corpus: CorpusKind::parse(corpus)?,
+            seed: knobs.seed,
+            scale: knobs.scale,
+            shards: DEFAULT_SHARDS,
+        };
+        let dir = std::path::Path::new(dir);
+        // Ensure the cache exists; a matching fingerprint is a no-op.
+        let built = corpus_cache::build(dir, &spec, knobs.train_workers, false)
+            .map_err(|e| e.to_string())?;
+        magic_obs::log(
+            magic_obs::Level::Info,
+            format!(
+                "cache {}: {} ({} samples, {} shard(s), {} mode)",
+                dir.display(),
+                if built.rebuilt { "built" } else { "reused" },
+                built.manifest.samples,
+                built.manifest.shards.len(),
+                if knobs.stream { "stream" } else { "ram" },
+            ),
+        );
+        if knobs.stream {
+            let streamed = corpus_cache::open_streaming(dir, Some(spec.fingerprint()))
+                .map_err(|e| e.to_string())?;
+            let labels = streamed.labels().to_vec();
+            let families = streamed.class_names().to_vec();
+            (CorpusSource::Stream(streamed), labels, families)
+        } else {
+            let loaded = corpus_cache::load(dir, Some(spec.fingerprint()), knobs.train_workers)
+                .map_err(|e| e.to_string())?;
+            (CorpusSource::Ram(loaded.inputs), loaded.labels, loaded.class_names)
+        }
+    } else {
+        if knobs.stream {
+            return Err("--cache stream requires --cache-dir".into());
+        }
+        let (inputs, labels, families) = build_corpus(corpus, knobs.seed, knobs.scale)?;
+        (CorpusSource::Ram(inputs), labels, families)
+    };
     magic_obs::log(
         magic_obs::Level::Info,
-        format!("corpus: {} samples, {} families", inputs.len(), families.len()),
+        format!("corpus: {} samples, {} families", labels.len(), families.len()),
     );
 
     // The Table II best architecture for the chosen corpus.
@@ -266,7 +425,10 @@ fn run_training(
         params.batch_size = 40;
         params.weight_decay = 5e-4;
     }
-    let graph_sizes: Vec<usize> = inputs.iter().map(GraphInput::vertex_count).collect();
+    let graph_sizes: Vec<usize> = match &source {
+        CorpusSource::Ram(inputs) => inputs.iter().map(GraphInput::vertex_count).collect(),
+        CorpusSource::Stream(streamed) => streamed.vertex_counts().to_vec(),
+    };
     let config = params.to_model_config(families.len(), &graph_sizes);
     let mut model = Dgcnn::new(&config, knobs.seed);
     // A/B escape hatch for the sparse-propagation rollout: force the
@@ -321,7 +483,14 @@ fn run_training(
             }
         ),
     );
-    let outcome = trainer.train(&mut model, &inputs, &labels, &split.train, &split.validation);
+    let outcome = match &source {
+        CorpusSource::Ram(inputs) => {
+            trainer.train(&mut model, inputs, &labels, &split.train, &split.validation)
+        }
+        CorpusSource::Stream(streamed) => {
+            trainer.train_streamed(&mut model, streamed, &labels, &split.train, &split.validation)
+        }
+    };
     let last = outcome.history.last().ok_or("no epochs ran")?;
     magic_obs::log(
         magic_obs::Level::Info,

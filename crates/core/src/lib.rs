@@ -38,12 +38,17 @@
 //! ```
 
 pub mod checkpoint;
+pub mod corpus_cache;
 pub mod cv;
 pub mod executor;
 pub mod pipeline;
 pub mod trainer;
 pub mod tuning;
 
+pub use corpus_cache::{
+    build as build_cache, load as load_cache, open_streaming, BuildOutcome, CacheSpec,
+    CorpusKind, LoadedCorpus, DEFAULT_SHARDS,
+};
 pub use cv::{cross_validate, CvOutcome};
 pub use executor::{
     executor_for, resolve_workers, workers_per_concurrent_run, BatchExecutor, SerialExecutor,

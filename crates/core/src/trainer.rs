@@ -22,16 +22,79 @@
 //! rather than per-sample fan-out.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use magic_autograd::{profile, OpProfile, Tape};
-use magic_data::batches;
+use magic_data::{batches, StreamedCorpus};
 use magic_model::{Dgcnn, GraphBatch, GraphInput};
 use magic_nn::{Adam, GradBuffer, Optimizer, ParamStore, ReduceLrOnPlateau};
 use magic_tensor::Rng64;
 
 use crate::executor::{executor_for, run_indexed, BatchExecutor, SerialExecutor};
+
+/// Where training samples come from: a fully materialized in-memory
+/// slice, or a `magic-acfg/1` cache streamed record-by-record.
+///
+/// The two sources are bitwise interchangeable: sample identity is the
+/// *global index*, which addresses the same canonical corpus order
+/// either way, so shuffling, batching, dropout streams
+/// ([`Rng64::for_sample`]), and every reduction order are untouched by
+/// the choice of source.
+#[derive(Clone, Copy)]
+enum SampleSource<'a> {
+    /// All graph inputs resident in memory.
+    Ram(&'a [GraphInput]),
+    /// Graph inputs decoded on demand from cache shards.
+    Stream(&'a StreamedCorpus),
+}
+
+impl SampleSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            SampleSource::Ram(inputs) => inputs.len(),
+            SampleSource::Stream(corpus) => corpus.len(),
+        }
+    }
+}
+
+/// Iterates `idx` in `chunk_size` chunks, decoding each chunk's records
+/// into [`GraphInput`]s on a background thread one chunk ahead of the
+/// consumer (double-buffering through a bounded channel of depth 1), so
+/// the consumer stays compute-bound while the next chunk's IO + decode
+/// overlaps it.
+///
+/// # Panics
+///
+/// Panics if a record fails to decode mid-run (shards are fully
+/// validated when the corpus is opened, so this means the cache changed
+/// underneath the trainer).
+fn with_prefetched_chunks(
+    corpus: &StreamedCorpus,
+    idx: &[usize],
+    chunk_size: usize,
+    mut consume: impl FnMut(&[usize], &[GraphInput]),
+) {
+    let chunk_list: Vec<Vec<usize>> = batches(idx, chunk_size);
+    std::thread::scope(|scope| {
+        let (tx, rx) = sync_channel::<Vec<GraphInput>>(1);
+        let fetch_list = chunk_list.clone();
+        scope.spawn(move || {
+            for chunk in &fetch_list {
+                let fetched =
+                    corpus.fetch(chunk).expect("validated cache shard failed mid-epoch");
+                if tx.send(fetched).is_err() {
+                    break;
+                }
+            }
+        });
+        for chunk in &chunk_list {
+            let fetched = rx.recv().expect("prefetch thread delivers every chunk");
+            consume(chunk, &fetched);
+        }
+    });
+}
 
 /// Training hyperparameters not covered by the model architecture.
 #[derive(Debug, Clone, PartialEq)]
@@ -172,7 +235,49 @@ impl Trainer {
         train_idx: &[usize],
         val_idx: &[usize],
     ) -> TrainOutcome {
-        assert_eq!(inputs.len(), labels.len(), "one label per input");
+        self.train_source(model, SampleSource::Ram(inputs), labels, train_idx, val_idx)
+    }
+
+    /// [`train`](Self::train), but streaming samples from a validated
+    /// `magic-acfg/1` cache instead of a resident slice: each
+    /// mini-batch's records are decoded by a background prefetch thread
+    /// one batch ahead of the compute (double-buffered through a
+    /// bounded channel), so resident memory stays bounded by two
+    /// batches plus the shard indices while epoch time stays
+    /// compute-bound.
+    ///
+    /// Because samples are addressed by the same global indices as the
+    /// in-memory path — same shuffle, same batch composition, same
+    /// [`Rng64::for_sample`] dropout streams, same reduction orders —
+    /// the outcome is **bitwise identical** to [`train`](Self::train)
+    /// on the equivalently ordered in-memory corpus, for every worker
+    /// count and in both execution modes.
+    ///
+    /// # Panics
+    ///
+    /// As [`train`](Self::train); additionally panics if a cache record
+    /// fails to decode mid-run (the corpus is fully validated at open,
+    /// so this means the shard files changed underneath the trainer).
+    pub fn train_streamed(
+        &self,
+        model: &mut Dgcnn,
+        corpus: &StreamedCorpus,
+        labels: &[usize],
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainOutcome {
+        self.train_source(model, SampleSource::Stream(corpus), labels, train_idx, val_idx)
+    }
+
+    fn train_source(
+        &self,
+        model: &mut Dgcnn,
+        source: SampleSource<'_>,
+        labels: &[usize],
+        train_idx: &[usize],
+        val_idx: &[usize],
+    ) -> TrainOutcome {
+        assert_eq!(source.len(), labels.len(), "one label per input");
         let num_classes = model.config().num_classes;
         for &l in labels {
             assert!(l < num_classes, "label {l} exceeds {num_classes} classes");
@@ -250,7 +355,23 @@ impl Trainer {
 
             rng.shuffle(&mut order);
             let mut train_loss_total = 0.0;
-            for batch in batches(&order, self.config.batch_size) {
+            // The mini-batch body, generic over where samples live: the
+            // streamed source hands in the batch's prefetched records
+            // (parallel to batch positions), the in-memory source
+            // resolves positions against the resident slice. Everything
+            // numeric — batch composition, dropout streams, reduction
+            // orders — depends only on the global indices in `batch`,
+            // which is what keeps the two sources bitwise identical.
+            let mut run_batch = |batch: &[usize], fetched: Option<&[GraphInput]>| {
+                let input_at = |j: usize| -> &GraphInput {
+                    match (fetched, source) {
+                        (Some(f), _) => &f[j],
+                        (None, SampleSource::Ram(inputs)) => &inputs[batch[j]],
+                        (None, SampleSource::Stream(_)) => {
+                            unreachable!("streamed batches are always prefetched")
+                        }
+                    }
+                };
                 if self.config.batched {
                     // One fused pass over the whole mini-batch on the
                     // lane-0 tape: assemble the block-diagonal batch
@@ -261,7 +382,7 @@ impl Trainer {
                     // identical to the fan-out path below.
                     let assemble_start = traced.then(Instant::now);
                     let members: Vec<&GraphInput> =
-                        batch.iter().map(|&i| &inputs[i]).collect();
+                        (0..batch.len()).map(&input_at).collect();
                     let graph_batch = GraphBatch::new(&members);
                     if let Some(start) = assemble_start {
                         batch_graph_ns += start.elapsed().as_nanos() as u64;
@@ -324,7 +445,7 @@ impl Trainer {
                     if let Some(start) = update_start {
                         update_us += start.elapsed().as_micros() as u64;
                     }
-                    continue;
+                    return;
                 }
                 let store = model.store();
                 let fanout_start = traced.then(Instant::now);
@@ -344,7 +465,7 @@ impl Trainer {
                     // noise.
                     let mut sample_rng =
                         Rng64::for_sample(self.config.seed, epoch as u64, i as u64);
-                    let lp = model.forward(&mut tape, &binding, &inputs[i], true, &mut sample_rng);
+                    let lp = model.forward(&mut tape, &binding, input_at(j), true, &mut sample_rng);
                     let loss = tape.nll_loss(lp, vec![labels[i]]);
                     let item = tape.value(loss).item();
                     tape.backward(loss);
@@ -388,6 +509,21 @@ impl Trainer {
                 if let Some(start) = update_start {
                     update_us += start.elapsed().as_micros() as u64;
                 }
+            };
+            match source {
+                SampleSource::Ram(_) => {
+                    for batch in batches(&order, self.config.batch_size) {
+                        run_batch(&batch, None);
+                    }
+                }
+                SampleSource::Stream(corpus) => {
+                    with_prefetched_chunks(
+                        corpus,
+                        &order,
+                        self.config.batch_size,
+                        |batch, fetched| run_batch(batch, Some(fetched)),
+                    );
+                }
             }
             let train_loss = train_loss_total / train_idx.len().max(1) as f32;
 
@@ -400,17 +536,43 @@ impl Trainer {
             for tape in &tapes {
                 tape.lock().expect("unpoisoned tape").set_profiling(false);
             }
-            let (val_loss, val_accuracy) = if self.config.batched {
-                evaluate_batched_on_tape(
-                    &tapes[0],
-                    self.config.batch_size,
-                    model,
-                    inputs,
-                    labels,
-                    val_idx,
-                )
-            } else {
-                evaluate_on_tapes(executor.as_ref(), &tapes, model, inputs, labels, val_idx)
+            let (val_loss, val_accuracy) = match source {
+                SampleSource::Ram(inputs) => {
+                    if self.config.batched {
+                        evaluate_batched_on_tape(
+                            &tapes[0],
+                            self.config.batch_size,
+                            model,
+                            inputs,
+                            labels,
+                            val_idx,
+                        )
+                    } else {
+                        evaluate_on_tapes(executor.as_ref(), &tapes, model, inputs, labels, val_idx)
+                    }
+                }
+                SampleSource::Stream(corpus) => {
+                    if self.config.batched {
+                        evaluate_batched_streamed(
+                            &tapes[0],
+                            self.config.batch_size,
+                            model,
+                            corpus,
+                            labels,
+                            val_idx,
+                        )
+                    } else {
+                        evaluate_streamed_on_tapes(
+                            executor.as_ref(),
+                            &tapes,
+                            self.config.batch_size,
+                            model,
+                            corpus,
+                            labels,
+                            val_idx,
+                        )
+                    }
+                }
             };
             let eval_ns = eval_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
             let learning_rate = optimizer.learning_rate();
@@ -715,6 +877,90 @@ fn evaluate_batched_on_tape(
             correct += usize::from(arg == labels[i]);
         }
     }
+    (loss_total / idx.len() as f32, correct as f64 / idx.len() as f64)
+}
+
+/// [`evaluate_batched_on_tape`] over a streamed cache: chunks are
+/// decoded by the prefetch helper one chunk ahead of the fused forward
+/// passes. Chunk composition, per-chunk batch assembly, and the
+/// index-order loss accumulation all match the in-memory version, so
+/// the result is bitwise identical to it.
+fn evaluate_batched_streamed(
+    tape: &Mutex<Tape>,
+    batch_size: usize,
+    model: &Dgcnn,
+    corpus: &StreamedCorpus,
+    labels: &[usize],
+    idx: &[usize],
+) -> (f32, f64) {
+    if idx.is_empty() {
+        return (0.0, 0.0);
+    }
+    let _span =
+        magic_obs::span_fields(magic_obs::stage::EVALUATE, &[("samples", idx.len() as f64)]);
+    let mut tape = tape.lock().expect("unpoisoned tape");
+    let mut loss_total = 0.0f32;
+    let mut correct = 0usize;
+    with_prefetched_chunks(corpus, idx, batch_size, |chunk, fetched| {
+        let members: Vec<&GraphInput> = fetched.iter().collect();
+        let graph_batch = GraphBatch::new(&members);
+        let probs = model.predict_batch_with(&mut tape, &graph_batch);
+        for (row, &i) in probs.iter().zip(chunk.iter()) {
+            let p = row[labels[i]].clamp(1e-15, 1.0);
+            loss_total += -p.ln();
+            let arg = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            correct += usize::from(arg == labels[i]);
+        }
+    });
+    (loss_total / idx.len() as f32, correct as f64 / idx.len() as f64)
+}
+
+/// [`evaluate_on_tapes`] over a streamed cache. Chunking only bounds
+/// how many decoded records are alive at once: per-sample inference is
+/// a pure function of the sample, and losses are still accumulated in
+/// `idx` order across chunk boundaries, so the float-addition sequence
+/// — and therefore the result — is bitwise identical to the unchunked
+/// in-memory version.
+fn evaluate_streamed_on_tapes(
+    executor: &dyn BatchExecutor,
+    tapes: &[Mutex<Tape>],
+    chunk_size: usize,
+    model: &Dgcnn,
+    corpus: &StreamedCorpus,
+    labels: &[usize],
+    idx: &[usize],
+) -> (f32, f64) {
+    if idx.is_empty() {
+        return (0.0, 0.0);
+    }
+    let _span =
+        magic_obs::span_fields(magic_obs::stage::EVALUATE, &[("samples", idx.len() as f64)]);
+    let mut loss_total = 0.0f32;
+    let mut correct = 0usize;
+    with_prefetched_chunks(corpus, idx, chunk_size, |chunk, fetched| {
+        let per_sample: Vec<(f32, bool)> = run_indexed(executor, chunk.len(), |worker, j| {
+            let i = chunk[j];
+            let mut tape = tapes[worker].lock().expect("unpoisoned tape");
+            let probs = model.predict_with(&mut tape, &fetched[j]);
+            let p = probs[labels[i]].clamp(1e-15, 1.0);
+            let arg = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            (-p.ln(), arg == labels[i])
+        });
+        for &(loss, hit) in &per_sample {
+            loss_total += loss;
+            correct += usize::from(hit);
+        }
+    });
     (loss_total / idx.len() as f32, correct as f64 / idx.len() as f64)
 }
 

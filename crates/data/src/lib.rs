@@ -7,7 +7,10 @@
 //! (Section V-B): "the dataset is splitted into five equal-size subsets
 //! ... the training process never sees the testing samples". This crate
 //! provides the labeled dataset container, deterministic stratified
-//! K-fold splitting, and mini-batch iteration.
+//! K-fold splitting, and mini-batch iteration — plus the `magic-acfg/1`
+//! sharded binary ACFG cache ([`cache`]) and its streaming readers
+//! ([`stream`]) that let training and serving start from pre-extracted
+//! graphs instead of re-running listing → CFG → ACFG extraction.
 //!
 //! # Example
 //!
@@ -23,8 +26,15 @@
 //! assert_eq!(folds.len(), 2);
 //! ```
 
+pub mod cache;
 mod dataset;
 mod split;
+pub mod stream;
 
+pub use cache::{
+    cache_fingerprint, decode_record, encode_record, write_shard, CacheError, CacheManifest,
+    ShardMeta, ShardReader, ShardRecord, CACHE_SCHEMA_NAME, CACHE_VERSION,
+};
 pub use dataset::Dataset;
 pub use split::{batches, stratified_kfold, Fold};
+pub use stream::{DecodedShard, ShardStream, StreamedCorpus};

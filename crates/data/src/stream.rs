@@ -1,0 +1,376 @@
+//! Streaming readers over a `magic-acfg/1` cache directory.
+//!
+//! Two granularities:
+//!
+//! * [`ShardStream`] — sequential corpus loading with double-buffering:
+//!   a background thread reads + decodes shard `k+1` while the consumer
+//!   processes shard `k`, so a load that does per-record compute (e.g.
+//!   CSR building) stays compute-bound instead of alternating IO and
+//!   CPU phases.
+//! * [`StreamedCorpus`] — random access by global sample index for the
+//!   streamed trainer: shard indices are held in memory (labels and
+//!   graph sizes come straight from them), record payloads are fetched
+//!   on demand with one seek + one framed read each, so resident memory
+//!   stays bounded by the working set instead of the corpus.
+//!
+//! Both validate every shard against the manifest fingerprint and the
+//! full checksum pass of [`ShardReader::open`] before yielding any
+//! record.
+
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+use magic_model::GraphInput;
+
+use crate::cache::{CacheError, CacheManifest, ShardReader, ShardRecord};
+
+/// One fully decoded shard, in canonical sample order.
+#[derive(Debug)]
+pub struct DecodedShard {
+    /// Position of this shard in the cache.
+    pub shard_index: usize,
+    /// Decoded records in shard order.
+    pub records: Vec<ShardRecord>,
+}
+
+/// Sequential shard iterator with one shard of read-ahead.
+///
+/// The iterator yields shards in manifest order; decoding of the next
+/// shard overlaps the consumer's processing of the current one through
+/// a bounded channel of depth 1 (classic double-buffering: at most two
+/// decoded shards are alive at once).
+#[derive(Debug)]
+pub struct ShardStream {
+    rx: Option<Receiver<Result<DecodedShard, CacheError>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ShardStream {
+    /// Opens the cache at `dir` and starts the prefetch thread.
+    ///
+    /// When `expected_fingerprint` is given, the manifest (and through
+    /// it every shard) must carry that fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Manifest`] / [`CacheError::FingerprintMismatch`]
+    /// on an unusable cache directory; per-shard errors surface through
+    /// the iterator.
+    pub fn open(
+        dir: &Path,
+        expected_fingerprint: Option<u64>,
+    ) -> Result<(CacheManifest, Self), CacheError> {
+        let manifest = CacheManifest::load(dir)?;
+        if let Some(expected) = expected_fingerprint {
+            if manifest.fingerprint != expected {
+                return Err(CacheError::FingerprintMismatch {
+                    expected,
+                    found: manifest.fingerprint,
+                });
+            }
+        }
+        let fingerprint = manifest.fingerprint;
+        let paths: Vec<std::path::PathBuf> =
+            manifest.shards.iter().map(|s| dir.join(&s.file)).collect();
+        let (tx, rx) = sync_channel::<Result<DecodedShard, CacheError>>(1);
+        let handle = std::thread::spawn(move || {
+            for (shard_index, path) in paths.iter().enumerate() {
+                let result = (|| {
+                    let mut reader = ShardReader::open(path)?;
+                    reader.expect_fingerprint(fingerprint)?;
+                    let records = reader.read_all()?;
+                    Ok(DecodedShard { shard_index, records })
+                })();
+                let stop = result.is_err();
+                if tx.send(result).is_err() || stop {
+                    break;
+                }
+            }
+        });
+        Ok((manifest, ShardStream { rx: Some(rx), handle: Some(handle) }))
+    }
+}
+
+impl Iterator for ShardStream {
+    type Item = Result<DecodedShard, CacheError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for ShardStream {
+    fn drop(&mut self) {
+        // Unblock a sender waiting on the bounded channel, then reap the
+        // thread.
+        drop(self.rx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Random-access view of a cache directory, indexed by global sample
+/// position (manifest shard order, then record order within the shard —
+/// the same canonical order the in-memory pipeline produces).
+///
+/// Labels and per-sample graph sizes are served from the shard indices
+/// without decoding any record; [`fetch`](StreamedCorpus::fetch)
+/// decodes exactly the requested records. Shard handles sit behind
+/// mutexes so a prefetch thread and the consumer can fetch
+/// concurrently.
+#[derive(Debug)]
+pub struct StreamedCorpus {
+    manifest: CacheManifest,
+    shards: Vec<Mutex<ShardReader>>,
+    /// Global index -> (shard, position in shard).
+    map: Vec<(u32, u32)>,
+    labels: Vec<usize>,
+    vertex_counts: Vec<usize>,
+}
+
+impl StreamedCorpus {
+    /// Opens and validates every shard of the cache at `dir` (full
+    /// checksum pass per shard, manifest fingerprint enforced).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CacheError`]; never panics on damaged input.
+    pub fn open(dir: &Path, expected_fingerprint: Option<u64>) -> Result<Self, CacheError> {
+        let manifest = CacheManifest::load(dir)?;
+        if let Some(expected) = expected_fingerprint {
+            if manifest.fingerprint != expected {
+                return Err(CacheError::FingerprintMismatch {
+                    expected,
+                    found: manifest.fingerprint,
+                });
+            }
+        }
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        let mut map = Vec::with_capacity(manifest.samples);
+        let mut labels = Vec::with_capacity(manifest.samples);
+        let mut vertex_counts = Vec::with_capacity(manifest.samples);
+        for (s, meta) in manifest.shards.iter().enumerate() {
+            let reader = ShardReader::open(&dir.join(&meta.file))?;
+            reader.expect_fingerprint(manifest.fingerprint)?;
+            if reader.len() != meta.records {
+                return Err(CacheError::Corrupt(format!(
+                    "shard {} holds {} records, manifest says {}",
+                    meta.file,
+                    reader.len(),
+                    meta.records
+                )));
+            }
+            for (r, (label, n)) in
+                reader.labels().into_iter().zip(reader.vertex_counts()).enumerate()
+            {
+                map.push((s as u32, r as u32));
+                labels.push(label);
+                vertex_counts.push(n);
+            }
+            shards.push(Mutex::new(reader));
+        }
+        if map.len() != manifest.samples {
+            return Err(CacheError::Corrupt(format!(
+                "shards hold {} records, manifest says {}",
+                map.len(),
+                manifest.samples
+            )));
+        }
+        Ok(StreamedCorpus { manifest, shards, map, labels, vertex_counts })
+    }
+
+    /// The cache manifest.
+    pub fn manifest(&self) -> &CacheManifest {
+        &self.manifest
+    }
+
+    /// Total samples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the corpus is empty (never true after a successful
+    /// [`open`](StreamedCorpus::open)).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Per-sample class labels in canonical order (from shard indices;
+    /// no record decode).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-sample graph sizes in canonical order (from shard indices;
+    /// no record decode).
+    pub fn vertex_counts(&self) -> &[usize] {
+        &self.vertex_counts
+    }
+
+    /// Class names, indexable by label.
+    pub fn class_names(&self) -> &[String] {
+        &self.manifest.class_names
+    }
+
+    /// Decodes the records at the given global indices, in the order
+    /// given, straight into model-ready [`GraphInput`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Corrupt`] / [`CacheError::Io`] if a record fails
+    /// to decode (shards were validated at open, so this means the file
+    /// changed underneath us).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn fetch(&self, indices: &[usize]) -> Result<Vec<GraphInput>, CacheError> {
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let (s, r) = self.map[i];
+            let record = {
+                let mut reader = self.shards[s as usize].lock().expect("shard lock poisoned");
+                reader.read_record(r as usize)?
+            };
+            out.push(record.to_graph_input());
+        }
+        Ok(out)
+    }
+
+    /// Decodes one record by global index (raw, unscaled attributes).
+    ///
+    /// # Errors
+    ///
+    /// As for [`fetch`](StreamedCorpus::fetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fetch_record(&self, i: usize) -> Result<ShardRecord, CacheError> {
+        let (s, r) = self.map[i];
+        let mut reader = self.shards[s as usize].lock().expect("shard lock poisoned");
+        reader.read_record(r as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{cache_fingerprint, write_shard, CacheManifest, ShardMeta};
+    use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+    use magic_tensor::{Rng64, Tensor};
+
+    fn toy_record(seed: u64, label: usize) -> ShardRecord {
+        let mut rng = Rng64::new(seed);
+        let n = 3 + rng.next_below(4);
+        let mut graph = DiGraph::new(n);
+        for v in 1..n {
+            graph.add_edge(v - 1, v);
+        }
+        let attrs: Vec<f32> =
+            (0..n * NUM_ATTRIBUTES).map(|_| rng.next_f64() as f32 * 5.0).collect();
+        ShardRecord { label, acfg: Acfg::new(graph, Tensor::from_vec(attrs, [n, NUM_ATTRIBUTES])) }
+    }
+
+    fn write_toy_cache(dir: &Path, shard_sizes: &[usize]) -> Vec<ShardRecord> {
+        std::fs::create_dir_all(dir).unwrap();
+        let fp = cache_fingerprint("toy", 1, 1.0);
+        let mut all = Vec::new();
+        let mut shards = Vec::new();
+        let mut next = 0u64;
+        for (s, &count) in shard_sizes.iter().enumerate() {
+            let records: Vec<ShardRecord> = (0..count)
+                .map(|_| {
+                    next += 1;
+                    toy_record(next, (next % 3) as usize)
+                })
+                .collect();
+            let file = format!("shard-{s:04}.acfg");
+            let bytes =
+                write_shard(&dir.join(&file), fp, s, shard_sizes.len(), &records).unwrap();
+            shards.push(ShardMeta { file, records: records.len(), bytes });
+            all.extend(records);
+        }
+        CacheManifest {
+            fingerprint: fp,
+            corpus: "toy".into(),
+            seed: 1,
+            scale: 1.0,
+            samples: all.len(),
+            class_names: vec!["a".into(), "b".into(), "c".into()],
+            shards,
+        }
+        .save(dir)
+        .unwrap();
+        all
+    }
+
+    #[test]
+    fn shard_stream_yields_every_shard_in_order() {
+        let dir = std::env::temp_dir().join("magic-stream-test-seq");
+        std::fs::remove_dir_all(&dir).ok();
+        let all = write_toy_cache(&dir, &[3, 4, 2]);
+        let (manifest, stream) = ShardStream::open(&dir, None).unwrap();
+        assert_eq!(manifest.samples, 9);
+        let mut seen = Vec::new();
+        for (k, shard) in stream.enumerate() {
+            let shard = shard.unwrap();
+            assert_eq!(shard.shard_index, k);
+            seen.extend(shard.records);
+        }
+        assert_eq!(seen.len(), all.len());
+        for (a, b) in seen.iter().zip(&all) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.acfg.attributes().as_slice(), b.acfg.attributes().as_slice());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_stream_drop_mid_iteration_does_not_hang() {
+        let dir = std::env::temp_dir().join("magic-stream-test-drop");
+        std::fs::remove_dir_all(&dir).ok();
+        write_toy_cache(&dir, &[2, 2, 2, 2]);
+        let (_, mut stream) = ShardStream::open(&dir, None).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.shard_index, 0);
+        drop(stream); // must not deadlock against the blocked sender
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_corpus_random_access_matches_sequential() {
+        let dir = std::env::temp_dir().join("magic-stream-test-random");
+        std::fs::remove_dir_all(&dir).ok();
+        let all = write_toy_cache(&dir, &[4, 3]);
+        let corpus = StreamedCorpus::open(&dir, None).unwrap();
+        assert_eq!(corpus.len(), 7);
+        assert_eq!(corpus.labels(), all.iter().map(|r| r.label).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            corpus.vertex_counts(),
+            all.iter().map(|r| r.acfg.vertex_count()).collect::<Vec<_>>().as_slice()
+        );
+        // Fetch out of order; inputs must match the in-memory conversion.
+        let picks = [6usize, 0, 3];
+        let inputs = corpus.fetch(&picks).unwrap();
+        for (input, &i) in inputs.iter().zip(&picks) {
+            let expected = all[i].to_graph_input();
+            assert_eq!(input.vertex_count(), expected.vertex_count());
+            assert_eq!(input.attributes().as_slice(), expected.attributes().as_slice());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("magic-stream-test-fp");
+        std::fs::remove_dir_all(&dir).ok();
+        write_toy_cache(&dir, &[2]);
+        let err = StreamedCorpus::open(&dir, Some(0xdead_beef)).unwrap_err();
+        assert!(matches!(err, CacheError::FingerprintMismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

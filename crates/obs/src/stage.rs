@@ -62,6 +62,20 @@ pub const SERVE_REQUEST: &str = "serve.request";
 /// of requests fused), `vertices` (total vertex count).
 pub const SERVE_BATCH_EXECUTE: &str = "serve.batch_execute";
 
+/// Build the sharded binary ACFG cache for one corpus (`magic cache
+/// build`): plan + render + extract + shard writes. Fields: `samples`,
+/// `shards`.
+pub const CACHE_BUILD: &str = "cache.build";
+
+/// Encode and write one binary ACFG shard (`magic-acfg/1`), including
+/// the checksum footer. Fields: `shard`, `records`, `bytes`.
+pub const CACHE_WRITE: &str = "cache.write";
+
+/// Read and decode one binary ACFG shard back into `Acfg` records
+/// (header + index validation, payload decode, checksum verify).
+/// Fields: `shard`, `records`, `bytes`.
+pub const CACHE_READ: &str = "cache.read";
+
 // ---- counters ----------------------------------------------------------
 
 /// Instructions accepted by the listing parser.
@@ -82,6 +96,14 @@ pub const C_SERVE_REQUESTS: &str = "serve.requests";
 /// Predict requests load-shed with HTTP 503 because the bounded queue
 /// was full (or the server was draining for shutdown).
 pub const C_SERVE_SHED: &str = "serve.shed";
+
+/// Bytes of binary ACFG shard data written by cache builds (header +
+/// index + payload + footer).
+pub const C_CACHE_BYTES_WRITTEN: &str = "cache.bytes_written";
+
+/// Bytes of binary ACFG shard data read back by cache loads and
+/// streamed record fetches.
+pub const C_CACHE_BYTES_READ: &str = "cache.bytes_read";
 
 // ---- histograms --------------------------------------------------------
 

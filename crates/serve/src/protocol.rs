@@ -9,6 +9,12 @@
 //!   parse/CFG-build stages (the fast path for callers that run
 //!   extraction themselves, e.g. from the binary ACFG cache).
 //!
+//! Alternatively, a request sent with `Content-Type:
+//! application/x-magic-acfg` ([`ACFG_CONTENT_TYPE`]) carries one binary
+//! `magic-acfg/1` record exactly as stored in a cache shard (see
+//! [`magic_data::encode_record`]) — the compact zero-JSON fast path;
+//! the record's label field is ignored.
+//!
 //! The ACFG object is `{"vertices": n, "edges": [[u, v], ...],
 //! "attributes": [[f; 11], ...]}` with one 11-channel Table I attribute
 //! row per vertex, in *raw count* scale (the server applies the same
@@ -21,6 +27,9 @@ use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
 use magic_json::{json, Value};
 use magic_tensor::Tensor;
 
+/// `Content-Type` selecting the binary `magic-acfg/1` record body.
+pub const ACFG_CONTENT_TYPE: &str = "application/x-magic-acfg";
+
 /// A decoded prediction input.
 #[derive(Debug, Clone)]
 pub enum RequestInput {
@@ -28,6 +37,47 @@ pub enum RequestInput {
     Listing(String),
     /// A pre-extracted attributed CFG.
     Acfg(Acfg),
+}
+
+/// Decodes a predict request given its `Content-Type` header.
+///
+/// [`ACFG_CONTENT_TYPE`] bodies are decoded as one binary shard record
+/// via [`magic_data::decode_record`] (the label field is ignored);
+/// every other (or missing) content type falls through to
+/// [`parse_predict_body`]. Media-type parameters (`; charset=...`) and
+/// ASCII case are ignored when matching.
+///
+/// # Examples
+///
+/// ```
+/// use magic_data::{encode_record, ShardRecord};
+/// use magic_graph::{Acfg, DiGraph, NUM_ATTRIBUTES};
+/// use magic_serve::protocol::{parse_predict_request, RequestInput, ACFG_CONTENT_TYPE};
+/// use magic_tensor::Tensor;
+///
+/// let mut g = DiGraph::new(2);
+/// g.add_edge(0, 1);
+/// let record = ShardRecord { label: 0, acfg: Acfg::new(g, Tensor::ones([2, NUM_ATTRIBUTES])) };
+/// let body = encode_record(&record);
+/// let input = parse_predict_request(Some(ACFG_CONTENT_TYPE), &body)?;
+/// assert!(matches!(input, RequestInput::Acfg(_)));
+///
+/// let text = parse_predict_request(None, b".text:00401000    retn\n")?;
+/// assert!(matches!(text, RequestInput::Listing(_)));
+/// # Ok::<(), String>(())
+/// ```
+pub fn parse_predict_request(
+    content_type: Option<&str>,
+    body: &[u8],
+) -> Result<RequestInput, String> {
+    let media_type = content_type
+        .map(|ct| ct.split(';').next().unwrap_or("").trim().to_ascii_lowercase());
+    if media_type.as_deref() == Some(ACFG_CONTENT_TYPE) {
+        let record = magic_data::decode_record(body)
+            .map_err(|e| format!("bad {ACFG_CONTENT_TYPE} body: {e}"))?;
+        return Ok(RequestInput::Acfg(record.acfg));
+    }
+    parse_predict_body(body)
 }
 
 /// Decodes a predict request body.
@@ -282,6 +332,36 @@ mod tests {
             RequestInput::Acfg(acfg) => assert_eq!(acfg.vertex_count(), 3),
             other => panic!("expected Acfg, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn binary_content_type_decodes_a_shard_record() {
+        let acfg = sample_acfg();
+        let body = magic_data::encode_record(&magic_data::ShardRecord { label: 5, acfg: acfg.clone() });
+        // Exact, parameterized, and mixed-case content types all match.
+        for ct in [
+            ACFG_CONTENT_TYPE.to_string(),
+            format!("{ACFG_CONTENT_TYPE}; charset=binary"),
+            ACFG_CONTENT_TYPE.to_ascii_uppercase(),
+        ] {
+            match parse_predict_request(Some(&ct), &body).unwrap() {
+                RequestInput::Acfg(got) => {
+                    assert_eq!(got.vertex_count(), acfg.vertex_count());
+                    assert_eq!(got.attributes(), acfg.attributes());
+                }
+                other => panic!("expected Acfg, got {other:?}"),
+            }
+        }
+        // Other content types fall through to the text parser.
+        assert!(matches!(
+            parse_predict_request(Some("text/plain"), b".text:00401000  retn\n").unwrap(),
+            RequestInput::Listing(_)
+        ));
+        // Damaged binary bodies are typed errors, not panics.
+        let err = parse_predict_request(Some(ACFG_CONTENT_TYPE), &body[..body.len() / 2])
+            .unwrap_err();
+        assert!(err.contains(ACFG_CONTENT_TYPE), "{err}");
+        assert!(parse_predict_request(Some(ACFG_CONTENT_TYPE), b"").is_err());
     }
 
     #[test]

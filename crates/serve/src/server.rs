@@ -32,7 +32,7 @@
 
 use crate::http::{read_request, write_response_typed, HttpError, Request};
 use crate::metrics::{render_metrics, METRICS_CONTENT_TYPE};
-use crate::protocol::{encode_error, encode_prediction, parse_predict_body, RequestInput};
+use crate::protocol::{encode_error, encode_prediction, parse_predict_request, RequestInput};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::{LifecycleStage, ServeStats, SlowExemplar};
 use magic::MagicPipeline;
@@ -472,7 +472,7 @@ fn shed(shared: &Shared, why: &str) -> Response {
 }
 
 fn handle_predict(shared: &Shared, request: &Request, trace: &mut RequestTrace) -> Response {
-    let input = match parse_predict_body(&request.body) {
+    let input = match parse_predict_request(request.header("content-type"), &request.body) {
         Ok(input) => input,
         Err(why) => {
             shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);

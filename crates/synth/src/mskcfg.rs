@@ -181,16 +181,47 @@ impl MskcfgGenerator {
 
     /// Generates the whole corpus (shuffled).
     pub fn generate(&mut self) -> Vec<AsmSample> {
+        self.plan()
+            .into_iter()
+            .map(|(label, mut rng)| Self::render(&self.profiles, label, &mut rng))
+            .collect()
+    }
+
+    /// Plans the whole corpus without rendering any listing: per-sample
+    /// RNG streams are forked serially in label-major order, then the
+    /// `(label, rng)` pairs are shuffled with a final fork — exactly the
+    /// RNG schedule [`generate`](Self::generate) uses, so rendering the
+    /// plan in order (serially or across workers) reproduces `generate()`
+    /// bitwise. [`Rng64::shuffle`] consumes the same draws for any
+    /// element type, which is what makes planning separable from
+    /// rendering.
+    pub fn plan(&mut self) -> Vec<(usize, Rng64)> {
         let counts = self.family_counts();
-        let mut samples = Vec::with_capacity(counts.iter().sum());
+        let mut plan = Vec::with_capacity(counts.iter().sum());
         for (label, &count) in counts.iter().enumerate() {
             for _ in 0..count {
-                samples.push(self.generate_one(label));
+                plan.push((label, self.rng.fork()));
             }
         }
         let mut rng = self.rng.fork();
-        rng.shuffle(&mut samples);
-        samples
+        rng.shuffle(&mut plan);
+        plan
+    }
+
+    /// Renders one planned sample. Pure in `(profiles, label, rng)`, so
+    /// plan entries can be rendered in any order or on any worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn render(profiles: &[FamilyProfile], label: usize, rng: &mut Rng64) -> AsmSample {
+        let listing = CodeGenerator::new(&profiles[label]).generate(rng);
+        AsmSample { listing, label }
+    }
+
+    /// The per-family profiles this generator renders with.
+    pub fn profiles(&self) -> &[FamilyProfile] {
+        &self.profiles
     }
 }
 
@@ -257,6 +288,28 @@ mod tests {
         let (_, k3_blocks) = stats(2, &mut gen);
         let (_, vundo_blocks) = stats(3, &mut gen);
         assert!(k3_blocks > vundo_blocks * 2.0);
+    }
+
+    #[test]
+    fn plan_then_render_matches_generate_bitwise() {
+        let samples = MskcfgGenerator::new(11, 0.002).generate();
+        let mut planner = MskcfgGenerator::new(11, 0.002);
+        let plan = planner.plan();
+        assert_eq!(plan.len(), samples.len());
+        // Render out of order to prove rendering is order-independent.
+        let mut rendered: Vec<(usize, AsmSample)> = plan
+            .into_iter()
+            .enumerate()
+            .rev()
+            .map(|(i, (label, mut rng))| {
+                (i, MskcfgGenerator::render(planner.profiles(), label, &mut rng))
+            })
+            .collect();
+        rendered.sort_by_key(|(i, _)| *i);
+        for ((_, r), s) in rendered.iter().zip(&samples) {
+            assert_eq!(r.label, s.label);
+            assert_eq!(r.listing, s.listing);
+        }
     }
 
     #[test]

@@ -234,16 +234,48 @@ impl YancfgGenerator {
 
     /// Generates the whole corpus (shuffled).
     pub fn generate(&mut self) -> Vec<CfgSample> {
+        self.plan()
+            .into_iter()
+            .map(|(label, mut rng)| Self::render(&self.profiles, label, &mut rng))
+            .collect()
+    }
+
+    /// Plans the whole corpus without rendering any graph; the RNG
+    /// schedule matches [`generate`](Self::generate) exactly (serial
+    /// label-major forks, then a shuffle from one final fork), so
+    /// rendering the plan entries in order — on any worker — reproduces
+    /// `generate()` bitwise. See
+    /// [`crate::mskcfg::MskcfgGenerator::plan`].
+    pub fn plan(&mut self) -> Vec<(usize, Rng64)> {
         let counts = self.family_counts();
-        let mut samples = Vec::with_capacity(counts.iter().sum());
+        let mut plan = Vec::with_capacity(counts.iter().sum());
         for (label, &count) in counts.iter().enumerate() {
             for _ in 0..count {
-                samples.push(self.generate_one(label));
+                plan.push((label, self.rng.fork()));
             }
         }
         let mut rng = self.rng.fork();
-        rng.shuffle(&mut samples);
-        samples
+        rng.shuffle(&mut plan);
+        plan
+    }
+
+    /// Renders one planned sample. Pure in `(profiles, label, rng)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn render(profiles: &[FamilyProfile], label: usize, rng: &mut Rng64) -> CfgSample {
+        let profile = profiles[label].clone();
+        let noise = family_noise(label);
+        let graph = generate_structure(&profile, noise, rng);
+        let attributes = generate_attributes(&graph, &profile, noise, rng);
+        CfgSample { acfg: Acfg::new(graph, attributes), label }
+    }
+
+    /// The per-family profiles this generator renders with (drifted
+    /// profiles when built via [`with_drift`](Self::with_drift)).
+    pub fn profiles(&self) -> &[FamilyProfile] {
+        &self.profiles
     }
 }
 
@@ -485,6 +517,28 @@ mod tests {
             dist(&rbot, &sdbot),
             dist(&koob, &swizzor)
         );
+    }
+
+    #[test]
+    fn plan_then_render_matches_generate_bitwise() {
+        let samples = YancfgGenerator::new(8, 0.002).generate();
+        let mut planner = YancfgGenerator::new(8, 0.002);
+        let plan = planner.plan();
+        assert_eq!(plan.len(), samples.len());
+        let mut rendered: Vec<(usize, CfgSample)> = plan
+            .into_iter()
+            .enumerate()
+            .rev() // out of order: rendering must be order-independent
+            .map(|(i, (label, mut rng))| {
+                (i, YancfgGenerator::render(planner.profiles(), label, &mut rng))
+            })
+            .collect();
+        rendered.sort_by_key(|(i, _)| *i);
+        for ((_, r), s) in rendered.iter().zip(&samples) {
+            assert_eq!(r.label, s.label);
+            assert_eq!(r.acfg.vertex_count(), s.acfg.vertex_count());
+            assert!(r.acfg.attributes().approx_eq(s.acfg.attributes(), 0.0));
+        }
     }
 
     #[test]

@@ -99,6 +99,43 @@ else
     echo "no committed baseline at $SV_BASELINE; skipping perf gate"
 fi
 
+echo "==> perf gate: quick corpus_cache bench vs committed baseline"
+# Wide threshold like the other quick gates: the warm-load cell is
+# single-digit milliseconds and tracks disk/page-cache state. 0.40
+# still fails hard on the step change of losing the parallel shard
+# decode or falling back to generate+extract.
+CC_BASELINE=results/BENCH_corpus_cache_quick.json
+if [ -f "$CC_BASELINE" ]; then
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench corpus_cache
+    ./target/release/magic bench diff \
+        "$CC_BASELINE" target/ci-bench/BENCH_corpus_cache_quick.json \
+        --threshold 0.40 --require-same-machine
+else
+    echo "no committed baseline at $CC_BASELINE; skipping perf gate"
+fi
+
+echo "==> cache round-trip: streamed training is bitwise-identical to in-memory"
+# Train the same tiny corpus three ways — no cache, cache-to-RAM, and
+# streamed from shards with a different worker count — and require the
+# checkpoint files to be byte-identical. This is the end-to-end proof
+# of the magic-acfg/1 determinism contract (DESIGN.md): the cache and
+# the prefetching shard stream change where bytes come from, never what
+# the trainer computes.
+RT_DIR="$(mktemp -d /tmp/magic_cache_rt.XXXXXX)"
+RT_ARGS=(--corpus yancfg --scale 0.002 --epochs 2 --seed 7 --log-level error)
+./target/release/magic train "${RT_ARGS[@]}" --out "$RT_DIR/nocache.magic"
+./target/release/magic cache build --corpus yancfg --scale 0.002 --seed 7 \
+    --cache-dir "$RT_DIR/cache" >/dev/null
+./target/release/magic train "${RT_ARGS[@]}" --cache-dir "$RT_DIR/cache" \
+    --out "$RT_DIR/ram.magic"
+./target/release/magic train "${RT_ARGS[@]}" --cache-dir "$RT_DIR/cache" \
+    --cache stream --train-workers 2 --out "$RT_DIR/stream.magic"
+cmp "$RT_DIR/nocache.magic" "$RT_DIR/ram.magic"
+cmp "$RT_DIR/nocache.magic" "$RT_DIR/stream.magic"
+rm -rf "$RT_DIR"
+echo "checkpoints identical across no-cache / cache-ram / cache-stream paths"
+
 echo "==> access-log schema validation: magic report --serve on bench logs"
 # The serve_load bench streams a schema-v3 access log per window into
 # MAGIC_RESULTS_DIR (one ServeAccess line per request, plus a Meta

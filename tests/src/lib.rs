@@ -123,6 +123,47 @@ pub mod serve_client {
     pub fn predict(addr: SocketAddr, body: &str) -> HttpResponse {
         request(addr, "POST", "/v1/predict", body)
     }
+
+    /// Sends one request with a raw byte body and an explicit
+    /// `Content-Type` (e.g. the binary `application/x-magic-acfg`
+    /// records the shard cache stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics on connect/IO failures or an unparseable response, like
+    /// [`request`].
+    pub fn request_bytes(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> HttpResponse {
+        let mut stream = TcpStream::connect(addr).expect("connect to test server");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-type: {content_type}\r\n\
+             content-length: {}\r\n\r\n",
+            body.len()
+        )
+        .expect("send request head");
+        stream.write_all(body).expect("send request body");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read response");
+        let raw = String::from_utf8(raw).expect("UTF-8 response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("response has a header block");
+        let mut lines = head.lines();
+        let status = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        HttpResponse { status, headers, body: body.to_string() }
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! so this file's servers run at full speed.
 
 use magic::MagicPipeline;
-use magic_integration::serve_client::{predict, request};
+use magic_integration::serve_client::{predict, request, request_bytes};
 use magic_integration::synthetic_listing;
 use magic_model::{Dgcnn, DgcnnConfig, GraphInput, PoolingHead};
 use magic_serve::{start, ServeConfig};
@@ -120,6 +120,36 @@ fn acfg_json_input_matches_the_asm_path_bitwise() {
     for (s, o) in asm_scores.iter().zip(&acfg_scores) {
         assert_eq!(s.to_bits(), o.to_bits(), "acfg path diverged from asm path");
     }
+
+    // And the compact binary form: one magic-acfg/1 shard record posted
+    // with its dedicated content type (label field is ignored).
+    let record = magic_data::ShardRecord { label: 0, acfg };
+    let from_binary = request_bytes(
+        addr,
+        "POST",
+        "/v1/predict",
+        magic_serve::protocol::ACFG_CONTENT_TYPE,
+        &magic_data::encode_record(&record),
+    );
+    assert_eq!(from_binary.status, 200, "{}", from_binary.body);
+    let binary_scores = response_scores(&from_binary.body);
+    for (s, o) in asm_scores.iter().zip(&binary_scores) {
+        assert_eq!(s.to_bits(), o.to_bits(), "binary acfg path diverged from asm path");
+    }
+
+    // A damaged binary body is a 400, and the server keeps serving.
+    let bytes = magic_data::encode_record(&record);
+    let truncated = request_bytes(
+        addr,
+        "POST",
+        "/v1/predict",
+        magic_serve::protocol::ACFG_CONTENT_TYPE,
+        &bytes[..bytes.len() / 2],
+    );
+    assert_eq!(truncated.status, 400, "{}", truncated.body);
+    assert!(truncated.body.contains("error"), "{}", truncated.body);
+    let again = predict(addr, &listing);
+    assert_eq!(again.status, 200, "{}", again.body);
     handle.shutdown();
 }
 
