@@ -59,7 +59,13 @@ fn main() {
     } else {
         (0.01, Budget { samples: 10, target: Duration::from_millis(300), cap: Duration::from_secs(3) })
     };
-    let spec = CacheSpec { corpus: CorpusKind::Mskcfg, seed, scale, shards: DEFAULT_SHARDS };
+    let spec = CacheSpec {
+        corpus: CorpusKind::Mskcfg,
+        seed,
+        scale,
+        reduce: magic_graph::ReduceStrategy::None,
+        shards: DEFAULT_SHARDS,
+    };
     let dir = std::env::temp_dir().join(format!(
         "magic-bench-corpus-cache-{}-{}",
         if quick { "quick" } else { "full" },

@@ -104,7 +104,13 @@ pub fn prepare_yancfg(seed: u64, scale: f64) -> PreparedCorpus {
 /// Panics if the cache cannot be built or read — in a bench, either is
 /// a failed run.
 pub fn prepare_cached(corpus: CorpusKind, seed: u64, scale: f64, dir: &Path) -> PreparedCorpus {
-    let spec = CacheSpec { corpus, seed, scale, shards: DEFAULT_SHARDS };
+    let spec = CacheSpec {
+        corpus,
+        seed,
+        scale,
+        reduce: magic_graph::ReduceStrategy::None,
+        shards: DEFAULT_SHARDS,
+    };
     corpus_cache::build(dir, &spec, 0, false).expect("cache build failed");
     let loaded =
         corpus_cache::load(dir, Some(spec.fingerprint()), 0).expect("cache load failed");

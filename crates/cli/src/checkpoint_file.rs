@@ -17,6 +17,11 @@ pub struct ModelHeader {
     pub params: HyperParams,
     /// Representative graph sizes (to re-resolve pooling ratios).
     pub graph_sizes: Vec<usize>,
+    /// Canonical name of the graph-reduction strategy the model was
+    /// trained with (`magic_graph::ReduceStrategy::name`); predict and
+    /// serve default to the same strategy. `"none"` for models written
+    /// before the field existed.
+    pub reduce: String,
 }
 
 fn head_to_str(head: HeadKind) -> &'static str {
@@ -43,6 +48,7 @@ pub fn serialize_model(header: &ModelHeader, model: &Dgcnn) -> String {
         "corpus": header.corpus,
         "families": header.families,
         "graph_sizes": header.graph_sizes,
+        "reduce": header.reduce,
         "params": {
             "head": head_to_str(header.params.head),
             "pooling_ratio": header.params.pooling_ratio,
@@ -90,6 +96,9 @@ pub fn deserialize_model(text: &str) -> Result<(ModelHeader, Dgcnn), String> {
         .filter_map(Value::as_u64)
         .map(|v| v as usize)
         .collect();
+    // Models serialized before graph reduction existed trained on
+    // unreduced graphs.
+    let reduce = meta["reduce"].as_str().unwrap_or("none").to_string();
 
     let p = &meta["params"];
     let mut params = HyperParams::paper_default();
@@ -119,7 +128,7 @@ pub fn deserialize_model(text: &str) -> Result<(ModelHeader, Dgcnn), String> {
     let config = params.to_model_config(families.len(), &graph_sizes);
     let mut model = Dgcnn::new(&config, 0);
     load_weights(&mut model, body).map_err(|e| format!("bad weights: {e}"))?;
-    let header = ModelHeader { corpus, families, params, graph_sizes };
+    let header = ModelHeader { corpus, families, params, graph_sizes, reduce };
     Ok((header, model))
 }
 
@@ -135,7 +144,20 @@ mod tests {
             families: vec!["A".into(), "B".into(), "C".into()],
             params,
             graph_sizes: (10..60).collect(),
+            reduce: "chain".into(),
         }
+    }
+
+    #[test]
+    fn missing_reduce_field_defaults_to_none() {
+        let header = ModelHeader { reduce: String::new(), ..sample_header() };
+        let config = header.params.to_model_config(3, &header.graph_sizes);
+        let model = Dgcnn::new(&config, 1);
+        // Strip the reduce key to emulate a pre-reduction model file.
+        let text = serialize_model(&header, &model).replacen("\"reduce\":\"\",", "", 1);
+        assert!(!text.contains("\"reduce\""));
+        let (back, _) = deserialize_model(&text).unwrap();
+        assert_eq!(back.reduce, "none");
     }
 
     #[test]

@@ -7,8 +7,8 @@ use magic::corpus_cache::{self, CacheSpec, CorpusKind, DEFAULT_SHARDS};
 use magic::pipeline::{extract_acfg, MagicPipeline};
 use magic::trainer::{TrainConfig, TrainOutcome, Trainer};
 use magic::tuning::{HeadKind, HyperParams};
-use magic_data::{stratified_kfold, StreamedCorpus};
-use magic_graph::GraphStats;
+use magic_data::{stratified_kfold, CacheError, StreamedCorpus};
+use magic_graph::{GraphStats, ReduceStrategy, SizeHistogram};
 use magic_model::{Dgcnn, GraphInput};
 use magic_obs::{report::TraceSummary, JsonlRecorder};
 use magic_synth::{MskcfgGenerator, YancfgGenerator, MSKCFG_FAMILIES, YANCFG_FAMILIES};
@@ -71,32 +71,45 @@ magic — DGCNN malware classification over control flow graphs
 USAGE:
     magic extract <listing.asm> [--dot]
     magic extract --corpus <mskcfg|yancfg> --cache-dir <dir> [--seed S]
-                [--scale S] [--shards N] [--workers N] [--force]
+                [--scale S] [--reduce R] [--shards N] [--workers N] [--force]
                 (corpus mode: extract the whole synthetic corpus into a
-                 magic-acfg/1 shard cache — same as `magic cache build`)
+                 magic-acfg/1 shard cache — same as `magic cache build`;
+                 prints a node/edge decile histogram of what was cached)
     magic cache build --corpus <mskcfg|yancfg> --cache-dir <dir> [--seed S]
-                [--scale S] [--shards N] [--workers N] [--force]
+                [--scale S] [--reduce R] [--shards N] [--workers N] [--force]
                 (shard generation + extraction across workers and write
-                 binary ACFG shards keyed by the (corpus, seed, scale)
-                 fingerprint; a rerun with a matching fingerprint is a
-                 no-op. Format spec: DESIGN.md)
-    magic cache info --cache-dir <dir>
+                 binary ACFG shards keyed by the (corpus, seed, scale,
+                 reduce) fingerprint; a rerun with a matching fingerprint
+                 is a no-op. Shards store *reduced* graphs, so a cache
+                 built under one --reduce never serves another. Format
+                 spec: DESIGN.md)
+    magic cache info --cache-dir <dir> [--corpus C [--seed S] [--scale S]
+                [--reduce R]]
                 (validate every shard checksum and print the manifest:
-                 fingerprint, samples, per-shard records/bytes)
+                 fingerprint, samples, per-shard records/bytes. With
+                 --corpus, also recompute the expected fingerprint from
+                 the given identity flags and exit non-zero on mismatch
+                 — e.g. a cache built under a different --reduce)
     magic train --corpus <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
-                [--train-workers N] [--batched] [--intra-op-threads N]
+                [--reduce R] [--train-workers N] [--batched]
+                [--intra-op-threads N]
                 [--cache-dir <dir>] [--cache <ram|stream>]
                 --out <model.magic>
                 (--train-workers 0 = auto; results are identical for any N.
                  --batched fuses each mini-batch into one block-diagonal
                  pass — bitwise identical, usually faster; pair with
                  --intra-op-threads to thread the kernels instead.
+                 --reduce shrinks every graph before training (see
+                 REDUCE VALUES below); the strategy is recorded in the
+                 model header so predict/serve reduce identically.
                  --cache-dir trains from the shard cache, building it
                  first if missing; --cache stream keeps shards on disk
                  and prefetches batches on a background thread — bitwise
                  identical to the in-memory path)
-    magic predict --model <model.magic> <listing.asm>...
-    magic serve --model <model.magic> [--addr HOST:PORT] [--workers N]
+    magic predict --model <model.magic> [--reduce R] <listing.asm>...
+                (--reduce overrides the training-time strategy recorded
+                 in the model header; default is to match training)
+    magic serve --model <model.magic> [--reduce R] [--addr HOST:PORT] [--workers N]
                 [--io-threads N] [--max-batch N] [--batch-window-us U]
                 [--queue-depth N] [--deadline-ms MS]
                 [--access-log <access.jsonl>] [--metrics-window S]
@@ -110,7 +123,8 @@ USAGE:
                  Protocol + tuning: docs/SERVING.md)
     magic info --model <model.magic>
     magic profile <mskcfg|yancfg> [--scale S] [--epochs N] [--seed S]
-                [--train-workers N] [--batched] [--intra-op-threads N]
+                [--reduce R] [--train-workers N] [--batched]
+                [--intra-op-threads N]
                 [--cache-dir <dir>] [--cache <ram|stream>]
                 [--trace <out.jsonl>]
                 (train under the op profiler; print per-op time/FLOP
@@ -126,6 +140,16 @@ USAGE:
                 [--require-same-machine]
                 (compare results/BENCH_*.json files; exit non-zero when
                 any row slows down more than F, default 0.20 = +20%)
+
+REDUCE VALUES (--reduce, default none):
+    none                 leave graphs untouched
+    chain                collapse single-in/single-out basic-block chains
+    prune                drop low-information degree-1 leaf blocks,
+                         folding their attributes into the neighbour
+    coarsen[:K]          Weisfeiler-Lehman supernode coarsening with K
+                         refinement rounds (default 2; fewer = coarser)
+    All strategies are deterministic and idempotent; reduction semantics
+    and the determinism contract are specified in DESIGN.md.
 
 GLOBAL OPTIONS:
     --trace <path>       stream a magic-trace/2 JSONL telemetry trace to
@@ -145,6 +169,15 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let value = args.remove(pos + 1);
     args.remove(pos);
     Some(value)
+}
+
+/// Pulls `--reduce <none|chain|prune|coarsen[:K]>` out of an argument
+/// list, defaulting to [`ReduceStrategy::None`] when absent.
+fn take_reduce(args: &mut Vec<String>) -> Result<ReduceStrategy, String> {
+    take_flag(args, "--reduce")
+        .map(|s| ReduceStrategy::parse(&s).map_err(|e| e.to_string()))
+        .transpose()
+        .map(Option::unwrap_or_default)
 }
 
 /// Pulls a boolean `--flag` out of an argument list.
@@ -197,8 +230,8 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
 }
 
 /// Parses the shared cache identity flags (`--corpus --seed --scale
-/// --shards`) into a [`CacheSpec`], with the same seed/scale defaults
-/// as `train`.
+/// --reduce --shards`) into a [`CacheSpec`], with the same
+/// seed/scale/reduce defaults as `train`.
 fn parse_cache_spec(args: &mut Vec<String>) -> Result<CacheSpec, String> {
     let corpus = take_flag(args, "--corpus").ok_or("cache build requires --corpus")?;
     Ok(CacheSpec {
@@ -211,6 +244,7 @@ fn parse_cache_spec(args: &mut Vec<String>) -> Result<CacheSpec, String> {
             .map(|s| s.parse().map_err(|_| "bad --scale"))
             .transpose()?
             .unwrap_or(0.01),
+        reduce: take_reduce(args)?,
         shards: take_flag(args, "--shards")
             .map(|s| s.parse().map_err(|_| "bad --shards"))
             .transpose()?
@@ -232,27 +266,55 @@ fn cmd_cache_build(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let m = &outcome.manifest;
     println!(
-        "{} cache {dir}: corpus {}, fingerprint {:016x}, {} samples in {} shard(s), {:.2} MiB",
+        "{} cache {dir}: corpus {}, reduce {}, fingerprint {:016x}, \
+         {} samples in {} shard(s), {:.2} MiB",
         if outcome.rebuilt { "built" } else { "up-to-date" },
         m.corpus,
+        m.reduce,
         m.fingerprint,
         m.samples,
         m.shards.len(),
         outcome.bytes as f64 / (1024.0 * 1024.0),
     );
+    // Per-corpus size distribution of what was cached (post-reduction):
+    // node/edge deciles over every graph in the shards.
+    let loaded =
+        corpus_cache::load(std::path::Path::new(&dir), Some(spec.fingerprint()), workers)
+            .map_err(|e| e.to_string())?;
+    println!("{}", SizeHistogram::of(&loaded.acfgs).render());
     Ok(())
 }
 
 fn cmd_cache_info(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let dir = take_flag(&mut args, "--cache-dir").ok_or("cache info requires --cache-dir")?;
+    // Optional expectation flags: when --corpus is given, recompute the
+    // fingerprint the caller *expects* (same defaults as `cache build`)
+    // and fail with the typed mismatch error if the cache on disk was
+    // built under a different identity — e.g. a different --reduce
+    // strategy. This is how CI asserts a cache can never silently serve
+    // a strategy it was not built with.
+    let expected = if args.iter().any(|a| a == "--corpus") {
+        Some(parse_cache_spec(&mut args)?.fingerprint())
+    } else {
+        None
+    };
     // Opening the streamed view checksums every shard, so a clean exit
     // doubles as an integrity check.
     let corpus = StreamedCorpus::open(std::path::Path::new(&dir), None)
         .map_err(|e| format!("{dir}: {e}"))?;
     let m = corpus.manifest();
+    if let Some(expected) = expected {
+        if expected != m.fingerprint {
+            let err = CacheError::FingerprintMismatch { expected, found: m.fingerprint };
+            return Err(format!("{dir}: {err}"));
+        }
+    }
     println!("cache {dir} (magic-acfg/1, all shard checksums verified)");
-    println!("  corpus:      {} (seed {}, scale {})", m.corpus, m.seed, m.scale);
+    println!(
+        "  corpus:      {} (seed {}, scale {}, reduce {})",
+        m.corpus, m.seed, m.scale, m.reduce
+    );
     println!("  fingerprint: {:016x}", m.fingerprint);
     println!("  samples:     {} across {} class(es)", m.samples, m.class_names.len());
     for (i, shard) in m.shards.iter().enumerate() {
@@ -273,6 +335,8 @@ struct TrainKnobs {
     train_workers: usize,
     batched: bool,
     intra_op_threads: usize,
+    /// Graph-reduction strategy applied to every training graph.
+    reduce: ReduceStrategy,
     /// Shard-cache directory; corpus is built there on first use.
     cache_dir: Option<String>,
     /// With a cache: stream shards from disk instead of loading to RAM.
@@ -283,6 +347,7 @@ impl TrainKnobs {
     fn parse(args: &mut Vec<String>, default_epochs: usize) -> Result<Self, String> {
         Ok(TrainKnobs {
             batched: take_switch(args, "--batched"),
+            reduce: take_reduce(args)?,
             cache_dir: take_flag(args, "--cache-dir"),
             stream: match take_flag(args, "--cache").as_deref() {
                 None | Some("ram") => false,
@@ -317,8 +382,21 @@ impl TrainKnobs {
 type CorpusData = (Vec<GraphInput>, Vec<usize>, Vec<String>);
 
 /// Generates a synthetic corpus and runs it through the real extraction
-/// pipeline, yielding model inputs, labels, and family names.
-fn build_corpus(corpus: &str, seed: u64, scale: f64) -> Result<CorpusData, String> {
+/// pipeline (and the chosen reduction), yielding model inputs, labels,
+/// and family names.
+fn build_corpus(
+    corpus: &str,
+    seed: u64,
+    scale: f64,
+    reduce: ReduceStrategy,
+) -> Result<CorpusData, String> {
+    let input_for = |acfg: &magic_graph::Acfg| {
+        if reduce.is_none() {
+            GraphInput::from_acfg(acfg)
+        } else {
+            GraphInput::from_acfg(&reduce.apply(acfg))
+        }
+    };
     match corpus {
         "mskcfg" => {
             let samples = {
@@ -332,7 +410,7 @@ fn build_corpus(corpus: &str, seed: u64, scale: f64) -> Result<CorpusData, Strin
             let mut inputs = Vec::with_capacity(samples.len());
             for s in &samples {
                 let acfg = extract_acfg(&s.listing).map_err(|e| e.to_string())?;
-                inputs.push(GraphInput::from_acfg(&acfg));
+                inputs.push(input_for(&acfg));
             }
             let labels = samples.iter().map(|s| s.label).collect();
             Ok((inputs, labels, MSKCFG_FAMILIES.iter().map(|s| s.to_string()).collect()))
@@ -346,7 +424,7 @@ fn build_corpus(corpus: &str, seed: u64, scale: f64) -> Result<CorpusData, Strin
                 magic_obs::stage::CORPUS_EXTRACT,
                 &[("listings", samples.len() as f64)],
             );
-            let inputs = samples.iter().map(|s| GraphInput::from_acfg(&s.acfg)).collect();
+            let inputs = samples.iter().map(|s| input_for(&s.acfg)).collect();
             let labels = samples.iter().map(|s| s.label).collect();
             Ok((inputs, labels, YANCFG_FAMILIES.iter().map(|s| s.to_string()).collect()))
         }
@@ -373,6 +451,7 @@ fn run_training(
             corpus: CorpusKind::parse(corpus)?,
             seed: knobs.seed,
             scale: knobs.scale,
+            reduce: knobs.reduce,
             shards: DEFAULT_SHARDS,
         };
         let dir = std::path::Path::new(dir);
@@ -405,12 +484,18 @@ fn run_training(
         if knobs.stream {
             return Err("--cache stream requires --cache-dir".into());
         }
-        let (inputs, labels, families) = build_corpus(corpus, knobs.seed, knobs.scale)?;
+        let (inputs, labels, families) =
+            build_corpus(corpus, knobs.seed, knobs.scale, knobs.reduce)?;
         (CorpusSource::Ram(inputs), labels, families)
     };
     magic_obs::log(
         magic_obs::Level::Info,
-        format!("corpus: {} samples, {} families", labels.len(), families.len()),
+        format!(
+            "corpus: {} samples, {} families, reduce {}",
+            labels.len(),
+            families.len(),
+            knobs.reduce.name()
+        ),
     );
 
     // The Table II best architecture for the chosen corpus.
@@ -500,7 +585,13 @@ fn run_training(
             last.val_accuracy * 100.0
         ),
     );
-    let header = ModelHeader { corpus: corpus.to_string(), families, params, graph_sizes };
+    let header = ModelHeader {
+        corpus: corpus.to_string(),
+        families,
+        params,
+        graph_sizes,
+        reduce: knobs.reduce.name(),
+    };
     Ok((model, header, outcome))
 }
 
@@ -716,16 +807,33 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The reduction strategy for inference: an explicit `--reduce` CLI
+/// override if present, else whatever the model was trained with
+/// (recorded in its header) — serving a model with a different
+/// reduction than it trained on silently degrades accuracy.
+fn inference_reduce(
+    flag: Option<String>,
+    header: &ModelHeader,
+) -> Result<ReduceStrategy, String> {
+    match flag {
+        Some(s) => ReduceStrategy::parse(&s).map_err(|e| e.to_string()),
+        None => ReduceStrategy::parse(&header.reduce)
+            .map_err(|e| format!("model header: {e}")),
+    }
+}
+
 fn cmd_predict(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let model_path = take_flag(&mut args, "--model").ok_or("predict requires --model")?;
+    let reduce_flag = take_flag(&mut args, "--reduce");
     if args.is_empty() {
         return Err("predict requires at least one listing path".into());
     }
     let text = std::fs::read_to_string(&model_path)
         .map_err(|e| format!("cannot read {model_path}: {e}"))?;
     let (header, model) = deserialize_model(&text)?;
-    let pipeline = MagicPipeline::new(model, header.families);
+    let reduce = inference_reduce(reduce_flag, &header)?;
+    let pipeline = MagicPipeline::with_reduce(model, header.families, reduce);
 
     for path in &args {
         let listing =
@@ -769,6 +877,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.metrics_window_s = v.parse().map_err(|_| "bad --metrics-window")?;
     }
     config.access_log = take_flag(&mut args, "--access-log");
+    let reduce_flag = take_flag(&mut args, "--reduce");
     if let Some(unknown) = args.first() {
         return Err(format!("serve does not take {unknown:?}"));
     }
@@ -776,15 +885,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(&model_path)
         .map_err(|e| format!("cannot read {model_path}: {e}"))?;
     let (header, model) = deserialize_model(&text)?;
-    let pipeline = MagicPipeline::new(model, header.families);
+    let reduce = inference_reduce(reduce_flag, &header)?;
+    let pipeline = MagicPipeline::with_reduce(model, header.families, reduce);
     let handle = magic_serve::start(pipeline, config.clone())
         .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     magic_obs::log(
         magic_obs::Level::Info,
         format!(
-            "serving {} model on http://{} ({} worker(s), max batch {}, window {}us; \
-             stop with POST /admin/shutdown)",
+            "serving {} model (reduce {}) on http://{} ({} worker(s), max batch {}, \
+             window {}us; stop with POST /admin/shutdown)",
             header.corpus,
+            reduce.name(),
             handle.addr(),
             config.workers,
             config.max_batch,
@@ -805,6 +916,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("corpus:   {}", header.corpus);
     println!("families: {}", header.families.join(", "));
     println!("params:   {}", header.params);
+    println!("reduce:   {}", header.reduce);
     println!("weights:  {}", model.num_weights());
     Ok(())
 }

@@ -22,7 +22,7 @@ use magic_data::{
     cache_fingerprint, write_shard, CacheError, CacheManifest, ShardMeta, ShardRecord,
     ShardStream, StreamedCorpus,
 };
-use magic_graph::Acfg;
+use magic_graph::{Acfg, ReduceStrategy};
 use magic_model::GraphInput;
 use magic_synth::{MskcfgGenerator, YancfgGenerator, MSKCFG_FAMILIES, YANCFG_FAMILIES};
 use std::fmt;
@@ -87,6 +87,9 @@ pub struct CacheSpec {
     pub seed: u64,
     /// Generator scale (fraction of the paper's per-family counts).
     pub scale: f64,
+    /// Graph-reduction strategy applied to every sample before it is
+    /// written into the shards.
+    pub reduce: ReduceStrategy,
     /// Number of shard files to split the corpus across.
     pub shards: usize,
 }
@@ -94,9 +97,10 @@ pub struct CacheSpec {
 impl CacheSpec {
     /// Configuration fingerprint (shard count excluded — shards chunk
     /// the same sample sequence contiguously, so layout never changes
-    /// sample identity or order).
+    /// sample identity or order; the reduce strategy *is* included,
+    /// because shards store already-reduced graphs).
     pub fn fingerprint(&self) -> u64 {
-        cache_fingerprint(self.corpus.name(), self.seed, self.scale)
+        cache_fingerprint(self.corpus.name(), self.seed, self.scale, &self.reduce.name())
     }
 }
 
@@ -124,10 +128,12 @@ pub struct LoadedCorpus {
     pub class_names: Vec<String>,
 }
 
-/// Renders every sample of `spec`'s corpus in parallel and returns the
-/// records in canonical (`generate()`) order.
+/// Renders every sample of `spec`'s corpus in parallel (including
+/// `spec.reduce` reduction — shards store reduced graphs) and returns
+/// the records in canonical (`generate()`) order.
 fn render_records(spec: &CacheSpec, workers: usize) -> Result<Vec<ShardRecord>, CacheError> {
     let executor = executor_for(workers);
+    let reduce = spec.reduce;
     match spec.corpus {
         CorpusKind::Mskcfg => {
             let mut generator = MskcfgGenerator::new(spec.seed, spec.scale);
@@ -137,7 +143,7 @@ fn render_records(spec: &CacheSpec, workers: usize) -> Result<Vec<ShardRecord>, 
                 let (label, mut rng) = plan[i].clone();
                 let sample = MskcfgGenerator::render(profiles, label, &mut rng);
                 extract_acfg(&sample.listing)
-                    .map(|acfg| ShardRecord { label, acfg })
+                    .map(|acfg| ShardRecord { label, acfg: reduce.apply(&acfg) })
                     .map_err(|e| format!("sample {i}: {e}"))
             });
             rendered
@@ -152,7 +158,7 @@ fn render_records(spec: &CacheSpec, workers: usize) -> Result<Vec<ShardRecord>, 
             Ok(run_indexed(executor.as_ref(), plan.len(), |_worker, i| {
                 let (label, mut rng) = plan[i].clone();
                 let sample = YancfgGenerator::render(profiles, label, &mut rng);
-                ShardRecord { label, acfg: sample.acfg }
+                ShardRecord { label, acfg: reduce.apply(&sample.acfg) }
             }))
         }
     }
@@ -215,6 +221,7 @@ pub fn build(dir: &Path, spec: &CacheSpec, workers: usize, force: bool) -> Resul
         corpus: spec.corpus.name().to_string(),
         seed: spec.seed,
         scale: spec.scale,
+        reduce: spec.reduce.name(),
         samples: records.len(),
         class_names: spec.corpus.class_names(),
         shards,
@@ -284,7 +291,7 @@ mod tests {
     }
 
     fn tiny_spec(corpus: CorpusKind) -> CacheSpec {
-        CacheSpec { corpus, seed: 7, scale: 0.002, shards: 3 }
+        CacheSpec { corpus, seed: 7, scale: 0.002, reduce: ReduceStrategy::None, shards: 3 }
     }
 
     #[test]
@@ -324,7 +331,13 @@ mod tests {
     #[test]
     fn mskcfg_cache_round_trips_through_extraction() {
         let dir = tmp_dir("msk");
-        let spec = CacheSpec { corpus: CorpusKind::Mskcfg, seed: 11, scale: 0.001, shards: 2 };
+        let spec = CacheSpec {
+            corpus: CorpusKind::Mskcfg,
+            seed: 11,
+            scale: 0.001,
+            reduce: ReduceStrategy::None,
+            shards: 2,
+        };
         let outcome = build(&dir, &spec, 2, false).unwrap();
         assert!(outcome.rebuilt);
         let loaded = load(&dir, Some(spec.fingerprint()), 2).unwrap();
@@ -340,6 +353,32 @@ mod tests {
             assert_eq!(a.vertex_count(), b.vertex_count());
             assert_eq!(a.attributes().as_slice(), b.attributes().as_slice());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reduced_cache_stores_reduced_graphs_and_gates_by_strategy() {
+        let dir = tmp_dir("reduced");
+        let spec = CacheSpec { reduce: ReduceStrategy::Chain, ..tiny_spec(CorpusKind::Yancfg) };
+        let outcome = build(&dir, &spec, 2, false).unwrap();
+        assert!(outcome.rebuilt);
+        assert_eq!(outcome.manifest.reduce, "chain");
+
+        // Shards hold graphs that chain-collapse already fixed.
+        let loaded = load(&dir, Some(spec.fingerprint()), 2).unwrap();
+        let unreduced = YancfgGenerator::new(spec.seed, spec.scale).generate();
+        let mut shrank = false;
+        for (cached, fresh) in loaded.acfgs.iter().zip(&unreduced) {
+            assert_eq!(cached, &ReduceStrategy::Chain.apply(&fresh.acfg));
+            shrank |= cached.vertex_count() < fresh.acfg.vertex_count();
+        }
+        assert!(shrank, "chain collapse must shrink at least one yancfg graph");
+
+        // A cache built with one strategy never silently serves another.
+        let other = CacheSpec { reduce: ReduceStrategy::None, ..spec };
+        assert_ne!(spec.fingerprint(), other.fingerprint());
+        let err = load(&dir, Some(other.fingerprint()), 1).unwrap_err();
+        assert!(matches!(err, CacheError::FingerprintMismatch { .. }));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

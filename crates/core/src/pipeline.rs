@@ -3,7 +3,7 @@
 
 use crate::executor::{run_indexed, SerialExecutor, ThreadedExecutor};
 use magic_asm::{parse_listing, CfgBuilder, ParseError};
-use magic_graph::Acfg;
+use magic_graph::{Acfg, ReduceStrategy};
 use magic_model::{Dgcnn, GraphInput};
 use std::error::Error;
 use std::fmt;
@@ -83,21 +83,40 @@ pub fn extract_acfgs_parallel(
 pub struct MagicPipeline {
     model: Dgcnn,
     family_names: Vec<String>,
+    reduce: ReduceStrategy,
 }
 
 impl MagicPipeline {
-    /// Wraps a trained model with its family vocabulary.
+    /// Wraps a trained model with its family vocabulary (no graph
+    /// reduction — equivalent to [`with_reduce`](Self::with_reduce) and
+    /// [`ReduceStrategy::None`]).
     ///
     /// # Panics
     ///
     /// Panics if the name count differs from the model's class count.
     pub fn new(model: Dgcnn, family_names: Vec<String>) -> Self {
+        Self::with_reduce(model, family_names, ReduceStrategy::None)
+    }
+
+    /// Wraps a trained model with its family vocabulary and the graph
+    /// reduction the model was trained with. Every incoming graph —
+    /// extracted or pre-extracted — passes through the same strategy
+    /// before inference, so serving matches training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name count differs from the model's class count.
+    pub fn with_reduce(
+        model: Dgcnn,
+        family_names: Vec<String>,
+        reduce: ReduceStrategy,
+    ) -> Self {
         assert_eq!(
             model.config().num_classes,
             family_names.len(),
             "one family name per class required"
         );
-        MagicPipeline { model, family_names }
+        MagicPipeline { model, family_names, reduce }
     }
 
     /// The wrapped model.
@@ -108,6 +127,23 @@ impl MagicPipeline {
     /// The family vocabulary.
     pub fn family_names(&self) -> &[String] {
         &self.family_names
+    }
+
+    /// The reduction strategy applied to every graph before inference.
+    pub fn reduce(&self) -> ReduceStrategy {
+        self.reduce
+    }
+
+    /// Builds the model input for an ACFG, applying this pipeline's
+    /// reduction strategy first. Idempotence of the strategies makes
+    /// this safe for graphs that were already reduced upstream (e.g. a
+    /// client sending pre-reduced ACFGs).
+    pub fn input_for(&self, acfg: &Acfg) -> GraphInput {
+        if self.reduce.is_none() {
+            GraphInput::from_acfg(acfg)
+        } else {
+            GraphInput::from_acfg(&self.reduce.apply(acfg))
+        }
     }
 
     /// Classifies one listing, returning `(family name, probability)`.
@@ -123,7 +159,7 @@ impl MagicPipeline {
 
     /// Classifies a pre-extracted ACFG.
     pub fn classify_acfg(&self, acfg: &Acfg) -> (&str, f32) {
-        let probs = self.model.predict(&GraphInput::from_acfg(acfg));
+        let probs = self.model.predict(&self.input_for(acfg));
         let (best, p) = probs
             .iter()
             .enumerate()
@@ -134,7 +170,7 @@ impl MagicPipeline {
 
     /// Full probability distribution over families for an ACFG.
     pub fn family_distribution(&self, acfg: &Acfg) -> Vec<(&str, f32)> {
-        let probs = self.model.predict(&GraphInput::from_acfg(acfg));
+        let probs = self.model.predict(&self.input_for(acfg));
         self.family_names
             .iter()
             .map(String::as_str)
@@ -219,6 +255,27 @@ mod tests {
         let dist = pipeline.family_distribution(&extract_acfg(LISTING).unwrap());
         let total: f32 = dist.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reduced_pipeline_matches_manual_reduction() {
+        let config = DgcnnConfig::new(3, PoolingHead::sort_pool_weighted(8));
+        let model = Dgcnn::new(&config, 4);
+        let pipeline = MagicPipeline::with_reduce(
+            model,
+            vec!["Ramnit".into(), "Vundo".into(), "Gatak".into()],
+            ReduceStrategy::Chain,
+        );
+        let acfg = extract_acfg(LISTING).unwrap();
+        let reduced = ReduceStrategy::Chain.apply(&acfg);
+        // The pipeline reduces internally; feeding a pre-reduced graph
+        // is bitwise identical (idempotence).
+        let a = pipeline.family_distribution(&acfg);
+        let b = pipeline.family_distribution(&reduced);
+        for ((fa, pa), (fb, pb)) in a.iter().zip(&b) {
+            assert_eq!(fa, fb);
+            assert_eq!(pa.to_bits(), pb.to_bits());
+        }
     }
 
     #[test]

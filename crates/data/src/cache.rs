@@ -181,17 +181,22 @@ impl Fnv64 {
 /// Two caches share a fingerprint exactly when they hold the same
 /// samples in the same canonical order: the hash covers the format
 /// version, the generator name, the exact seed, the exact `f64` bit
-/// pattern of the scale, and the attribute schema width. Shard *count*
-/// is deliberately excluded — shards split the canonical sample
+/// pattern of the scale, the attribute schema width, and the canonical
+/// graph-reduction strategy name (`"none"`, `"chain"`, `"prune"`,
+/// `"coarsen:<rounds>"`). Shards store *reduced* graphs, so a cache
+/// built with one strategy must never silently serve another — the
+/// strategy is part of the identity, not a load-time option. Shard
+/// *count* is deliberately excluded — shards split the canonical sample
 /// sequence into contiguous chunks, so relayouts with a different shard
 /// count still decode to the identical corpus.
-pub fn cache_fingerprint(corpus: &str, seed: u64, scale: f64) -> u64 {
+pub fn cache_fingerprint(corpus: &str, seed: u64, scale: f64, reduce: &str) -> u64 {
     let mut h = Fnv64::new();
     h.update(&CACHE_VERSION.to_le_bytes());
     h.update(corpus.as_bytes());
     h.update(&seed.to_le_bytes());
     h.update(&scale.to_bits().to_le_bytes());
     h.update(&(NUM_ATTRIBUTES as u32).to_le_bytes());
+    h.update(reduce.as_bytes());
     h.finish()
 }
 
@@ -637,6 +642,9 @@ pub struct CacheManifest {
     pub seed: u64,
     /// Generator scale.
     pub scale: f64,
+    /// Canonical graph-reduction strategy name the shards were built
+    /// with (`"none"` when graphs are stored unreduced).
+    pub reduce: String,
     /// Total samples across all shards.
     pub samples: usize,
     /// Class names, indexable by record label.
@@ -676,6 +684,7 @@ impl CacheManifest {
             "seed": (self.seed as f64),
             "scale": (self.scale),
             "scale_bits": (format!("{:#018x}", self.scale.to_bits())),
+            "reduce": (self.reduce.as_str()),
             "samples": (self.samples as f64),
             "class_names": (self.class_names.clone()),
             "shards": shards,
@@ -718,6 +727,9 @@ impl CacheManifest {
         let seed = value["seed"]
             .as_u64()
             .ok_or_else(|| CacheError::Manifest("missing seed".into()))?;
+        // Manifests written before the reduction stage carry no
+        // `reduce` key; they hold unreduced graphs by definition.
+        let reduce = value["reduce"].as_str().unwrap_or("none").to_string();
         let samples = value["samples"]
             .as_u64()
             .ok_or_else(|| CacheError::Manifest("missing samples".into()))?
@@ -751,7 +763,7 @@ impl CacheManifest {
         if shards.is_empty() {
             return Err(CacheError::Manifest("manifest lists zero shards".into()));
         }
-        Ok(CacheManifest { fingerprint, corpus, seed, scale, samples, class_names, shards })
+        Ok(CacheManifest { fingerprint, corpus, seed, scale, reduce, samples, class_names, shards })
     }
 }
 
@@ -792,7 +804,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("shard.acfg");
         let records: Vec<ShardRecord> = (0..6).map(|i| toy_record(i as u64, i % 3)).collect();
-        let fp = cache_fingerprint("toy", 1, 0.5);
+        let fp = cache_fingerprint("toy", 1, 0.5, "none");
         write_shard(&path, fp, 0, 1, &records).unwrap();
 
         let mut reader = ShardReader::open(&path).unwrap();
@@ -813,11 +825,27 @@ mod tests {
 
     #[test]
     fn fingerprint_separates_configurations() {
-        let base = cache_fingerprint("mskcfg", 7, 0.01);
-        assert_ne!(cache_fingerprint("yancfg", 7, 0.01), base);
-        assert_ne!(cache_fingerprint("mskcfg", 8, 0.01), base);
-        assert_ne!(cache_fingerprint("mskcfg", 7, 0.02), base);
-        assert_eq!(cache_fingerprint("mskcfg", 7, 0.01), base);
+        let base = cache_fingerprint("mskcfg", 7, 0.01, "none");
+        assert_ne!(cache_fingerprint("yancfg", 7, 0.01, "none"), base);
+        assert_ne!(cache_fingerprint("mskcfg", 8, 0.01, "none"), base);
+        assert_ne!(cache_fingerprint("mskcfg", 7, 0.02, "none"), base);
+        assert_eq!(cache_fingerprint("mskcfg", 7, 0.01, "none"), base);
+    }
+
+    #[test]
+    fn fingerprint_separates_reduce_strategies() {
+        let strategies = ["none", "chain", "prune", "coarsen:1", "coarsen:2"];
+        let prints: Vec<u64> =
+            strategies.iter().map(|r| cache_fingerprint("mskcfg", 7, 0.01, r)).collect();
+        for i in 0..prints.len() {
+            for j in (i + 1)..prints.len() {
+                assert_ne!(
+                    prints[i], prints[j],
+                    "strategies {} and {} must not share a fingerprint",
+                    strategies[i], strategies[j]
+                );
+            }
+        }
     }
 
     #[test]
@@ -825,10 +853,11 @@ mod tests {
         let dir = std::env::temp_dir().join("magic-cache-test-manifest");
         std::fs::create_dir_all(&dir).unwrap();
         let manifest = CacheManifest {
-            fingerprint: cache_fingerprint("mskcfg", 7, 0.01),
+            fingerprint: cache_fingerprint("mskcfg", 7, 0.01, "chain"),
             corpus: "mskcfg".into(),
             seed: 7,
             scale: 0.01,
+            reduce: "chain".into(),
             samples: 131,
             class_names: vec!["A".into(), "B".into()],
             shards: vec![ShardMeta { file: "shard-0000.acfg".into(), records: 131, bytes: 9000 }],
@@ -839,10 +868,37 @@ mod tests {
         assert_eq!(back.corpus, "mskcfg");
         assert_eq!(back.seed, 7);
         assert_eq!(back.scale.to_bits(), manifest.scale.to_bits());
+        assert_eq!(back.reduce, "chain");
         assert_eq!(back.samples, 131);
         assert_eq!(back.class_names, manifest.class_names);
         assert_eq!(back.shards.len(), 1);
         assert_eq!(back.shards[0].records, 131);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_without_reduce_key_defaults_to_none() {
+        let dir = std::env::temp_dir().join("magic-cache-test-manifest-compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-reduction manifest: no "reduce" key at all.
+        let text = format!(
+            r#"{{
+  "format": "{CACHE_SCHEMA_NAME}",
+  "version": 1,
+  "fingerprint": "0x0000000000000001",
+  "corpus": "mskcfg",
+  "seed": 7,
+  "scale": 0.01,
+  "scale_bits": "{:#018x}",
+  "samples": 3,
+  "class_names": ["A"],
+  "shards": [{{"file": "shard-0000.acfg", "records": 3, "bytes": 100}}]
+}}"#,
+            0.01f64.to_bits()
+        );
+        std::fs::write(CacheManifest::path(&dir), text).unwrap();
+        let back = CacheManifest::load(&dir).unwrap();
+        assert_eq!(back.reduce, "none");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -277,7 +277,7 @@ mod tests {
 
     fn write_toy_cache(dir: &Path, shard_sizes: &[usize]) -> Vec<ShardRecord> {
         std::fs::create_dir_all(dir).unwrap();
-        let fp = cache_fingerprint("toy", 1, 1.0);
+        let fp = cache_fingerprint("toy", 1, 1.0, "none");
         let mut all = Vec::new();
         let mut shards = Vec::new();
         let mut next = 0u64;
@@ -299,6 +299,7 @@ mod tests {
             corpus: "toy".into(),
             seed: 1,
             scale: 1.0,
+            reduce: "none".into(),
             samples: all.len(),
             class_names: vec!["a".into(), "b".into(), "c".into()],
             shards,

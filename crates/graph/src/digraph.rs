@@ -7,6 +7,14 @@ use std::collections::VecDeque;
 /// Used by the synthetic corpus generators and as the structural half of
 /// an [`crate::Acfg`].
 ///
+/// Adjacency rows are kept **canonical**: each successor list is sorted
+/// ascending and duplicate-free regardless of insertion order, and
+/// self-loops are stored like any other edge. Two graphs with the same
+/// edge set therefore compare equal and serialize identically, and CSR
+/// construction never sees a non-canonical row — a hard requirement for
+/// the reduction stage, whose rewiring would otherwise depend on
+/// contraction visit order.
+///
 /// # Example
 ///
 /// ```
@@ -46,7 +54,23 @@ impl DiGraph {
         self.succ.len() - 1
     }
 
-    /// Adds edge `u → v` (idempotent). Returns whether it was new.
+    /// Builds a graph from an edge list (duplicates collapse, order is
+    /// irrelevant — the result is canonical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds edge `u → v` (idempotent — duplicates are deduplicated at
+    /// construction, and the successor row stays sorted ascending).
+    /// Self-loops are permitted. Returns whether the edge was new.
     ///
     /// # Panics
     ///
@@ -54,17 +78,19 @@ impl DiGraph {
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
         let n = self.vertex_count();
         assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
-        if self.succ[u].contains(&v) {
-            return false;
+        match self.succ[u].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.succ[u].insert(pos, v);
+                self.edge_count += 1;
+                true
+            }
         }
-        self.succ[u].push(v);
-        self.edge_count += 1;
-        true
     }
 
     /// Whether edge `u → v` exists.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.succ.get(u).is_some_and(|s| s.contains(&v))
+        self.succ.get(u).is_some_and(|s| s.binary_search(&v).is_ok())
     }
 
     /// Successors of `u`.
@@ -253,5 +279,46 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn add_edge_checks_bounds() {
         DiGraph::new(1).add_edge(0, 1);
+    }
+
+    #[test]
+    fn adjacency_is_canonical_regardless_of_insertion_order() {
+        let a = DiGraph::from_edges(4, [(0, 3), (0, 1), (0, 2), (2, 1)]);
+        let b = DiGraph::from_edges(4, [(2, 1), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(a, b, "same edge set must yield the same graph");
+        assert_eq!(a.successors(0), &[1, 2, 3], "rows are sorted ascending");
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>(),
+            "edge iteration order is canonical"
+        );
+    }
+
+    #[test]
+    fn self_loops_are_stored_and_deduplicated() {
+        let mut g = DiGraph::new(2);
+        assert!(g.add_edge(1, 1));
+        assert!(!g.add_edge(1, 1), "duplicate self-loop collapses");
+        g.add_edge(1, 0);
+        assert!(g.has_edge(1, 1));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.successors(1), &[0, 1]);
+        assert_eq!(g.in_degrees(), vec![1, 1], "self-loop counts as an in-edge");
+    }
+
+    #[test]
+    fn duplicate_edges_never_reach_csr_rows() {
+        let mut g = DiGraph::new(3);
+        for _ in 0..3 {
+            g.add_edge(0, 2);
+            g.add_edge(0, 1);
+        }
+        assert_eq!(g.edge_count(), 2);
+        let (csr, _) = g.augmented_csr();
+        // Row 0 of Â: self loop + two distinct successors, all weight 1.
+        assert_eq!(csr.nnz(), 2 + 3);
+        let dense = csr.to_dense();
+        assert_eq!(dense.get2(0, 1), 1.0);
+        assert_eq!(dense.get2(0, 2), 1.0);
     }
 }

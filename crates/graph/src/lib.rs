@@ -21,8 +21,13 @@
 
 mod acfg;
 mod digraph;
+mod reduce;
 mod stats;
 
 pub use acfg::{Acfg, AcfgParseError, Attribute, NUM_ATTRIBUTES};
 pub use digraph::DiGraph;
-pub use stats::GraphStats;
+pub use reduce::{
+    ReduceParseError, ReduceReport, ReduceStrategy, DEFAULT_COARSEN_ROUNDS,
+    PRUNE_MAX_INSTRUCTIONS,
+};
+pub use stats::{GraphStats, SizeHistogram};

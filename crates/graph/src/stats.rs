@@ -46,6 +46,75 @@ impl GraphStats {
     }
 }
 
+/// Per-corpus graph-size deciles (node and edge counts), used by the
+/// `magic extract` summary so reduction levels can be chosen from data
+/// rather than guessed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SizeHistogram {
+    /// Number of graphs summarized.
+    pub graphs: usize,
+    /// Vertex-count deciles: 11 values at p0 (min), p10, …, p100 (max).
+    pub node_deciles: Vec<usize>,
+    /// Edge-count deciles, same layout.
+    pub edge_deciles: Vec<usize>,
+}
+
+impl SizeHistogram {
+    /// Computes node/edge-count deciles over a corpus of ACFGs. Returns
+    /// the default (empty) histogram for an empty corpus.
+    pub fn of(acfgs: &[Acfg]) -> Self {
+        if acfgs.is_empty() {
+            return SizeHistogram::default();
+        }
+        let mut nodes: Vec<usize> = acfgs.iter().map(Acfg::vertex_count).collect();
+        let mut edges: Vec<usize> = acfgs.iter().map(Acfg::edge_count).collect();
+        nodes.sort_unstable();
+        edges.sort_unstable();
+        let decile = |sorted: &[usize]| -> Vec<usize> {
+            (0..=10)
+                .map(|d| {
+                    // Nearest-rank percentile over the sorted counts.
+                    let idx = (d * (sorted.len() - 1) + 5) / 10;
+                    sorted[idx]
+                })
+                .collect()
+        };
+        SizeHistogram {
+            graphs: acfgs.len(),
+            node_deciles: decile(&nodes),
+            edge_deciles: decile(&edges),
+        }
+    }
+
+    /// Renders the histogram as the two-row table `magic extract`
+    /// prints: a header of decile labels, then node and edge rows.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "");
+        for d in 0..=10 {
+            let label = match d {
+                0 => "min".to_string(),
+                10 => "max".to_string(),
+                _ => format!("p{}", d * 10),
+            };
+            let _ = write!(out, " {label:>6}");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:>6}", "nodes");
+        for &v in &self.node_deciles {
+            let _ = write!(out, " {v:>6}");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:>6}", "edges");
+        for &v in &self.edge_deciles {
+            let _ = write!(out, " {v:>6}");
+        }
+        let _ = writeln!(out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +155,38 @@ mod tests {
         assert_eq!(s.vertices, 0);
         assert_eq!(s.density, 0.0);
         assert_eq!(s.entry_coverage, 0.0);
+    }
+
+    #[test]
+    fn size_histogram_deciles_are_monotone_and_bounded() {
+        let corpus: Vec<Acfg> = (1..=20)
+            .map(|n| {
+                let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+                acfg_with(n, &edges)
+            })
+            .collect();
+        let h = SizeHistogram::of(&corpus);
+        assert_eq!(h.graphs, 20);
+        assert_eq!(h.node_deciles.len(), 11);
+        assert_eq!(h.edge_deciles.len(), 11);
+        assert_eq!(h.node_deciles[0], 1, "p0 is the minimum");
+        assert_eq!(h.node_deciles[10], 20, "p100 is the maximum");
+        assert!(h.node_deciles.windows(2).all(|w| w[0] <= w[1]));
+        assert!(h.edge_deciles.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn size_histogram_of_empty_corpus_is_default() {
+        assert_eq!(SizeHistogram::of(&[]), SizeHistogram::default());
+    }
+
+    #[test]
+    fn size_histogram_renders_three_lines() {
+        let corpus = vec![acfg_with(3, &[(0, 1), (1, 2)])];
+        let text = SizeHistogram::of(&corpus).render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("nodes"));
+        assert!(text.contains("edges"));
+        assert!(text.contains("p50"));
     }
 }

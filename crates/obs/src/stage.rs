@@ -27,6 +27,13 @@ pub const ACFG_ATTRIBUTES: &str = "graph.acfg_attributes";
 /// the paper's Fig. 1).
 pub const EXTRACT_ACFG: &str = "pipeline.extract_acfg";
 
+/// Apply one `--reduce` graph-reduction strategy to one ACFG (chain
+/// collapse, leaf pruning, or WL coarsening). Fields: `nodes_before`,
+/// `edges_before`; removals are reported through the
+/// [`C_REDUCE_NODES_REMOVED`] / [`C_REDUCE_EDGES_REMOVED`] counters.
+/// Emitted only when the strategy is not `none`.
+pub const REDUCE_APPLY: &str = "reduce.apply";
+
 /// Synthesize one corpus (`magic-synth` generators).
 pub const CORPUS_GENERATE: &str = "corpus.generate";
 
@@ -104,6 +111,14 @@ pub const C_CACHE_BYTES_WRITTEN: &str = "cache.bytes_written";
 /// Bytes of binary ACFG shard data read back by cache loads and
 /// streamed record fetches.
 pub const C_CACHE_BYTES_READ: &str = "cache.bytes_read";
+
+/// Vertices removed by graph reduction (`--reduce`), summed over every
+/// [`REDUCE_APPLY`] application.
+pub const C_REDUCE_NODES_REMOVED: &str = "reduce.nodes_removed";
+
+/// Edges removed by graph reduction (`--reduce`), summed over every
+/// [`REDUCE_APPLY`] application.
+pub const C_REDUCE_EDGES_REMOVED: &str = "reduce.edges_removed";
 
 // ---- histograms --------------------------------------------------------
 

@@ -492,7 +492,11 @@ fn handle_predict(shared: &Shared, request: &Request, trace: &mut RequestTrace) 
         },
         RequestInput::Acfg(acfg) => acfg,
     };
-    let graph_input = GraphInput::from_acfg(&acfg);
+    // `input_for` applies the pipeline's graph-reduction strategy, so a
+    // served model sees exactly the graphs it was trained on — whether
+    // the client sent a raw listing or a pre-extracted (even
+    // pre-reduced: the strategies are idempotent) ACFG.
+    let graph_input = shared.pipeline.input_for(&acfg);
     trace.extract_us = extract_start.elapsed().as_micros() as u64;
 
     if shared.draining.load(Ordering::SeqCst) {

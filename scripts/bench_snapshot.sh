@@ -31,4 +31,10 @@ cargo bench -q -p magic-bench --bench batched_forward
 echo "==> quick benchmark (CI gate baseline) -> results/BENCH_batched_forward_quick.json"
 MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench batched_forward
 
+echo "==> full benchmark -> results/BENCH_graph_reduce.json"
+cargo bench -q -p magic-bench --bench graph_reduce
+
+echo "==> quick benchmark (CI gate baseline) -> results/BENCH_graph_reduce_quick.json"
+MAGIC_BENCH_QUICK=1 cargo bench -q -p magic-bench --bench graph_reduce
+
 echo "==> snapshot complete; review and commit the updated results/BENCH_*.json"

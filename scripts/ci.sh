@@ -115,6 +115,48 @@ else
     echo "no committed baseline at $CC_BASELINE; skipping perf gate"
 fi
 
+echo "==> perf gate: quick graph_reduce bench vs committed baseline"
+# Widest threshold of the gates: the gated rows are 11-37 ms training
+# epochs whose *whole-run* medians swing up to ~1.7x with container
+# load (measured band; per-sample medians don't dampen a systemically
+# slow run). The step change this gate guards — reduction stopping to
+# shrink graphs, snapping the coarsen:2 epoch back to the unreduced
+# cost — is >=3x, so 1.00 still fails hard on it. The one-off
+# reduce-pass rows are deliberately not gated (keyed `pass_median_ns`).
+GR_BASELINE=results/BENCH_graph_reduce_quick.json
+if [ -f "$GR_BASELINE" ]; then
+    MAGIC_RESULTS_DIR="$PWD/target/ci-bench" MAGIC_BENCH_QUICK=1 \
+        cargo bench -q -p magic-bench --bench graph_reduce
+    ./target/release/magic bench diff \
+        "$GR_BASELINE" target/ci-bench/BENCH_graph_reduce_quick.json \
+        --threshold 1.00 --require-same-machine
+else
+    echo "no committed baseline at $GR_BASELINE; skipping perf gate"
+fi
+
+echo "==> reduce gate: mismatched-strategy cache opens fail with a typed error"
+# A cache stores *reduced* graphs, so serving it under a different
+# --reduce would silently feed the model wrong-shaped graphs. The
+# fingerprint embeds the strategy; `cache info` with expectation flags
+# recomputes it and must fail with the typed mismatch error when the
+# expected strategy differs from what the cache was built with.
+RD_DIR="$(mktemp -d /tmp/magic_reduce_gate.XXXXXX)"
+./target/release/magic cache build --corpus yancfg --scale 0.002 --seed 7 \
+    --reduce chain --cache-dir "$RD_DIR" >/dev/null
+./target/release/magic cache info --cache-dir "$RD_DIR" \
+    --corpus yancfg --scale 0.002 --seed 7 --reduce chain >/dev/null
+if OUT="$(./target/release/magic cache info --cache-dir "$RD_DIR" \
+    --corpus yancfg --scale 0.002 --seed 7 --reduce none 2>&1)"; then
+    echo "ERROR: mismatched --reduce cache info succeeded" >&2
+    exit 1
+fi
+if ! echo "$OUT" | grep -q "cache fingerprint mismatch"; then
+    echo "ERROR: mismatch was not the typed fingerprint error: $OUT" >&2
+    exit 1
+fi
+rm -rf "$RD_DIR"
+echo "chain-built cache rejects a none-strategy open with the typed error"
+
 echo "==> cache round-trip: streamed training is bitwise-identical to in-memory"
 # Train the same tiny corpus three ways — no cache, cache-to-RAM, and
 # streamed from shards with a different worker count — and require the

@@ -39,5 +39,6 @@ run ablation_attributes --scale 0.008 --epochs "$SMALL_EPOCHS"
 run ext_wl_kernel --scale 0.012 --epochs "$SMALL_EPOCHS"
 run ext_detection --scale 0.012 --epochs "$SMALL_EPOCHS"
 run ext_drift --scale 0.012 --epochs "$SMALL_EPOCHS"
+run ext_reduce_sweep --scale 0.01 --epochs "$SMALL_EPOCHS"
 
 echo "all experiments complete; outputs in results/"

@@ -17,8 +17,13 @@ fn built_cache(tag: &str) -> (PathBuf, CacheSpec) {
     let dir = std::env::temp_dir()
         .join(format!("magic-cache-it-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let spec =
-        CacheSpec { corpus: CorpusKind::Yancfg, seed: 9, scale: 0.002, shards: 3 };
+    let spec = CacheSpec {
+        corpus: CorpusKind::Yancfg,
+        seed: 9,
+        scale: 0.002,
+        reduce: magic_graph::ReduceStrategy::None,
+        shards: 3,
+    };
     corpus_cache::build(&dir, &spec, 2, false).expect("cache build");
     (dir, spec)
 }
